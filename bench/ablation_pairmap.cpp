@@ -1,0 +1,44 @@
+// Ablation (DESIGN.md): the container behind map M in Algorithm 1 — the
+// paper's O(1) hash map versus a sort-and-aggregate flat build. The flat
+// build trades K2 hash probes for a K2 log K2 sort with sequential memory
+// traffic; which wins depends on K2 and the cache footprint.
+#include <cstdio>
+
+#include "core/similarity.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads.hpp"
+
+int main(int argc, char** argv) {
+  lc::CliFlags flags;
+  lc::bench::register_workload_flags(flags);
+  flags.add_int("repeats", 3, "timing repetitions per cell (min is reported)");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const auto workloads = lc::bench::build_workloads(lc::bench::workload_options_from_flags(flags));
+  const auto repeats = static_cast<int>(flags.get_int("repeats"));
+
+  std::printf("== Ablation: map M container (hash vs flat sort-aggregate) ==\n");
+  lc::Table table({"alpha", "K2", "hash build", "flat build", "flat/hash"});
+  for (const auto& w : workloads) {
+    double hash_seconds = 1e100;
+    double flat_seconds = 1e100;
+    for (int r = 0; r < repeats; ++r) {
+      lc::Stopwatch watch;
+      auto hash_map = lc::core::build_similarity_map(w.graph, {lc::core::PairMapKind::kHash});
+      hash_seconds = std::min(hash_seconds, watch.lap());
+      auto flat_map = lc::core::build_similarity_map(w.graph, {lc::core::PairMapKind::kFlat});
+      flat_seconds = std::min(flat_seconds, watch.lap());
+      if (hash_map.key_count() != flat_map.key_count()) {
+        std::fprintf(stderr, "container mismatch!\n");
+        return 1;
+      }
+    }
+    table.add_row({lc::strprintf("%g", w.alpha), lc::with_commas(w.stats.k2),
+                   lc::format_seconds(hash_seconds), lc::format_seconds(flat_seconds),
+                   lc::strprintf("%.2fx", flat_seconds / std::max(hash_seconds, 1e-12))});
+  }
+  table.print();
+  return 0;
+}

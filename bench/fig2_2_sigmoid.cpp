@@ -1,0 +1,136 @@
+// Fig. 2(2): the normalized number of clusters against the normalized
+// logarithm of the level identifier, for three graph fractions, with the
+// sigmoid model y = a/(1+e^{-k(log x - b)}) + c fitted by least squares. The
+// paper reports that a = -1, b = 0.48, c = 1, k = 10 matches its curves for
+// the two smaller fractions; the shape to reproduce is the slow-sharp-slow
+// S-curve and a good sigmoid fit.
+#include <cstdio>
+
+#include <cmath>
+#include <vector>
+
+#include "core/cluster_array.hpp"
+#include "core/edge_index.hpp"
+#include "core/similarity.hpp"
+#include "numeric/series.hpp"
+#include "numeric/least_squares.hpp"
+#include "numeric/sigmoid.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads.hpp"
+
+namespace {
+
+/// Clusters-vs-level curve over equal-length chunks of the sorted pair list.
+lc::numeric::Series cluster_curve(const lc::graph::WeightedGraph& graph,
+                                  const lc::core::SimilarityMap& map,
+                                  const lc::core::EdgeIndex& index, std::size_t chunks) {
+  lc::core::ClusterArray clusters(graph.edge_count());
+  const std::uint64_t total = map.incident_pair_count();
+  const std::uint64_t per_chunk = std::max<std::uint64_t>(1, total / chunks);
+  lc::numeric::Series series;
+  std::uint64_t processed = 0;
+  std::uint64_t next_boundary = per_chunk;
+  std::size_t level = 1;
+  for (const lc::core::SimilarityEntry& entry : map.entries) {
+    for (lc::graph::VertexId k : entry.common) {
+      const auto e1 = index.index_of(graph.find_edge(entry.u, k));
+      const auto e2 = index.index_of(graph.find_edge(entry.v, k));
+      clusters.merge(e1, e2);
+      ++processed;
+      if (processed >= next_boundary) {
+        series.x.push_back(static_cast<double>(level));
+        series.y.push_back(static_cast<double>(clusters.cluster_count()));
+        next_boundary += per_chunk;
+        ++level;
+      }
+    }
+  }
+  return series;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lc::CliFlags flags;
+  lc::bench::register_workload_flags(flags);
+  flags.add_int("chunks", 200, "equal-length chunks per curve");
+  flags.add_string("csv", "", "also write normalized curves to this CSV path");
+  if (!flags.parse(argc, argv)) return 1;
+
+  lc::bench::WorkloadOptions options = lc::bench::workload_options_from_flags(flags);
+  options.alphas = {0.002, 0.005, 0.01};  // the paper fits its three smaller fractions
+  const auto workloads = lc::bench::build_workloads(options);
+  const auto chunks = static_cast<std::size_t>(flags.get_int("chunks"));
+
+  std::printf("== Fig. 2(2): normalized cluster-count curves + sigmoid fits ==\n");
+  lc::Table table({"alpha", "levels", "fit a", "fit b", "fit c", "fit k", "rmse",
+                   "paper-form rmse (a=-1, c=1)"});
+  lc::Table curves({"alpha", "norm_log_level", "norm_clusters"});
+  bool all_fits_good = true;
+  bool paper_form_good = true;
+
+  for (const auto& w : workloads) {
+    lc::core::SimilarityMap map = lc::core::build_similarity_map(w.graph);
+    map.sort_by_score();
+    const lc::core::EdgeIndex index(w.graph.edge_count(), lc::core::EdgeOrder::kShuffled, 42);
+    const lc::numeric::Series raw = cluster_curve(w.graph, map, index, chunks);
+    if (raw.size() < 8) continue;
+    const lc::numeric::Series normalized = lc::numeric::normalized_log_series(raw);
+
+    // Fit on x shifted away from 0 (the model needs log x; normalized x==0 at
+    // the first sample). Use x' = x + epsilon as the level coordinate.
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (std::size_t i = 0; i < normalized.size(); ++i) {
+      xs.push_back(normalized.x[i] + 1e-3);
+      ys.push_back(normalized.y[i]);
+    }
+    const lc::numeric::SigmoidFit fit =
+        lc::numeric::fit_sigmoid(xs, ys, lc::numeric::SigmoidParams{-1.0, -0.5, 1.0, 5.0});
+
+    // Paper-form fit: the paper's reference parameterization fixes the full
+    // drop (a = -1, c = 1); b and k only align the (normalization-dependent)
+    // axes. A small residual here means the curve belongs to the paper's
+    // model family even though our axis units differ from theirs.
+    const std::size_t m = xs.size();
+    const auto paper_form = lc::numeric::levenberg_marquardt(
+        [&](const std::vector<double>& p, std::vector<double>& r, std::vector<double>* jac) {
+          const lc::numeric::SigmoidParams params{-1.0, p[0], 1.0, p[1]};
+          for (std::size_t i = 0; i < m; ++i) {
+            r[i] = lc::numeric::sigmoid_eval(params, xs[i]) - ys[i];
+            if (jac != nullptr) {
+              const auto g = lc::numeric::sigmoid_gradient(params, xs[i]);
+              (*jac)[i * 2 + 0] = g[1];
+              (*jac)[i * 2 + 1] = g[3];
+            }
+          }
+        },
+        {-0.5, 5.0}, m);
+    const double paper_rmse =
+        std::sqrt(2.0 * paper_form.cost / static_cast<double>(m));
+
+    table.add_row({lc::strprintf("%g", w.alpha), std::to_string(raw.size()),
+                   lc::strprintf("%.3f", fit.params.a), lc::strprintf("%.3f", fit.params.b),
+                   lc::strprintf("%.3f", fit.params.c), lc::strprintf("%.2f", fit.params.k),
+                   lc::strprintf("%.4f", fit.rmse), lc::strprintf("%.4f", paper_rmse)});
+    if (fit.rmse > 0.08) all_fits_good = false;
+    if (paper_rmse > 0.1) paper_form_good = false;
+
+    const lc::numeric::Series sampled = lc::numeric::downsample(normalized, 40);
+    for (std::size_t i = 0; i < sampled.size(); ++i) {
+      curves.add_row({lc::strprintf("%g", w.alpha), lc::strprintf("%.4f", sampled.x[i]),
+                      lc::strprintf("%.4f", sampled.y[i])});
+    }
+  }
+  table.print();
+  std::printf("\nshape check: sigmoid fits all curves with small residual: %s\n",
+              all_fits_good ? "yes (matches paper's model)" : "NO");
+  std::printf("shape check: the paper's a=-1, c=1 sigmoid family fits too: %s\n",
+              paper_form_good ? "yes" : "NO");
+  std::printf("(paper reference parameters: a=-1, b=0.48, c=1, k=10 on its axes)\n");
+
+  const std::string csv = flags.get_string("csv");
+  if (!csv.empty() && !curves.write_csv(csv)) return 1;
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 4(1): graph statistics across the fraction-alpha sweep — number of
+// vertices, edges, vertex pairs on list L (K1), and distinct incident edge
+// pairs (K2) — plus the densities the paper quotes in the text (1.0, 0.997,
+// 0.963, 0.332, 0.136 for its alpha series). The paper's observation to
+// reproduce: density decreases as alpha grows, and K2 dominates |E| by a few
+// orders of magnitude.
+#include <cstdio>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads.hpp"
+
+int main(int argc, char** argv) {
+  lc::CliFlags flags;
+  lc::bench::register_workload_flags(flags);
+  flags.add_string("csv", "", "also write the table to this CSV path");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const auto workloads = lc::bench::build_workloads(lc::bench::workload_options_from_flags(flags));
+
+  std::printf("== Fig. 4(1): word-association graph statistics vs fraction alpha ==\n");
+  lc::Table table({"alpha", "vertices", "edges", "K1 (vertex pairs)",
+                   "K2 (edge pairs)", "K2/|E|", "density"});
+  for (const auto& w : workloads) {
+    table.add_row({lc::strprintf("%g", w.alpha), lc::with_commas(w.stats.vertices),
+                   lc::with_commas(w.stats.edges), lc::with_commas(w.stats.k1),
+                   lc::with_commas(w.stats.k2),
+                   lc::strprintf("%.1fx", w.stats.edges == 0
+                                              ? 0.0
+                                              : static_cast<double>(w.stats.k2) /
+                                                    static_cast<double>(w.stats.edges)),
+                   lc::strprintf("%.3f", w.stats.density)});
+  }
+  table.print();
+
+  // The paper's qualitative claims, checked programmatically.
+  bool density_monotone = true;
+  for (std::size_t i = 1; i < workloads.size(); ++i) {
+    if (workloads[i].stats.density > workloads[i - 1].stats.density + 1e-9) {
+      density_monotone = false;
+    }
+  }
+  std::printf("\nshape check: density decreases with alpha: %s\n",
+              density_monotone ? "yes (matches paper)" : "NO");
+  if (!workloads.empty()) {
+    const auto& last = workloads.back();
+    std::printf("shape check: K2/|E| at largest alpha: %.0fx (paper: 2-4 orders)\n",
+                static_cast<double>(last.stats.k2) / static_cast<double>(last.stats.edges));
+  }
+  const std::string csv = flags.get_string("csv");
+  if (!csv.empty() && !table.write_csv(csv)) {
+    std::fprintf(stderr, "failed to write %s\n", csv.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "workloads.hpp"
+
+#include <cmath>
+
+#include "text/association.hpp"
+#include "text/corpus.hpp"
+#include "text/tokenizer.hpp"
+#include "text/vocabulary.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+namespace lc::bench {
+
+void register_workload_flags(CliFlags& flags) {
+  flags.add_bool("quick", false, "shrink the workload ~8x for sanity runs");
+  flags.add_int("docs", 20000, "synthetic corpus size (tweets)");
+  flags.add_int("vocab", 12000, "synthetic vocabulary size");
+  flags.add_int("topics", 40, "latent topics in the corpus");
+  flags.add_int("seed", 2026, "corpus seed");
+}
+
+WorkloadOptions workload_options_from_flags(const CliFlags& flags) {
+  WorkloadOptions options;
+  options.num_documents = static_cast<std::size_t>(flags.get_int("docs"));
+  options.vocab_size = static_cast<std::size_t>(flags.get_int("vocab"));
+  options.num_topics = static_cast<std::size_t>(flags.get_int("topics"));
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.quick = flags.get_bool("quick");
+  return options;
+}
+
+std::vector<Workload> build_workloads(const WorkloadOptions& options) {
+  WorkloadOptions effective = options;
+  if (options.quick) {
+    effective.num_documents = options.num_documents / 8;
+    effective.vocab_size = options.vocab_size / 4;
+  }
+
+  Stopwatch watch;
+  text::SyntheticCorpusOptions corpus_options;
+  corpus_options.vocab_size = effective.vocab_size;
+  corpus_options.num_documents = effective.num_documents;
+  corpus_options.num_topics = effective.num_topics;
+  corpus_options.seed = effective.seed;
+  // A slightly global-heavier mix than the generator default pushes the
+  // small-alpha graphs toward the near-complete densities the paper reports.
+  corpus_options.global_mix = 0.55;
+  const text::Corpus corpus = text::generate_corpus(corpus_options);
+  LC_LOG(kInfo) << "corpus: " << corpus.size() << " documents in "
+                << format_seconds(watch.lap());
+
+  std::vector<text::TokenizedDocument> docs;
+  docs.reserve(corpus.size());
+  for (const std::string& doc : corpus.documents) docs.push_back(text::tokenize(doc));
+  const text::Vocabulary vocab = text::Vocabulary::build(docs);
+  LC_LOG(kInfo) << "pipeline: " << vocab.size() << " candidate words in "
+                << format_seconds(watch.lap());
+
+  // delta0 scaled with alpha like the paper's 100 / 500 / 1000 / 5000 / 10000.
+  std::vector<Workload> workloads;
+  for (std::size_t i = 0; i < effective.alphas.size(); ++i) {
+    const double alpha = effective.alphas[i];
+    Workload workload;
+    workload.alpha = alpha;
+    text::AssociationGraph ag = text::build_association_graph(docs, vocab, alpha);
+    workload.graph = std::move(ag.graph);
+    workload.stats = graph::compute_stats(workload.graph);
+    workload.delta0 = static_cast<std::uint64_t>(
+        100.0 * std::pow(10.0, static_cast<double>(i) / 2.0));
+    LC_LOG(kInfo) << "alpha=" << alpha << ": |V|=" << workload.stats.vertices
+                  << " |E|=" << workload.stats.edges << " K1=" << workload.stats.k1
+                  << " K2=" << workload.stats.k2
+                  << " density=" << strprintf("%.3f", workload.stats.density) << " ("
+                  << format_seconds(watch.lap()) << ")";
+    workloads.push_back(std::move(workload));
+  }
+  return workloads;
+}
+
+}  // namespace lc::bench

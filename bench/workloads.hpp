@@ -1,0 +1,47 @@
+// Shared workload construction for every figure bench: the synthetic-tweet
+// corpus is generated once, preprocessed through the full pipeline
+// (tokenize -> stop-word filter -> Porter stem -> frequency ranking), and a
+// word-association graph is built for each fraction alpha, mirroring §VII of
+// the paper (its alpha sweep was {0.0001, 0.0005, 0.001, 0.005, 0.01} over a
+// month of tweets; ours is scaled so the largest graph is laptop-sized while
+// K2 still spans several orders of magnitude).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/stats.hpp"
+#include "util/cli.hpp"
+
+namespace lc::bench {
+
+struct Workload {
+  double alpha = 0.0;
+  graph::WeightedGraph graph;
+  graph::GraphStats stats;
+  std::uint64_t delta0 = 1000;  ///< coarse initial chunk size, scaled like the
+                                ///< paper's 100..10000 series
+};
+
+struct WorkloadOptions {
+  std::size_t vocab_size = 12000;
+  std::size_t num_documents = 20000;
+  std::size_t num_topics = 40;
+  std::uint64_t seed = 2026;
+  std::vector<double> alphas = {0.002, 0.005, 0.01, 0.05, 0.1};
+  bool quick = false;  ///< shrink everything ~8x (CI/sanity runs)
+};
+
+/// Registers the standard bench flags (--quick, --docs, --vocab, --seed).
+void register_workload_flags(CliFlags& flags);
+
+/// Builds options from parsed flags.
+WorkloadOptions workload_options_from_flags(const CliFlags& flags);
+
+/// Generates the corpus, runs the text pipeline, and builds one workload per
+/// alpha (with stats). Logs progress at info level.
+std::vector<Workload> build_workloads(const WorkloadOptions& options);
+
+}  // namespace lc::bench

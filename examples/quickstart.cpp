@@ -1,0 +1,60 @@
+// Quickstart: build a small weighted graph, run link clustering, inspect the
+// dendrogram, and cut it at the maximum-partition-density level.
+//
+//   $ ./examples/quickstart
+//
+// The graph is two triangles joined by a bridge — the canonical "two link
+// communities" example: edge clustering groups the triangle edges together
+// and leaves the bridge on its own side of the cut.
+#include <cstdio>
+
+#include "linkcluster.hpp"
+
+int main() {
+  // 1. Build the graph (vertices 0..5, two triangles + a bridge edge).
+  lc::graph::GraphBuilder builder(6);
+  builder.add_edge(0, 1, 1.0);
+  builder.add_edge(1, 2, 1.0);
+  builder.add_edge(0, 2, 1.0);
+  builder.add_edge(3, 4, 1.0);
+  builder.add_edge(4, 5, 1.0);
+  builder.add_edge(3, 5, 1.0);
+  builder.add_edge(2, 3, 0.5);  // bridge
+  const lc::graph::WeightedGraph graph = builder.build();
+  std::printf("graph: %zu vertices, %zu edges\n", graph.vertex_count(), graph.edge_count());
+
+  // 2. Cluster the edges (fine-grained mode, default configuration).
+  const lc::core::ClusterResult result = lc::core::LinkClusterer().cluster(graph);
+  std::printf("similarity map: K1 = %zu keys covering K2 = %llu incident pairs\n",
+              result.k1, static_cast<unsigned long long>(result.k2));
+
+  // 3. Walk the dendrogram: every event is "cluster `from` joins `into` at
+  //    similarity s".
+  std::printf("\ndendrogram (%zu merges):\n", result.dendrogram.events().size());
+  for (const lc::core::MergeEvent& event : result.dendrogram.events()) {
+    std::printf("  level %2u: cluster %u -> %u at similarity %.3f\n", event.level,
+                event.from, event.into, event.similarity);
+  }
+
+  // 4. Cut at the maximum partition density (Ahn et al.'s objective).
+  const lc::core::DensityCut cut =
+      lc::core::best_partition_density_cut(graph, result.edge_index, result.dendrogram);
+  std::printf("\nbest cut: %zu merges applied, partition density %.3f\n", cut.event_count,
+              cut.density);
+  std::printf("link communities (edges grouped by cluster):\n");
+  for (lc::core::EdgeIdx label = 0; label < cut.labels.size(); ++label) {
+    bool first = true;
+    for (std::size_t idx = 0; idx < cut.labels.size(); ++idx) {
+      if (cut.labels[idx] != label) continue;
+      const lc::graph::Edge& e =
+          graph.edge(result.edge_index.edge_at(static_cast<lc::core::EdgeIdx>(idx)));
+      if (first) {
+        std::printf("  community %u:", label);
+        first = false;
+      }
+      std::printf(" (%u-%u)", e.u, e.v);
+    }
+    if (!first) std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "baseline/edge_similarity_matrix.hpp"
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace lc::baseline {
+
+std::optional<EdgeSimilarityMatrix> EdgeSimilarityMatrix::build(
+    const graph::WeightedGraph& graph, const core::SimilarityMap& map,
+    const core::EdgeIndex& index, std::size_t max_edges) {
+  const std::size_t n = graph.edge_count();
+  if (n > max_edges) {
+    LC_LOG(kWarn) << "EdgeSimilarityMatrix: refusing " << n << " edges (cap " << max_edges
+                  << ", would need " << predicted_bytes(n) / (1024 * 1024) << " MiB)";
+    return std::nullopt;
+  }
+  EdgeSimilarityMatrix matrix(n);
+  for (const core::SimilarityEntry& entry : map.entries) {
+    for (graph::VertexId k : entry.common) {
+      const graph::EdgeId e1 = graph.find_edge(entry.u, k);
+      const graph::EdgeId e2 = graph.find_edge(entry.v, k);
+      LC_DCHECK(e1 != graph::kInvalidEdge && e2 != graph::kInvalidEdge);
+      matrix.set(index.index_of(e1), index.index_of(e2), static_cast<float>(entry.score));
+    }
+  }
+  return matrix;
+}
+
+}  // namespace lc::baseline

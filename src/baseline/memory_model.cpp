@@ -1,0 +1,17 @@
+#include "baseline/memory_model.hpp"
+
+namespace lc::baseline {
+
+MemoryModel predict_memory(std::uint64_t edges, std::uint64_t k1, std::uint64_t k2) {
+  MemoryModel model;
+  // Standard: float similarity matrix (|E|^2) plus per-row NBM bookkeeping.
+  model.standard_bytes = 4 * edges * edges + 24 * edges;
+  // Sweeping (O(K2 + |E|), Theorem 2):
+  //   map M: one entry per key (two vertex ids, a score, a vector header)
+  //          plus K2 common-neighbor slots;
+  //   array C + the edge index permutation and its inverse.
+  model.sweeping_bytes = k1 * 40 + k2 * 4 + edges * (4 + 8);
+  return model;
+}
+
+}  // namespace lc::baseline

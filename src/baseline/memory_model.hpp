@@ -1,0 +1,21 @@
+// Analytic memory models for Fig. 4(3): what the standard algorithm and the
+// sweeping algorithm allocate as functions of the graph statistics. These
+// models complement the measured VmPeak numbers (which include allocator and
+// runtime overheads) and extend the comparison to problem sizes where the
+// standard algorithm cannot actually be run — exactly the regime the paper's
+// figure covers with its 19.9 GB point.
+#pragma once
+
+#include <cstdint>
+
+namespace lc::baseline {
+
+struct MemoryModel {
+  std::uint64_t standard_bytes = 0;  ///< dense float matrix + NBM arrays
+  std::uint64_t sweeping_bytes = 0;  ///< map M + list L + array C + edge index
+};
+
+/// `k1` = similarity-map keys, `k2` = incident edge pairs.
+MemoryModel predict_memory(std::uint64_t edges, std::uint64_t k1, std::uint64_t k2);
+
+}  // namespace lc::baseline

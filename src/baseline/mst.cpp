@@ -1,0 +1,46 @@
+#include "baseline/mst.hpp"
+
+#include <algorithm>
+
+#include "core/dsu.hpp"
+#include "util/check.hpp"
+
+namespace lc::baseline {
+
+MstResult mst_single_linkage(const graph::WeightedGraph& graph,
+                             const core::SimilarityMap& map, const core::EdgeIndex& index) {
+  LC_CHECK_MSG(index.size() == graph.edge_count(), "edge index must match the graph");
+  for (std::size_t i = 1; i < map.entries.size(); ++i) {
+    LC_CHECK_MSG(map.entries[i - 1].score >= map.entries[i].score,
+                 "similarity map must be sorted (call sort_by_score())");
+  }
+
+  MstResult result;
+  const std::size_t n = graph.edge_count();
+  result.dendrogram = core::Dendrogram(n);
+  core::MinDsu dsu(n);
+  std::uint32_t level = 0;
+
+  // Kruskal: the map is already sorted by similarity, so scan in order and
+  // keep every link that joins two different components.
+  for (const core::SimilarityEntry& entry : map.entries) {
+    for (graph::VertexId k : entry.common) {
+      const graph::EdgeId e1 = graph.find_edge(entry.u, k);
+      const graph::EdgeId e2 = graph.find_edge(entry.v, k);
+      LC_DCHECK(e1 != graph::kInvalidEdge && e2 != graph::kInvalidEdge);
+      const core::EdgeIdx a = index.index_of(e1);
+      const core::EdgeIdx b = index.index_of(e2);
+      const core::EdgeIdx ra = dsu.find(a);
+      const core::EdgeIdx rb = dsu.find(b);
+      if (ra == rb) continue;
+      dsu.unite(ra, rb);
+      result.forest.push_back(MstLink{a, b, entry.score});
+      ++level;
+      result.dendrogram.add_event(level, std::max(ra, rb), std::min(ra, rb), entry.score);
+    }
+  }
+  result.final_labels = dsu.labels();
+  return result;
+}
+
+}  // namespace lc::baseline

@@ -1,0 +1,43 @@
+// MST-based single-linkage clustering (Gower & Ross, Applied Statistics
+// 1969 — the paper's reference [9] on the connection between minimum spanning
+// trees and single-linkage clustering).
+//
+// The data points are the |E| edges of G; candidate links are the K2 incident
+// edge pairs with their Tanimoto similarities (non-incident pairs have
+// similarity 0 and never form earlier links). Kruskal's algorithm over the
+// candidate links, processed in non-increasing similarity order, produces a
+// maximum spanning forest whose edge weights are exactly the single-linkage
+// merge heights — an O(K2 log K2) baseline, independent of both the sweep
+// implementation and the dense-matrix baselines, used as a cross-check
+// oracle in the integration tests.
+#pragma once
+
+#include <vector>
+
+#include "core/dendrogram.hpp"
+#include "core/edge_index.hpp"
+#include "core/similarity.hpp"
+#include "graph/graph.hpp"
+
+namespace lc::baseline {
+
+/// One edge of the maximum spanning forest: the two clustered points (edge
+/// indices in the sweep's permutation) and their similarity.
+struct MstLink {
+  core::EdgeIdx a = 0;
+  core::EdgeIdx b = 0;
+  double similarity = 0.0;
+};
+
+struct MstResult {
+  core::Dendrogram dendrogram;          ///< same event format as the sweep's
+  std::vector<MstLink> forest;          ///< the |E| - #components tree links
+  std::vector<core::EdgeIdx> final_labels;
+};
+
+/// Runs Kruskal over the incident-pair links of `map` (which must be sorted
+/// by score, non-increasing).
+MstResult mst_single_linkage(const graph::WeightedGraph& graph,
+                             const core::SimilarityMap& map, const core::EdgeIndex& index);
+
+}  // namespace lc::baseline

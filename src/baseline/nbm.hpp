@@ -1,0 +1,34 @@
+// The paper's "standard algorithm" baseline (§VII-A): generic single-linkage
+// hierarchical agglomerative clustering over the |E| edges, implemented with
+// a next-best-merge (NBM) array [Manning, Raghavan & Schütze, Introduction to
+// Information Retrieval, ch. 17]. Time O(|E|^2) — optimally efficient for the
+// generic problem, like SLINK — and Theta(|E|^2) memory for the similarity
+// matrix.
+//
+// For single linkage the NBM entries stay valid across merges because
+// cluster-to-cluster similarity is the max of the merged rows, so each of the
+// n-1 merge steps costs O(n): the O(n^2) total.
+#pragma once
+
+#include "baseline/edge_similarity_matrix.hpp"
+#include "core/dendrogram.hpp"
+
+namespace lc::baseline {
+
+struct NbmOptions {
+  /// Stop before merging clusters whose best similarity is 0 (disconnected
+  /// link communities). The paper's baseline builds the full dendrogram; the
+  /// sweep algorithm never produces the zero merges, so tests set this.
+  bool stop_at_zero = false;
+};
+
+struct NbmResult {
+  core::Dendrogram dendrogram;
+  std::vector<core::EdgeIdx> final_labels;  ///< labels at termination
+};
+
+/// Runs NBM single-linkage over the matrix. The matrix is copied internally
+/// (rows are mutated during clustering).
+NbmResult nbm_cluster(const EdgeSimilarityMatrix& matrix, const NbmOptions& options = {});
+
+}  // namespace lc::baseline

@@ -1,0 +1,67 @@
+#include "baseline/slink.hpp"
+
+#include <limits>
+
+#include "core/dsu.hpp"
+#include "util/check.hpp"
+
+namespace lc::baseline {
+
+std::vector<double> SlinkResult::merge_similarities() const {
+  std::vector<double> out;
+  out.reserve(pi.size() > 0 ? pi.size() - 1 : 0);
+  for (std::size_t i = 0; i + 1 < lambda.size(); ++i) {
+    out.push_back(1.0 - lambda[i]);
+  }
+  return out;
+}
+
+std::vector<core::EdgeIdx> SlinkResult::labels_at_threshold(double threshold) const {
+  const std::size_t n = pi.size();
+  core::MinDsu dsu(n);
+  const double max_distance = 1.0 - threshold;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (lambda[i] <= max_distance) {
+      dsu.unite(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(pi[i]));
+    }
+  }
+  return dsu.labels();
+}
+
+SlinkResult slink_cluster(std::size_t n,
+                          const std::function<double(std::size_t, std::size_t)>& distance) {
+  SlinkResult result;
+  result.pi.resize(n);
+  result.lambda.resize(n);
+  if (n == 0) return result;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> m(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    result.pi[i] = i;
+    result.lambda[i] = kInf;
+    for (std::size_t j = 0; j < i; ++j) m[j] = distance(j, i);
+    for (std::size_t j = 0; j < i; ++j) {
+      if (result.lambda[j] >= m[j]) {
+        m[result.pi[j]] = std::min(m[result.pi[j]], result.lambda[j]);
+        result.lambda[j] = m[j];
+        result.pi[j] = i;
+      } else {
+        m[result.pi[j]] = std::min(m[result.pi[j]], m[j]);
+      }
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (result.lambda[j] >= result.lambda[result.pi[j]]) result.pi[j] = i;
+    }
+  }
+  return result;
+}
+
+SlinkResult slink_cluster(const EdgeSimilarityMatrix& matrix) {
+  return slink_cluster(matrix.size(), [&matrix](std::size_t i, std::size_t j) {
+    return 1.0 - static_cast<double>(matrix.at(i, j));
+  });
+}
+
+}  // namespace lc::baseline

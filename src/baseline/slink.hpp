@@ -1,0 +1,42 @@
+// SLINK (R. Sibson, "SLINK: an optimally efficient algorithm for the
+// single-link cluster method", The Computer Journal 16(1), 1973).
+//
+// The paper cites SLINK as the optimally efficient O(n^2)-time, O(n)-memory
+// solution to generic single-linkage clustering; we implement it as a second
+// baseline and as a cross-check oracle: its merge heights must match NBM's
+// and the sweep algorithm's exactly (single-linkage dendrogram heights are
+// unique even when tie order is not).
+//
+// SLINK works on dissimilarities; similarities s in [0, 1] are mapped to
+// d = 1 - s. The output is the pointer representation (Pi, Lambda).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "baseline/edge_similarity_matrix.hpp"
+#include "core/cluster_array.hpp"
+
+namespace lc::baseline {
+
+struct SlinkResult {
+  std::vector<std::size_t> pi;   ///< Pi[i]: the larger-indexed element i first joins
+  std::vector<double> lambda;    ///< Lambda[i]: dissimilarity at which it joins
+                                 ///< (Lambda[n-1] is +inf by convention)
+
+  /// Merge heights as similarities (1 - Lambda), one per join, unsorted.
+  [[nodiscard]] std::vector<double> merge_similarities() const;
+
+  /// Flat clusters: components of {i ~ Pi[i] : Lambda[i] <= 1 - threshold}.
+  /// Labels are canonical minima, directly comparable with the core sweep's.
+  [[nodiscard]] std::vector<core::EdgeIdx> labels_at_threshold(double threshold) const;
+};
+
+/// Runs SLINK over `n` points with dissimilarity callback d(i, j), i < j.
+SlinkResult slink_cluster(std::size_t n,
+                          const std::function<double(std::size_t, std::size_t)>& distance);
+
+/// Convenience: SLINK over an edge-similarity matrix (d = 1 - sim).
+SlinkResult slink_cluster(const EdgeSimilarityMatrix& matrix);
+
+}  // namespace lc::baseline

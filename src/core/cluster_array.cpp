@@ -1,0 +1,114 @@
+#include "core/cluster_array.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lc::core {
+
+ClusterArray::ClusterArray(std::size_t edge_count) : c_(edge_count) {
+  for (std::size_t i = 0; i < edge_count; ++i) c_[i] = static_cast<EdgeIdx>(i);
+}
+
+EdgeIdx ClusterArray::root(EdgeIdx i) const {
+  LC_DCHECK(i < c_.size());
+  while (c_[i] != i) i = c_[i];
+  return i;
+}
+
+void ClusterArray::chain(EdgeIdx i, std::vector<EdgeIdx>& out) const {
+  LC_DCHECK(i < c_.size());
+  out.clear();
+  out.push_back(i);
+  while (c_[i] != i) {
+    i = c_[i];
+    out.push_back(i);
+  }
+}
+
+MergeOutcome ClusterArray::merge(EdgeIdx i1, EdgeIdx i2) {
+  chain(i1, scratch1_);
+  chain(i2, scratch2_);
+  MergeOutcome outcome;
+  outcome.c1 = scratch1_.back();
+  outcome.c2 = scratch2_.back();
+  outcome.target = std::min(outcome.c1, outcome.c2);
+  outcome.merged = outcome.c1 != outcome.c2;
+  outcome.visited = static_cast<std::uint32_t>(scratch1_.size() + scratch2_.size());
+  for (EdgeIdx j : scratch1_) {
+    if (c_[j] != outcome.target) {
+      c_[j] = outcome.target;
+      ++outcome.changes;
+    }
+  }
+  for (EdgeIdx j : scratch2_) {
+    if (c_[j] != outcome.target) {
+      c_[j] = outcome.target;
+      ++outcome.changes;
+    }
+  }
+  accesses_ += outcome.visited;
+  total_changes_ += outcome.changes;
+  return outcome;
+}
+
+std::size_t ClusterArray::cluster_count() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    if (c_[i] == i) ++count;
+  }
+  return count;
+}
+
+std::vector<EdgeIdx> ClusterArray::root_labels() const {
+  // C[i] <= i always (merges write minima), so one ascending pass memoizes.
+  std::vector<EdgeIdx> labels(c_.size());
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    const EdgeIdx parent = c_[i];
+    LC_DCHECK(parent <= i);
+    labels[i] = (parent == i) ? static_cast<EdgeIdx>(i) : labels[parent];
+  }
+  return labels;
+}
+
+void ClusterArray::restore(const std::vector<EdgeIdx>& snapshot) {
+  LC_CHECK_MSG(snapshot.size() == c_.size(), "snapshot must match the edge count");
+  c_ = snapshot;
+}
+
+std::uint64_t ClusterArray::merge_from(const ClusterArray& other, bool corrected) {
+  LC_CHECK_MSG(other.size() == size(), "arrays must cover the same edge set");
+  std::uint64_t work = 0;
+  const auto n = static_cast<EdgeIdx>(size());
+  for (EdgeIdx i = 0; i < n; ++i) {
+    chain(i, scratch1_);         // F0(i), in this array
+    other.chain(i, scratch2_);   // F1(i), in the other array
+    const EdgeIdx root0 = scratch1_.back();
+    const EdgeIdx root1 = scratch2_.back();
+    EdgeIdx f = std::min(root0, root1);
+    // Corrected scheme: also relink F0(min F1(i)) — the chain, in this array,
+    // of the other array's root. Without it two chains that meet only through
+    // the other array's root can be left split (the paper's counterexample).
+    // The target f must be the minimum over all three chains, not just the
+    // first two: F0(min F1(i)) can reach a root smaller than f, and writing a
+    // larger value there would create an upward pointer and break the
+    // cluster-id-is-minimum invariant (Theorem 1).
+    if (corrected) {
+      chain(root1, scratch3_);
+      f = std::min(f, scratch3_.back());
+    } else {
+      scratch3_.clear();
+    }
+    work += scratch1_.size() + scratch2_.size() + scratch3_.size();
+    for (EdgeIdx e : scratch1_) c_[e] = f;
+    for (EdgeIdx e : scratch2_) c_[e] = f;
+    for (EdgeIdx e : scratch3_) c_[e] = f;
+  }
+  return work;
+}
+
+bool same_partition(const ClusterArray& a, const ClusterArray& b) {
+  return a.root_labels() == b.root_labels();
+}
+
+}  // namespace lc::core

@@ -1,0 +1,379 @@
+#include "core/coarse.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/cluster_array.hpp"
+#include "util/check.hpp"
+
+namespace lc::core {
+namespace {
+
+/// Epoch state Q = (beta, Delta, p, C) of §V-A. Delta is represented by xi
+/// directly (the pair position reached), which is the quantity every
+/// boundary computation actually uses.
+struct Snapshot {
+  std::vector<EdgeIdx> c;
+  std::size_t beta = 0;
+  std::uint64_t xi = 0;
+  std::size_t p = 0;
+};
+
+/// Root labels of a raw C snapshot (same ascending-scan trick as
+/// ClusterArray::root_labels — parents never exceed their index).
+std::vector<EdgeIdx> labels_of(const std::vector<EdgeIdx>& c) {
+  std::vector<EdgeIdx> labels(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    labels[i] = (c[i] == i) ? static_cast<EdgeIdx>(i) : labels[c[i]];
+  }
+  return labels;
+}
+
+struct ChunkPair {
+  EdgeIdx a, b;
+};
+
+/// Chunk-size estimate for a rollback (Fig. 3): extrapolate with the steeper
+/// of (a) the slope through the failed reference point and (b) the slope
+/// through the previous two levels, toward the target cluster count
+/// beta / gamma_tilde. The steeper slope always undershoots.
+double rollback_estimate(std::uint64_t xi_prev2, std::size_t beta_prev2, bool have_prev2,
+                         std::uint64_t xi_last, std::size_t beta_last,
+                         std::uint64_t xi_failed, std::size_t beta_failed, double gamma) {
+  const double gamma_tilde = (1.0 + gamma) / 2.0;
+  const double beta_l = static_cast<double>(beta_last);
+  const double target = beta_l / gamma_tilde;
+  double steeper = 0.0;
+  bool have_slope = false;
+  if (xi_failed > xi_last) {
+    const double slope = (static_cast<double>(beta_failed) - beta_l) /
+                         static_cast<double>(xi_failed - xi_last);
+    if (slope < 0.0) {
+      steeper = slope;
+      have_slope = true;
+    }
+  }
+  if (have_prev2 && xi_last > xi_prev2) {
+    const double slope = (beta_l - static_cast<double>(beta_prev2)) /
+                         static_cast<double>(xi_last - xi_prev2);
+    if (slope < 0.0 && (!have_slope || slope < steeper)) {
+      steeper = slope;
+      have_slope = true;
+    }
+  }
+  if (!have_slope) {
+    // No decreasing slope observed: fall back to half the failed chunk.
+    return std::max(1.0, static_cast<double>(xi_failed - xi_last) / 2.0);
+  }
+  return std::max(1.0, (target - beta_l) / steeper);
+}
+
+}  // namespace
+
+CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
+                          const EdgeIndex& index, const CoarseOptions& options,
+                          parallel::ThreadPool* pool, sim::WorkLedger* ledger) {
+  LC_CHECK_MSG(index.size() == graph.edge_count(), "edge index must match the graph");
+  LC_CHECK_MSG(options.gamma >= 1.0, "gamma must be >= 1");
+  LC_CHECK_MSG(options.delta0 >= 1, "initial chunk size must be positive");
+  LC_CHECK_MSG(options.eta0 > 1.0, "head growth factor must exceed 1");
+  for (std::size_t i = 1; i < map.entries.size(); ++i) {
+    LC_CHECK_MSG(map.entries[i - 1].score >= map.entries[i].score,
+                 "similarity map must be sorted (call sort_by_score())");
+  }
+
+  const std::size_t edge_count = graph.edge_count();
+  const std::size_t entry_count = map.entries.size();
+  const std::size_t threads = (pool != nullptr) ? pool->thread_count() : 1;
+
+  CoarseResult result;
+  result.dendrogram = Dendrogram(edge_count);
+  result.pairs_total = map.incident_pair_count();
+
+  ClusterArray clusters(edge_count);
+  std::uint64_t xi = 0;
+  std::size_t p = 0;
+  std::size_t beta = edge_count;
+  std::uint32_t level = 0;
+  double delta = static_cast<double>(options.delta0);
+  double eta = options.eta0;
+  bool head_mode = true;
+  std::size_t consecutive_rollbacks = 0;
+
+  Snapshot safe{clusters.snapshot(), beta, xi, p};
+  // Previous accepted level before `safe`, for two-level slope extrapolation.
+  std::uint64_t xi_prev2 = 0;
+  std::size_t beta_prev2 = 0;
+  bool have_prev2 = false;
+
+  std::vector<Snapshot> rollback_list;
+  std::vector<ChunkPair> chunk_pairs;
+  std::vector<ClusterArray> copies;
+
+  if (ledger != nullptr) ledger->begin_phase("sweep.coarse");
+
+  // Applies the collected chunk to `clusters`, serial or §VI-B parallel.
+  auto apply_chunk = [&](const std::vector<ChunkPair>& pairs) {
+    if (pool == nullptr || threads == 1 || pairs.size() < 2 * threads) {
+      std::uint64_t work = 0;
+      for (const ChunkPair& pair : pairs) {
+        work += clusters.merge(pair.a, pair.b).visited;
+      }
+      result.stats.pairs_processed += pairs.size();
+      if (ledger != nullptr) ledger->add_serial(work);
+      return;
+    }
+    // T private copies of C; each thread merges one partition of the chunk.
+    copies.clear();
+    copies.reserve(threads);
+    const std::vector<EdgeIdx> base = clusters.snapshot();
+    for (std::size_t t = 0; t < threads; ++t) {
+      copies.emplace_back(edge_count);
+      copies[t].restore(base);
+    }
+    const std::vector<std::size_t> bounds = parallel::split_range(pairs.size(), threads);
+    if (ledger != nullptr) ledger->begin_round(threads);
+    {
+      std::vector<std::function<void()>> tasks;
+      for (std::size_t t = 0; t < threads; ++t) {
+        tasks.push_back([&, t] {
+          std::uint64_t work = 0;
+          for (std::size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
+            work += copies[t].merge(pairs[i].a, pairs[i].b).visited;
+          }
+          if (ledger != nullptr) ledger->add_work(t, work);
+        });
+      }
+      pool->run_batch(tasks);
+    }
+    // Hierarchical pairwise merge of the copies (corrected scheme), then the
+    // final at-most-three fold on a single thread.
+    std::vector<std::size_t> active(threads);
+    for (std::size_t t = 0; t < threads; ++t) active[t] = t;
+    while (active.size() > 3) {
+      std::vector<std::function<void()>> tasks;
+      std::vector<std::size_t> survivors;
+      if (ledger != nullptr) ledger->begin_round(active.size() / 2);
+      std::size_t slot = 0;
+      std::size_t i = 0;
+      for (; i + 1 < active.size(); i += 2) {
+        const std::size_t dst = active[i];
+        const std::size_t src = active[i + 1];
+        survivors.push_back(dst);
+        const std::size_t this_slot = slot++;
+        tasks.push_back([&, dst, src, this_slot] {
+          const std::uint64_t work = copies[dst].merge_from(copies[src]);
+          if (ledger != nullptr) ledger->add_work(this_slot, work);
+        });
+      }
+      if (i < active.size()) survivors.push_back(active[i]);
+      pool->run_batch(tasks);
+      active = std::move(survivors);
+    }
+    {
+      if (ledger != nullptr) ledger->begin_round(1);
+      std::uint64_t work = 0;
+      for (std::size_t i = 1; i < active.size(); ++i) {
+        work += copies[active[0]].merge_from(copies[active[i]]);
+      }
+      if (ledger != nullptr) ledger->add_work(0, work);
+      clusters.restore(copies[active[0]].snapshot());
+    }
+    result.stats.pairs_processed += pairs.size();
+  };
+
+  // Emits the dendrogram events of an accepted level: every root of
+  // `before` that stopped being a root merged into its new root.
+  auto emit_level_events = [&](const std::vector<EdgeIdx>& before_c, double score) {
+    const std::vector<EdgeIdx> before = labels_of(before_c);
+    const std::vector<EdgeIdx> after = clusters.root_labels();
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      if (before[i] == i && after[i] != i) {
+        result.dendrogram.add_event(level, static_cast<EdgeIdx>(i), after[i], score);
+      }
+    }
+  };
+
+  auto accept_level = [&](std::size_t beta_new, double score, EpochKind kind,
+                          std::uint64_t chunk_used) {
+    ++level;
+    emit_level_events(safe.c, score);
+    result.epochs.push_back(EpochRecord{kind, chunk_used, beta, beta_new, xi});
+    result.levels.push_back(CoarseLevel{level, beta_new, xi, score});
+    xi_prev2 = safe.xi;
+    beta_prev2 = safe.beta;
+    have_prev2 = true;
+    beta = beta_new;
+    safe = Snapshot{clusters.snapshot(), beta, xi, p};
+    consecutive_rollbacks = 0;
+  };
+
+  while (p < entry_count && beta > options.phi) {
+    // ---- Collect and process one chunk. At least one entry always enters
+    // the chunk so the sweep makes progress even when delta < |l|.
+    const std::uint64_t target_end =
+        xi + std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::llround(delta)));
+    const std::uint64_t chunk_start = xi;
+    double last_score = map.entries[p].score;
+    chunk_pairs.clear();
+    std::size_t entries_consumed = 0;
+    while (p < entry_count) {
+      const SimilarityEntry& entry = map.entries[p];
+      const std::uint64_t l = entry.common.size();
+      if (entries_consumed > 0 && xi + l >= target_end) break;
+      for (graph::VertexId k : entry.common) {
+        const graph::EdgeId e1 = graph.find_edge(entry.u, k);
+        const graph::EdgeId e2 = graph.find_edge(entry.v, k);
+        LC_DCHECK(e1 != graph::kInvalidEdge && e2 != graph::kInvalidEdge);
+        chunk_pairs.push_back(ChunkPair{index.index_of(e1), index.index_of(e2)});
+      }
+      xi += l;
+      ++p;
+      ++entries_consumed;
+      last_score = entry.score;
+    }
+    apply_chunk(chunk_pairs);
+
+    // ---- Epoch boundary: count clusters (an O(|E|) scan, as in the paper).
+    const std::size_t beta_new = clusters.cluster_count();
+    if (ledger != nullptr) ledger->add_serial(edge_count);
+    const std::uint64_t chunk_used = xi - chunk_start;
+
+    const bool c2_ok =
+        static_cast<double>(beta) <= options.gamma * static_cast<double>(beta_new);
+    const bool can_retry = entries_consumed > 1 &&
+                           consecutive_rollbacks < options.max_rollbacks_per_level;
+
+    if (!c2_ok && can_retry) {
+      // ---- Case II: rollback. Save the too-aggressive state for reuse
+      // (capacity 0 disables saving entirely — the reuse ablation).
+      if (options.rollback_capacity > 0) {
+        if (rollback_list.size() >= options.rollback_capacity) {
+          rollback_list.erase(rollback_list.begin());  // evict the oldest
+        }
+        rollback_list.push_back(Snapshot{clusters.snapshot(), beta_new, xi, p});
+      }
+      result.epochs.push_back(
+          EpochRecord{EpochKind::kRollback, chunk_used, beta, beta_new, xi});
+      ++result.rollback_count;
+
+      double estimate = rollback_estimate(xi_prev2, beta_prev2, have_prev2, safe.xi,
+                                          safe.beta, xi, beta_new, options.gamma);
+      if (consecutive_rollbacks > 0) estimate = std::min(estimate, delta / 2.0);
+      if (head_mode) eta = 1.0 + (eta - 1.0) / 2.0;  // head -> rollback damping
+
+      clusters.restore(safe.c);
+      xi = safe.xi;
+      p = safe.p;
+      delta = std::max(1.0, estimate);
+      ++consecutive_rollbacks;
+      continue;
+    }
+
+    // ---- Case I: accept the level.
+    if (!c2_ok) ++result.soundness_violations;  // unsplittable entry or guard hit
+    accept_level(beta_new, last_score,
+                 head_mode ? EpochKind::kHeadFresh : EpochKind::kTailFresh, chunk_used);
+    if (beta <= options.phi) break;
+
+    // ---- Reuse: jump to the saved future state with the fewest clusters
+    // that still satisfies the soundness ratio.
+    while (beta > options.phi) {
+      std::size_t best = rollback_list.size();
+      for (std::size_t s = 0; s < rollback_list.size(); ++s) {
+        const Snapshot& snap = rollback_list[s];
+        if (snap.beta < beta &&
+            static_cast<double>(beta) <= options.gamma * static_cast<double>(snap.beta)) {
+          if (best == rollback_list.size() || snap.beta < rollback_list[best].beta) {
+            best = s;
+          }
+        }
+      }
+      if (best == rollback_list.size()) break;
+      Snapshot jump = std::move(rollback_list[best]);
+      rollback_list.erase(rollback_list.begin() +
+                          static_cast<std::ptrdiff_t>(best));
+      clusters.restore(jump.c);
+      const std::uint64_t chunk_jump = jump.xi - xi;
+      xi = jump.xi;
+      p = jump.p;
+      const double score =
+          (p > 0 && p <= entry_count) ? map.entries[p - 1].score : 0.0;
+      accept_level(jump.beta, score, EpochKind::kReused, chunk_jump);
+      ++result.reuse_count;
+    }
+
+    // ---- Mode and next chunk size.
+    head_mode = beta > edge_count / 2;  // C1: head while clusters > |E|/2
+    if (head_mode) {
+      delta *= eta;
+    } else {
+      // Tail estimation: prefer the closest saved future state (Eq. 6) as the
+      // reference point; otherwise extrapolate from the previous two levels.
+      const double gamma_tilde = (1.0 + options.gamma) / 2.0;
+      const double target = static_cast<double>(beta) / gamma_tilde;
+      double steeper = 0.0;
+      bool have_slope = false;
+      std::size_t ref = rollback_list.size();
+      for (std::size_t s = 0; s < rollback_list.size(); ++s) {
+        if (rollback_list[s].beta < beta &&
+            (ref == rollback_list.size() || rollback_list[s].beta > rollback_list[ref].beta)) {
+          ref = s;
+        }
+      }
+      if (ref != rollback_list.size() && rollback_list[ref].xi > xi) {
+        const double slope =
+            (static_cast<double>(rollback_list[ref].beta) - static_cast<double>(beta)) /
+            static_cast<double>(rollback_list[ref].xi - xi);
+        if (slope < 0.0) {
+          steeper = slope;
+          have_slope = true;
+        }
+      }
+      if (have_prev2 && xi > xi_prev2) {
+        const double slope =
+            (static_cast<double>(beta) - static_cast<double>(beta_prev2)) /
+            static_cast<double>(xi - xi_prev2);
+        if (slope < 0.0 && (!have_slope || slope < steeper)) {
+          steeper = slope;
+          have_slope = true;
+        }
+      }
+      if (have_slope) {
+        delta = std::max(1.0, (target - static_cast<double>(beta)) / steeper);
+      }
+      // else: keep the current delta (no decreasing trend to extrapolate).
+    }
+  }
+
+  result.final_labels = clusters.root_labels();
+  result.stats.c_accesses = clusters.accesses();
+  result.stats.c_changes = clusters.total_changes();
+  result.stats.merges_effective = result.dendrogram.events().size();
+  result.pairs_processed = xi;
+
+  // Root of the dendrogram: remaining clusters merge into a single one at
+  // the level above the last (the paper's C3 semantics). final_labels keep
+  // the pre-root clustering.
+  const std::vector<EdgeIdx> last_labels = result.final_labels;
+  EdgeIdx global_min = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < last_labels.size(); ++i) {
+    if (last_labels[i] == i) {
+      global_min = static_cast<EdgeIdx>(i);
+      any = true;
+      break;
+    }
+  }
+  if (any) {
+    ++level;
+    for (std::size_t i = global_min + 1; i < last_labels.size(); ++i) {
+      if (last_labels[i] == i) {
+        result.dendrogram.add_event(level, static_cast<EdgeIdx>(i), global_min, 0.0);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace lc::core

@@ -1,0 +1,105 @@
+// Coarse-grained hierarchical link clustering (§V of the paper).
+//
+// The sorted pair list L is processed in chunks; all incident edge pairs in
+// one chunk merge at a single dendrogram level r-tilde. The algorithm keeps
+// the *soundness* property — the cluster-count ratio between consecutive
+// levels stays <= gamma — by running the head / tail / rollback mode machine
+// of Fig. 2(3):
+//
+//   head     : > |E|/2 clusters remain (predicate C1 false). Chunk sizes grow
+//              exponentially (delta *= eta, eta0 = 8); every head->rollback
+//              transition halves eta - 1.
+//   tail     : <= |E|/2 clusters remain. The next chunk size is extrapolated
+//              from the slope of the cluster-count curve, using the closest
+//              saved future state on L_rollback (Eq. 6) as a reference point
+//              when one exists.
+//   rollback : the last chunk merged too aggressively (beta/beta' > gamma).
+//              The epoch state is saved on L_rollback, the algorithm returns
+//              to the safe state Q*, and the chunk size is re-estimated from
+//              the concave/convex two-slope construction of Fig. 3 (always
+//              the steeper slope, so the retry undershoots). Consecutive
+//              rollbacks halve the estimate.
+//
+// Saved rollback states are *reused*: after a level is accepted, if some
+// state on L_rollback has beta-tilde < beta with beta/beta-tilde <= gamma,
+// the algorithm jumps straight to the one with the fewest clusters instead
+// of recomputing the span (epoch kind kReused).
+//
+// Processing stops once <= phi clusters remain (predicate C3); the tail of L
+// is never touched — the source of the coarse mode's large speedup
+// (Fig. 5(2): only 55.1% of pairs processed at alpha = 0.005 in the paper).
+//
+// When a ThreadPool is supplied, each chunk is processed with the §VI-B
+// scheme: T private copies of array C merged pairwise with the corrected
+// array-merge.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/dendrogram.hpp"
+#include "core/edge_index.hpp"
+#include "core/similarity.hpp"
+#include "core/sweep.hpp"
+#include "graph/graph.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/work_ledger.hpp"
+
+namespace lc::core {
+
+struct CoarseOptions {
+  double gamma = 2.0;        ///< max cluster-count ratio between levels
+  std::size_t phi = 100;     ///< stop when this few clusters remain (C3)
+  std::uint64_t delta0 = 1000;  ///< initial chunk size (incident pairs)
+  double eta0 = 8.0;         ///< initial head-mode growth factor
+  std::size_t rollback_capacity = 64;   ///< max saved states on L_rollback
+  std::size_t max_rollbacks_per_level = 30;  ///< give-up guard (then accept)
+};
+
+enum class EpochKind : std::uint8_t {
+  kHeadFresh,  ///< accepted level in head mode, freshly computed
+  kTailFresh,  ///< accepted level in tail mode, freshly computed
+  kRollback,   ///< chunk rejected, state saved, returned to Q*
+  kReused,     ///< level formed by jumping to a saved rollback state
+};
+
+struct EpochRecord {
+  EpochKind kind = EpochKind::kHeadFresh;
+  std::uint64_t chunk_size = 0;    ///< delta in effect for this epoch
+  std::size_t beta_before = 0;     ///< clusters at the previous level
+  std::size_t beta_after = 0;      ///< clusters at this epoch's boundary
+  std::uint64_t pairs_end = 0;     ///< xi after the epoch
+};
+
+struct CoarseLevel {
+  std::uint32_t level = 0;
+  std::size_t clusters = 0;        ///< beta at this level
+  std::uint64_t pairs_processed = 0;  ///< xi when the level was accepted
+  double threshold_score = 0.0;    ///< similarity of the last entry consumed
+};
+
+struct CoarseResult {
+  Dendrogram dendrogram;              ///< one level per accepted epoch
+  std::vector<EpochRecord> epochs;
+  std::vector<CoarseLevel> levels;
+  std::vector<EdgeIdx> final_labels;  ///< labels at the last accepted level
+  SweepStats stats;
+  std::uint64_t pairs_total = 0;      ///< K2 (all incident pairs on L)
+  std::uint64_t pairs_processed = 0;  ///< xi at termination
+  std::size_t rollback_count = 0;
+  std::size_t reuse_count = 0;
+  std::size_t soundness_violations = 0;  ///< levels accepted with ratio > gamma
+                                          ///< (unsplittable single entries)
+};
+
+/// Runs coarse-grained sweeping. `map` must be sorted. With a non-null
+/// `pool`, chunks are processed with pool->thread_count() threads (§VI-B);
+/// `ledger` (optional, requires pool) records per-round work for simulated
+/// scaling.
+CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
+                          const EdgeIndex& index, const CoarseOptions& options = {},
+                          parallel::ThreadPool* pool = nullptr,
+                          sim::WorkLedger* ledger = nullptr);
+
+}  // namespace lc::core

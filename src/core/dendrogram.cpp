@@ -1,0 +1,66 @@
+#include "core/dendrogram.hpp"
+
+#include "core/dsu.hpp"
+#include "util/check.hpp"
+
+namespace lc::core {
+
+void Dendrogram::add_event(std::uint32_t level, EdgeIdx from, EdgeIdx into,
+                           double similarity) {
+  LC_CHECK_MSG(from > into, "the surviving cluster id must be the minimum");
+  LC_CHECK_MSG(from < leaves_, "cluster id out of range");
+  LC_CHECK_MSG(events_.empty() || events_.back().level <= level,
+               "events must arrive in nondecreasing level order");
+  LC_CHECK_MSG(events_.size() < leaves_, "more merges than leaves allow");
+  events_.push_back(MergeEvent{level, from, into, similarity});
+}
+
+std::uint32_t Dendrogram::height() const {
+  return events_.empty() ? 0 : events_.back().level;
+}
+
+std::size_t Dendrogram::cluster_count_after(std::size_t event_count) const {
+  LC_CHECK(event_count <= events_.size());
+  return leaves_ - event_count;
+}
+
+std::vector<EdgeIdx> Dendrogram::labels_after(std::size_t event_count) const {
+  LC_CHECK(event_count <= events_.size());
+  MinDsu dsu(leaves_);
+  for (std::size_t i = 0; i < event_count; ++i) {
+    const bool distinct = dsu.unite(events_[i].from, events_[i].into);
+    LC_DCHECK(distinct);
+    (void)distinct;
+  }
+  return dsu.labels();
+}
+
+std::vector<EdgeIdx> Dendrogram::labels_at_level(std::uint32_t level) const {
+  std::size_t count = 0;
+  while (count < events_.size() && events_[count].level <= level) ++count;
+  return labels_after(count);
+}
+
+std::vector<EdgeIdx> Dendrogram::labels_at_threshold(double threshold) const {
+  MinDsu dsu(leaves_);
+  for (const MergeEvent& event : events_) {
+    if (event.similarity >= threshold) dsu.unite(event.from, event.into);
+  }
+  return dsu.labels();
+}
+
+std::vector<std::size_t> Dendrogram::cluster_counts_by_level() const {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(height()) + 1, leaves_);
+  std::size_t applied = 0;
+  std::size_t event_pos = 0;
+  for (std::uint32_t level = 0; level <= height(); ++level) {
+    while (event_pos < events_.size() && events_[event_pos].level <= level) {
+      ++event_pos;
+      ++applied;
+    }
+    counts[level] = leaves_ - applied;
+  }
+  return counts;
+}
+
+}  // namespace lc::core

@@ -1,0 +1,141 @@
+#include "core/dendrogram_io.hpp"
+
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace lc::core {
+namespace {
+
+struct Node {
+  bool leaf = true;
+  EdgeIdx leaf_index = 0;
+  double height = 1.0;  ///< similarity at which this node formed (leaves: 1)
+  std::size_t left = 0;
+  std::size_t right = 0;
+};
+
+void render(const std::vector<Node>& nodes, std::size_t node, double parent_height,
+            const LeafNamer& namer, std::string& out) {
+  const Node& n = nodes[node];
+  if (n.leaf) {
+    out += namer ? namer(n.leaf_index) : ("e" + std::to_string(n.leaf_index));
+  } else {
+    out.push_back('(');
+    render(nodes, n.left, n.height, namer, out);
+    out.push_back(',');
+    render(nodes, n.right, n.height, namer, out);
+    out.push_back(')');
+  }
+  const double length = n.height - parent_height;
+  out += strprintf(":%.6g", length < 0 ? 0.0 : length);
+}
+
+}  // namespace
+
+std::string to_newick(const Dendrogram& dendrogram, const LeafNamer& namer) {
+  const std::size_t leaves = dendrogram.leaf_count();
+  if (leaves == 0) return ";";
+
+  std::vector<Node> nodes;
+  nodes.reserve(2 * leaves);
+  // active[i]: current node of the cluster canonically labeled i.
+  std::unordered_map<EdgeIdx, std::size_t> active;
+  for (EdgeIdx i = 0; i < leaves; ++i) {
+    nodes.push_back(Node{true, i, 1.0, 0, 0});
+    active[i] = i;
+  }
+  for (const MergeEvent& event : dendrogram.events()) {
+    const std::size_t left = active.at(event.into);
+    const std::size_t right = active.at(event.from);
+    Node internal;
+    internal.leaf = false;
+    internal.height = event.similarity;
+    internal.left = left;
+    internal.right = right;
+    nodes.push_back(internal);
+    active[event.into] = nodes.size() - 1;
+    active.erase(event.from);
+  }
+
+  // Remaining actives are the forest roots; multiple roots join under a
+  // height-0 super-root so the output is always a single tree.
+  std::vector<std::size_t> roots;
+  roots.reserve(active.size());
+  for (EdgeIdx i = 0; i < leaves; ++i) {
+    const auto it = active.find(i);
+    if (it != active.end()) roots.push_back(it->second);
+  }
+  std::size_t root = roots.front();
+  for (std::size_t r = 1; r < roots.size(); ++r) {
+    Node super;
+    super.leaf = false;
+    super.height = 0.0;
+    super.left = root;
+    super.right = roots[r];
+    nodes.push_back(super);
+    root = nodes.size() - 1;
+  }
+
+  std::string out;
+  render(nodes, root, nodes[root].height, namer, out);
+  out.push_back(';');
+  return out;
+}
+
+std::string to_merge_list(const Dendrogram& dendrogram) {
+  std::string out;
+  out += strprintf("# leaves=%zu events=%zu\n", dendrogram.leaf_count(),
+                   dendrogram.events().size());
+  for (const MergeEvent& event : dendrogram.events()) {
+    out += strprintf("%u %u %u %.9g\n", event.level, event.from, event.into,
+                     event.similarity);
+  }
+  return out;
+}
+
+std::optional<Dendrogram> from_merge_list(const std::string& text, std::string* error) {
+  auto fail = [error](const char* message) -> std::optional<Dendrogram> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+  std::size_t leaves = 0;
+  std::size_t events = 0;
+  std::size_t pos = text.find('\n');
+  if (pos == std::string::npos) return fail("missing header line");
+  if (std::sscanf(text.c_str(), "# leaves=%zu events=%zu", &leaves, &events) != 2) {
+    return fail("malformed header");
+  }
+  Dendrogram dendrogram(leaves);
+  std::size_t parsed = 0;
+  std::uint32_t last_level = 0;
+  while (pos < text.size()) {
+    const std::size_t next = text.find('\n', pos + 1);
+    const std::string line = text.substr(pos + 1, (next == std::string::npos
+                                                       ? text.size()
+                                                       : next) - pos - 1);
+    pos = (next == std::string::npos) ? text.size() : next;
+    if (line.empty()) continue;
+    unsigned level = 0;
+    unsigned from = 0;
+    unsigned into = 0;
+    double similarity = 0.0;
+    if (std::sscanf(line.c_str(), "%u %u %u %lf", &level, &from, &into, &similarity) != 4) {
+      return fail("malformed event line");
+    }
+    // Validate what Dendrogram::add_event would LC_CHECK, returning an error
+    // instead of aborting on untrusted input.
+    if (from <= into || from >= leaves || level < last_level) {
+      return fail("event violates dendrogram invariants");
+    }
+    last_level = level;
+    dendrogram.add_event(level, from, into, similarity);
+    ++parsed;
+  }
+  if (parsed != events) return fail("event count does not match the header");
+  return dendrogram;
+}
+
+}  // namespace lc::core

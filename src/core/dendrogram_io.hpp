@@ -1,0 +1,32 @@
+// Dendrogram serialization: Newick trees (loadable by standard phylogeny /
+// dendrogram viewers) and a flat text format for scripting. Extensions
+// beyond the ICDCS paper so its output can actually be inspected downstream.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/dendrogram.hpp"
+
+namespace lc::core {
+
+/// Names a leaf (edge index) in exported output; defaults to "e<idx>".
+using LeafNamer = std::function<std::string(EdgeIdx)>;
+
+/// Newick export. Branch lengths are similarity drops: a child hanging off a
+/// merge at similarity s has length (child_height - s), where leaves sit at
+/// height 1 (the Tanimoto maximum). Multi-way coarse levels appear as
+/// left-deep chains of zero-length internal edges.
+std::string to_newick(const Dendrogram& dendrogram, const LeafNamer& namer = {});
+
+/// Flat text: one line per event, "level from into similarity".
+std::string to_merge_list(const Dendrogram& dendrogram);
+
+/// Parses to_merge_list() output back into a Dendrogram. Returns nullopt on
+/// malformed input (missing header, bad fields, or events violating the
+/// Dendrogram invariants are rejected by reporting the error, not aborting).
+std::optional<Dendrogram> from_merge_list(const std::string& text,
+                                          std::string* error = nullptr);
+
+}  // namespace lc::core

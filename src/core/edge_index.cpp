@@ -1,0 +1,21 @@
+#include "core/edge_index.hpp"
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace lc::core {
+
+EdgeIndex::EdgeIndex(std::size_t edge_count, EdgeOrder order, std::uint64_t seed)
+    : to_index_(edge_count), to_edge_(edge_count) {
+  std::iota(to_edge_.begin(), to_edge_.end(), 0u);
+  if (order == EdgeOrder::kShuffled) {
+    Rng rng(seed);
+    shuffle(to_edge_.begin(), to_edge_.end(), rng);
+  }
+  for (std::size_t idx = 0; idx < edge_count; ++idx) {
+    to_index_[to_edge_[idx]] = static_cast<EdgeIdx>(idx);
+  }
+}
+
+}  // namespace lc::core

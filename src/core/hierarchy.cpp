@@ -1,0 +1,109 @@
+#include "core/hierarchy.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/dsu.hpp"
+#include "util/check.hpp"
+
+namespace lc::core {
+
+Hierarchy::Hierarchy(const Dendrogram& dendrogram) : leaves_(dendrogram.leaf_count()) {
+  nodes_.reserve(2 * leaves_);
+  for (EdgeIdx i = 0; i < leaves_; ++i) {
+    HierarchyNode leaf;
+    leaf.leaf_index = i;
+    nodes_.push_back(leaf);
+  }
+  // active[c]: current node of the cluster canonically labeled c.
+  std::unordered_map<EdgeIdx, std::uint32_t> active;
+  active.reserve(leaves_);
+  for (EdgeIdx i = 0; i < leaves_; ++i) active[i] = i;
+
+  for (const MergeEvent& event : dendrogram.events()) {
+    const std::uint32_t left = active.at(event.into);
+    const std::uint32_t right = active.at(event.from);
+    HierarchyNode internal;
+    internal.left = left;
+    internal.right = right;
+    internal.height = event.similarity;
+    internal.leaf_count = nodes_[left].leaf_count + nodes_[right].leaf_count;
+    const auto id = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(internal);
+    nodes_[left].parent = id;
+    nodes_[right].parent = id;
+    active[event.into] = id;
+    active.erase(event.from);
+    merge_order_.push_back(id);
+  }
+  // Representative leaf per node (any leaf under it): leaves map to
+  // themselves; internal nodes inherit from their left child, which always
+  // has a smaller id, so one ascending pass suffices.
+  rep_leaf_.assign(nodes_.size(), 0);
+  for (std::uint32_t id = 0; id < nodes_.size(); ++id) {
+    rep_leaf_[id] = nodes_[id].is_leaf() ? nodes_[id].leaf_index : rep_leaf_[nodes_[id].left];
+  }
+  for (EdgeIdx i = 0; i < leaves_; ++i) {
+    const auto it = active.find(i);
+    if (it != active.end()) roots_.push_back(it->second);
+  }
+}
+
+std::vector<EdgeIdx> Hierarchy::leaves_under(std::uint32_t id) const {
+  LC_CHECK(id < nodes_.size());
+  std::vector<EdgeIdx> out;
+  std::vector<std::uint32_t> stack{id};
+  while (!stack.empty()) {
+    const std::uint32_t current = stack.back();
+    stack.pop_back();
+    const HierarchyNode& n = nodes_[current];
+    if (n.is_leaf()) {
+      out.push_back(n.leaf_index);
+    } else {
+      // Right first so the left subtree is emitted first.
+      stack.push_back(n.right);
+      stack.push_back(n.left);
+    }
+  }
+  return out;
+}
+
+std::vector<EdgeIdx> Hierarchy::cut_to_cluster_count(std::size_t k) const {
+  // Clusters after applying the first `applied` merges: leaves - applied, so
+  // applied = leaves - target (clamped: k below the forest's root count is
+  // unreachable). Merges are chronological, so each internal node's children
+  // are already fully united when its turn comes — one representative-leaf
+  // union per merge suffices.
+  const std::size_t target = std::max(k, roots_.size());
+  const std::size_t applied =
+      leaves_ >= target ? std::min(merge_order_.size(), leaves_ - target) : 0;
+  MinDsu dsu(leaves_);
+  for (std::size_t m = 0; m < applied; ++m) {
+    const HierarchyNode& internal = nodes_[merge_order_[m]];
+    dsu.unite(rep_leaf_[internal.left], rep_leaf_[internal.right]);
+  }
+  return dsu.labels();
+}
+
+std::vector<Hierarchy::LinkageRow> Hierarchy::linkage_matrix() const {
+  // SciPy numbering: leaves are 0..n-1; the i-th merge creates id n+i.
+  std::vector<LinkageRow> rows;
+  rows.reserve(merge_order_.size());
+  std::unordered_map<std::uint32_t, std::size_t> scipy_id;
+  scipy_id.reserve(nodes_.size());
+  for (std::uint32_t i = 0; i < leaves_; ++i) scipy_id[i] = i;
+  for (std::size_t m = 0; m < merge_order_.size(); ++m) {
+    const std::uint32_t id = merge_order_[m];
+    const HierarchyNode& n = nodes_[id];
+    LinkageRow row;
+    row.a = static_cast<double>(scipy_id.at(n.left));
+    row.b = static_cast<double>(scipy_id.at(n.right));
+    row.distance = 1.0 - n.height;
+    row.size = n.leaf_count;
+    rows.push_back(row);
+    scipy_id[id] = leaves_ + m;
+  }
+  return rows;
+}
+
+}  // namespace lc::core

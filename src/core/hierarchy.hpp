@@ -1,0 +1,71 @@
+// Explicit tree view of a dendrogram, plus interoperability exports.
+//
+// The Dendrogram class stores the raw merge-event log (cheap, replayable);
+// Hierarchy materializes it as a navigable tree: every leaf and every merge
+// becomes a node with parent/children links, a similarity height, and a leaf
+// count — the structure viewers and downstream analyses want. Also provides
+// the SciPy-style linkage matrix (so `scipy.cluster.hierarchy` can consume
+// the output directly) and cluster-count cuts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dendrogram.hpp"
+
+namespace lc::core {
+
+struct HierarchyNode {
+  static constexpr std::uint32_t kNone = static_cast<std::uint32_t>(-1);
+
+  std::uint32_t parent = kNone;
+  std::uint32_t left = kNone;    ///< kNone for leaves
+  std::uint32_t right = kNone;   ///< kNone for leaves
+  double height = 1.0;           ///< similarity at which the node formed (leaves: 1)
+  std::uint32_t leaf_count = 1;  ///< leaves under this node
+  EdgeIdx leaf_index = 0;        ///< valid for leaves only
+
+  [[nodiscard]] bool is_leaf() const { return left == kNone; }
+};
+
+class Hierarchy {
+ public:
+  /// Materializes the tree. Nodes 0..leaves-1 are the leaves (in edge-index
+  /// order); each merge event appends one internal node. Forest roots remain
+  /// parentless (no artificial super-root here, unlike the Newick export).
+  explicit Hierarchy(const Dendrogram& dendrogram);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t leaf_count() const { return leaves_; }
+  [[nodiscard]] const HierarchyNode& node(std::uint32_t id) const { return nodes_[id]; }
+  [[nodiscard]] const std::vector<std::uint32_t>& roots() const { return roots_; }
+
+  /// Leaves under `id`, in left-to-right order.
+  [[nodiscard]] std::vector<EdgeIdx> leaves_under(std::uint32_t id) const;
+
+  /// Labels (canonical minimum edge index per cluster) with exactly
+  /// min(k, reachable) clusters: undoes merges from the top (lowest
+  /// similarity first) until k clusters remain. k >= number of forest roots
+  /// is required to be meaningful; smaller k is clamped to the root count.
+  [[nodiscard]] std::vector<EdgeIdx> cut_to_cluster_count(std::size_t k) const;
+
+  /// SciPy-compatible linkage matrix: one row per merge,
+  /// (cluster_a, cluster_b, distance, size) with distance = 1 - similarity
+  /// and merged cluster ids numbered leaves, leaves+1, ... in merge order.
+  struct LinkageRow {
+    double a = 0;
+    double b = 0;
+    double distance = 0;
+    double size = 0;
+  };
+  [[nodiscard]] std::vector<LinkageRow> linkage_matrix() const;
+
+ private:
+  std::size_t leaves_ = 0;
+  std::vector<HierarchyNode> nodes_;
+  std::vector<std::uint32_t> roots_;
+  std::vector<std::uint32_t> merge_order_;  ///< internal nodes in event order
+  std::vector<EdgeIdx> rep_leaf_;           ///< a leaf under each node
+};
+
+}  // namespace lc::core

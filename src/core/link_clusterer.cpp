@@ -1,0 +1,52 @@
+#include "core/link_clusterer.hpp"
+
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace lc::core {
+
+LinkClusterer::LinkClusterer() : LinkClusterer(Config{}) {}
+
+LinkClusterer::LinkClusterer(Config config) : config_(std::move(config)) {
+  LC_CHECK_MSG(config_.threads >= 1, "threads must be at least 1");
+}
+
+ClusterResult LinkClusterer::cluster(const graph::WeightedGraph& graph) const {
+  ClusterResult result;
+  result.edge_index = EdgeIndex(graph.edge_count(), config_.edge_order, config_.seed);
+
+  std::unique_ptr<parallel::ThreadPool> pool;
+  if (config_.threads > 1) pool = std::make_unique<parallel::ThreadPool>(config_.threads);
+
+  Stopwatch watch;
+  SimilarityMap map;
+  const SimilarityMapOptions map_options{config_.map_kind, config_.measure};
+  if (pool != nullptr) {
+    map = build_similarity_map_parallel(graph, *pool, config_.ledger, map_options);
+  } else {
+    map = build_similarity_map(graph, map_options);
+  }
+  map.sort_by_score();
+  result.timings.initialization_seconds = watch.lap();
+  result.k1 = map.key_count();
+  result.k2 = map.incident_pair_count();
+
+  if (config_.mode == ClusterMode::kFine) {
+    SweepResult sweep_result = sweep(graph, map, result.edge_index);
+    result.timings.sweeping_seconds = watch.lap();
+    result.dendrogram = std::move(sweep_result.dendrogram);
+    result.final_labels = std::move(sweep_result.final_labels);
+    result.stats = sweep_result.stats;
+  } else {
+    CoarseResult coarse_result = coarse_sweep(graph, map, result.edge_index,
+                                              config_.coarse, pool.get(), config_.ledger);
+    result.timings.sweeping_seconds = watch.lap();
+    result.dendrogram = coarse_result.dendrogram;  // copy; full detail kept below
+    result.final_labels = coarse_result.final_labels;
+    result.stats = coarse_result.stats;
+    result.coarse = std::move(coarse_result);
+  }
+  return result;
+}
+
+}  // namespace lc::core

@@ -1,0 +1,76 @@
+// High-level façade: one call from a weighted graph to a link-clustering
+// dendrogram, covering every mode the paper describes.
+//
+//   LinkClusterer::Config config;
+//   config.mode = ClusterMode::kCoarse;
+//   config.threads = 4;
+//   auto result = LinkClusterer(config).cluster(graph);
+//
+// Fine mode runs Algorithm 1 + Algorithm 2; coarse mode runs Algorithm 1 +
+// the §V coarse sweep; threads > 1 parallelizes both phases per §VI.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/coarse.hpp"
+#include "core/dendrogram.hpp"
+#include "core/edge_index.hpp"
+#include "core/similarity.hpp"
+#include "core/sweep.hpp"
+#include "graph/graph.hpp"
+#include "sim/work_ledger.hpp"
+
+namespace lc::core {
+
+enum class ClusterMode {
+  kFine,    ///< strict dendrogram, one merge per level (§IV)
+  kCoarse,  ///< coarse-grained dendrogram under (gamma, phi, delta0) (§V)
+};
+
+struct ClusterTimings {
+  double initialization_seconds = 0.0;  ///< Algorithm 1 (similarity map + sort)
+  double sweeping_seconds = 0.0;        ///< Algorithm 2 or coarse sweep
+  [[nodiscard]] double total_seconds() const {
+    return initialization_seconds + sweeping_seconds;
+  }
+};
+
+struct ClusterResult {
+  Dendrogram dendrogram;
+  std::vector<EdgeIdx> final_labels;
+  EdgeIndex edge_index;               ///< maps labels' positions back to edges
+  SweepStats stats;
+  ClusterTimings timings;
+  std::size_t k1 = 0;                 ///< similarity-map keys
+  std::uint64_t k2 = 0;               ///< incident edge pairs
+  std::optional<CoarseResult> coarse; ///< populated in coarse mode
+};
+
+class LinkClusterer {
+ public:
+  struct Config {
+    ClusterMode mode = ClusterMode::kFine;
+    CoarseOptions coarse;               ///< used in coarse mode
+    std::size_t threads = 1;            ///< > 1 enables §VI parallelization
+    EdgeOrder edge_order = EdgeOrder::kShuffled;
+    std::uint64_t seed = 42;            ///< edge-enumeration seed
+    PairMapKind map_kind = PairMapKind::kHash;
+    SimilarityMeasure measure = SimilarityMeasure::kTanimoto;
+    sim::WorkLedger* ledger = nullptr;  ///< optional work accounting (not owned)
+  };
+
+  LinkClusterer();
+  explicit LinkClusterer(Config config);
+
+  /// Clusters the edges of `graph`.
+  [[nodiscard]] ClusterResult cluster(const graph::WeightedGraph& graph) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace lc::core

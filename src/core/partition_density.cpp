@@ -1,0 +1,101 @@
+#include "core/partition_density.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/dsu.hpp"
+
+#include "util/check.hpp"
+
+namespace lc::core {
+namespace {
+
+/// D-contribution of one cluster: m * (m - (n-1)) / ((n-2)(n-1)); 0 when the
+/// cluster spans <= 2 vertices.
+double cluster_term(std::size_t m, std::size_t n) {
+  if (n <= 2) return 0.0;
+  const double md = static_cast<double>(m);
+  const double nd = static_cast<double>(n);
+  return md * (md - (nd - 1.0)) / ((nd - 2.0) * (nd - 1.0));
+}
+
+}  // namespace
+
+double partition_density(const graph::WeightedGraph& graph, const EdgeIndex& index,
+                         std::span<const EdgeIdx> edge_labels) {
+  LC_CHECK_MSG(edge_labels.size() == graph.edge_count(),
+               "one label per edge required");
+  const std::size_t m_total = graph.edge_count();
+  if (m_total == 0) return 0.0;
+  struct Book {
+    std::size_t edges = 0;
+    std::unordered_set<graph::VertexId> vertices;
+  };
+  std::unordered_map<EdgeIdx, Book> books;
+  for (std::size_t idx = 0; idx < edge_labels.size(); ++idx) {
+    const graph::Edge& e = graph.edge(index.edge_at(static_cast<EdgeIdx>(idx)));
+    Book& book = books[edge_labels[idx]];
+    ++book.edges;
+    book.vertices.insert(e.u);
+    book.vertices.insert(e.v);
+  }
+  double sum = 0.0;
+  for (const auto& [label, book] : books) {
+    sum += cluster_term(book.edges, book.vertices.size());
+  }
+  return 2.0 * sum / static_cast<double>(m_total);
+}
+
+DensityCut best_partition_density_cut(const graph::WeightedGraph& graph,
+                                      const EdgeIndex& index, const Dendrogram& dendrogram) {
+  const std::size_t m_total = graph.edge_count();
+  DensityCut best;
+  if (m_total == 0) return best;
+
+  // Per-cluster books, keyed by canonical cluster id; replay with MinDsu.
+  struct Book {
+    std::size_t edges = 1;
+    std::unordered_set<graph::VertexId> vertices;
+  };
+  std::vector<Book> books(m_total);
+  for (std::size_t idx = 0; idx < m_total; ++idx) {
+    const graph::Edge& e = graph.edge(index.edge_at(static_cast<EdgeIdx>(idx)));
+    books[idx].vertices = {e.u, e.v};
+  }
+  MinDsu dsu(m_total);
+  double sum = 0.0;  // sum of cluster terms; singleton edges contribute 0
+
+  best.event_count = 0;
+  best.density = 0.0;
+
+  const auto& events = dendrogram.events();
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    const EdgeIdx a = dsu.find(events[k].from);
+    const EdgeIdx b = dsu.find(events[k].into);
+    LC_DCHECK(a != b);
+    Book& ba = books[a];
+    Book& bb = books[b];
+    sum -= cluster_term(ba.edges, ba.vertices.size());
+    sum -= cluster_term(bb.edges, bb.vertices.size());
+    dsu.unite(a, b);
+    const EdgeIdx target = dsu.find(a);
+    const EdgeIdx source = (target == a) ? b : a;
+    Book& bt = books[target];
+    Book& bs = books[source];
+    // Small-to-large vertex-set union into the surviving book.
+    if (bs.vertices.size() > bt.vertices.size()) std::swap(bs.vertices, bt.vertices);
+    for (graph::VertexId v : bs.vertices) bt.vertices.insert(v);
+    bs.vertices.clear();
+    bt.edges = ba.edges + bb.edges;
+    sum += cluster_term(bt.edges, bt.vertices.size());
+    const double density = 2.0 * sum / static_cast<double>(m_total);
+    if (density > best.density) {
+      best.density = density;
+      best.event_count = k + 1;
+    }
+  }
+  best.labels = dendrogram.labels_after(best.event_count);
+  return best;
+}
+
+}  // namespace lc::core

@@ -1,0 +1,40 @@
+// Partition density (Ahn, Bagrow & Lehmann, Nature 2010): the objective the
+// original link-clustering paper maximizes to pick the best dendrogram cut.
+//
+//   D = (2 / M) * sum_c m_c * (m_c - (n_c - 1)) / ((n_c - 2)(n_c - 1))
+//
+// where cluster c has m_c edges inducing n_c vertices; terms with n_c <= 2
+// contribute 0. This module scores edge labellings and scans a dendrogram's
+// merge sequence for the maximum-density cut (an extension beyond the ICDCS
+// paper, which stops at producing the dendrogram).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dendrogram.hpp"
+#include "core/edge_index.hpp"
+#include "graph/graph.hpp"
+
+namespace lc::core {
+
+/// Scores one flat edge clustering. `edge_labels[idx]` is the cluster label
+/// of the edge at permutation position idx (labels need not be canonical).
+double partition_density(const graph::WeightedGraph& graph, const EdgeIndex& index,
+                         std::span<const EdgeIdx> edge_labels);
+
+struct DensityCut {
+  std::size_t event_count = 0;  ///< merges applied at the best cut
+  double density = 0.0;
+  std::vector<EdgeIdx> labels;  ///< canonical edge labels at the best cut
+};
+
+/// Scans every prefix of the merge sequence and returns the cut with maximum
+/// partition density. Incremental: per-cluster (m_c, vertex set) books are
+/// maintained with small-to-large vertex-set unions, so the scan is
+/// O(total merge work * log) instead of |events| * |E|.
+DensityCut best_partition_density_cut(const graph::WeightedGraph& graph,
+                                      const EdgeIndex& index, const Dendrogram& dendrogram);
+
+}  // namespace lc::core

@@ -1,0 +1,541 @@
+#include "core/similarity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace lc::core {
+namespace {
+
+using graph::VertexId;
+using graph::WeightedGraph;
+
+std::uint64_t pair_key(VertexId a, VertexId b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+/// Pass 1 (lines 1-5): H1 and H2 for vertices {start, start+stride, ...}.
+/// Threads take strided (round-robin) slices: the paper's §VII-C observation
+/// is that round-robin assignment balances the heavily skewed per-vertex
+/// costs of the word graphs (hub vertices cluster at low ids).
+void pass1_range(const WeightedGraph& graph, std::size_t start, std::size_t stride,
+                 std::vector<double>& h1, std::vector<double>& h2) {
+  const std::size_t end = graph.vertex_count();
+  for (std::size_t i = start; i < end; i += stride) {
+    const auto v = static_cast<VertexId>(i);
+    const std::span<const double> weights = graph.neighbor_weights(v);
+    if (weights.empty()) continue;  // isolated vertex: H1 = H2 = 0
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (double w : weights) {
+      sum += w;
+      sum_sq += w * w;
+    }
+    const double avg = sum / static_cast<double>(weights.size());
+    h1[i] = avg;
+    h2[i] = avg * avg + sum_sq;
+  }
+}
+
+/// Accumulation map for passes 2-3: key -> index into entries.
+struct PartialMap {
+  std::unordered_map<std::uint64_t, std::uint32_t> index;
+  std::vector<SimilarityEntry> entries;
+
+  void accumulate(VertexId u, VertexId v, double product, VertexId common) {
+    const std::uint64_t key = pair_key(u, v);
+    const auto [it, inserted] =
+        index.try_emplace(key, static_cast<std::uint32_t>(entries.size()));
+    if (inserted) {
+      SimilarityEntry entry;
+      entry.u = u;
+      entry.v = v;
+      entry.score = product;  // holds the running sum until finalize
+      entry.common.push_back(common);
+      entries.push_back(std::move(entry));
+    } else {
+      SimilarityEntry& entry = entries[it->second];
+      entry.score += product;
+      entry.common.push_back(common);
+    }
+  }
+};
+
+/// Parallel-build accumulation entry: common neighbors are kept as
+/// *segments* (one vector per contributing thread-map) so the §VI-A
+/// hierarchical map merge splices lists in O(1) per entry instead of copying
+/// K2 elements through every merge round — that copy would serialize
+/// Theta(K2) work and cap initialization scaling at ~1x. Segments are
+/// flattened into SimilarityEntry::common by a final parallel pass.
+struct AccumEntry {
+  VertexId u = 0;
+  VertexId v = 0;
+  double sum = 0.0;
+  std::vector<std::vector<VertexId>> segments;
+};
+
+struct AccumMap {
+  std::unordered_map<std::uint64_t, std::uint32_t> index;
+  std::vector<AccumEntry> entries;
+
+  void accumulate(VertexId u, VertexId v, double product, VertexId common) {
+    const std::uint64_t key = pair_key(u, v);
+    const auto [it, inserted] =
+        index.try_emplace(key, static_cast<std::uint32_t>(entries.size()));
+    if (inserted) {
+      AccumEntry entry;
+      entry.u = u;
+      entry.v = v;
+      entry.sum = product;
+      entry.segments.emplace_back();
+      entry.segments.back().push_back(common);
+      entries.push_back(std::move(entry));
+    } else {
+      AccumEntry& entry = entries[it->second];
+      entry.sum += product;
+      entry.segments.front().push_back(common);
+    }
+  }
+};
+
+/// Pass 2 over a strided slice into an AccumMap (parallel build).
+std::uint64_t pass2_accum(const WeightedGraph& graph, std::size_t start, std::size_t stride,
+                          AccumMap& map) {
+  std::uint64_t work = 0;
+  const std::size_t end = graph.vertex_count();
+  for (std::size_t vi = start; vi < end; vi += stride) {
+    const auto i = static_cast<VertexId>(vi);
+    const std::span<const VertexId> adj = graph.neighbors(i);
+    const std::span<const double> weights = graph.neighbor_weights(i);
+    const std::size_t d = adj.size();
+    for (std::size_t a = 0; a < d; ++a) {
+      for (std::size_t b = a + 1; b < d; ++b) {
+        map.accumulate(adj[a], adj[b], weights[a] * weights[b], i);
+        ++work;
+      }
+    }
+  }
+  return work;
+}
+
+/// Pass 3 over an AccumMap for edges owned by the round-robin slice.
+std::uint64_t pass3_accum(const WeightedGraph& graph, std::size_t start, std::size_t stride,
+                          const std::vector<double>& h1, AccumMap& map) {
+  std::uint64_t work = 0;
+  for (const graph::Edge& e : graph.edges()) {
+    if (e.u % stride != start) continue;
+    const auto it = map.index.find(pair_key(e.u, e.v));
+    if (it == map.index.end()) continue;
+    map.entries[it->second].sum += (h1[e.u] + h1[e.v]) * e.weight;
+    ++work;
+  }
+  return work;
+}
+
+/// Pass 2 (lines 6-20) over the strided vertex slice {start, start+stride,
+/// ...}: for each neighbor pair (j, k) of i, accumulate w_ij * w_ik into
+/// M(j, k). Returns work units.
+std::uint64_t pass2_range(const WeightedGraph& graph, std::size_t start, std::size_t stride,
+                          PartialMap& map) {
+  std::uint64_t work = 0;
+  const std::size_t end = graph.vertex_count();
+  for (std::size_t vi = start; vi < end; vi += stride) {
+    const auto i = static_cast<VertexId>(vi);
+    const std::span<const VertexId> adj = graph.neighbors(i);
+    const std::span<const double> weights = graph.neighbor_weights(i);
+    const std::size_t d = adj.size();
+    for (std::size_t a = 0; a < d; ++a) {
+      for (std::size_t b = a + 1; b < d; ++b) {
+        // Neighbors are sorted, so (adj[a], adj[b]) is already (min, max).
+        map.accumulate(adj[a], adj[b], weights[a] * weights[b], i);
+        ++work;
+      }
+    }
+  }
+  return work;
+}
+
+/// Pass 3 (lines 21-25) for edges owned by slice `start` of `stride` (by
+/// first/smaller endpoint, round-robin): adds the coordinate-i/j
+/// inner-product terms for vertex pairs that are themselves edges. Returns
+/// edges handled.
+std::uint64_t pass3_range(const WeightedGraph& graph, std::size_t start, std::size_t stride,
+                          const std::vector<double>& h1, PartialMap& map) {
+  std::uint64_t work = 0;
+  for (const graph::Edge& e : graph.edges()) {
+    if (e.u % stride != start) continue;
+    const auto it = map.index.find(pair_key(e.u, e.v));
+    if (it == map.index.end()) continue;
+    map.entries[it->second].score += (h1[e.u] + h1[e.v]) * e.weight;
+    ++work;
+  }
+  return work;
+}
+
+/// Jaccard of inclusive neighborhoods from the entry's own statistics:
+/// |N+(u) ∩ N+(v)| = |common| + 2·[u ~ v]; |N+| = degree + 1.
+double jaccard_score(const WeightedGraph& graph, VertexId u, VertexId v,
+                     std::size_t common_count) {
+  const double both = static_cast<double>(common_count) + (graph.has_edge(u, v) ? 2.0 : 0.0);
+  const double total = static_cast<double>(graph.degree(u) + 1 + graph.degree(v) + 1) - both;
+  LC_DCHECK(total > 0.0);
+  return both / total;
+}
+
+/// Final step (lines 26-28): convert accumulated inner products into
+/// similarity scores for entries [begin, end).
+void finalize_range(std::vector<SimilarityEntry>& entries, std::size_t begin, std::size_t end,
+                    const WeightedGraph& graph, const std::vector<double>& h2,
+                    SimilarityMeasure measure) {
+  for (std::size_t i = begin; i < end; ++i) {
+    SimilarityEntry& entry = entries[i];
+    if (measure == SimilarityMeasure::kJaccard) {
+      entry.score = jaccard_score(graph, entry.u, entry.v, entry.common.size());
+      continue;
+    }
+    const double p = entry.score;
+    const double denom = h2[entry.u] + h2[entry.v] - p;
+    LC_DCHECK(denom > 0.0);
+    entry.score = p / denom;
+  }
+}
+
+SimilarityMap build_flat(const WeightedGraph& graph, const std::vector<double>& h1,
+                         const std::vector<double>& h2, SimilarityMeasure measure) {
+  // Flat strategy: materialize all K2 (key, common, product) tuples, sort by
+  // key, and aggregate runs. Trades memory traffic for hash-free build.
+  struct Tuple {
+    std::uint64_t key;
+    VertexId common;
+    double product;
+  };
+  std::vector<Tuple> tuples;
+  const std::size_t n = graph.vertex_count();
+  std::uint64_t k2 = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint64_t d = graph.degree(v);
+    k2 += d * (d - 1) / 2;
+  }
+  tuples.reserve(k2);
+  for (VertexId i = 0; i < n; ++i) {
+    const std::span<const VertexId> adj = graph.neighbors(i);
+    const std::span<const double> weights = graph.neighbor_weights(i);
+    for (std::size_t a = 0; a < adj.size(); ++a) {
+      for (std::size_t b = a + 1; b < adj.size(); ++b) {
+        tuples.push_back(Tuple{pair_key(adj[a], adj[b]), i, weights[a] * weights[b]});
+      }
+    }
+  }
+  std::sort(tuples.begin(), tuples.end(),
+            [](const Tuple& a, const Tuple& b) { return a.key < b.key; });
+
+  SimilarityMap map;
+  for (std::size_t i = 0; i < tuples.size();) {
+    std::size_t j = i;
+    SimilarityEntry entry;
+    entry.u = static_cast<VertexId>(tuples[i].key >> 32);
+    entry.v = static_cast<VertexId>(tuples[i].key & 0xFFFFFFFFu);
+    double sum = 0.0;
+    while (j < tuples.size() && tuples[j].key == tuples[i].key) {
+      sum += tuples[j].product;
+      entry.common.push_back(tuples[j].common);
+      ++j;
+    }
+    entry.score = sum;
+    map.entries.push_back(std::move(entry));
+    i = j;
+  }
+  // Pass 3 equivalent: keys are sorted, so binary-search each edge's key.
+  for (const graph::Edge& e : graph.edges()) {
+    const std::uint64_t key = pair_key(e.u, e.v);
+    const auto it = std::lower_bound(
+        map.entries.begin(), map.entries.end(), key,
+        [](const SimilarityEntry& entry, std::uint64_t k) {
+          return pair_key(entry.u, entry.v) < k;
+        });
+    if (it != map.entries.end() && pair_key(it->u, it->v) == key) {
+      it->score += (h1[e.u] + h1[e.v]) * e.weight;
+    }
+  }
+  finalize_range(map.entries, 0, map.entries.size(), graph, h2, measure);
+  return map;
+}
+
+}  // namespace
+
+std::uint64_t SimilarityMap::incident_pair_count() const {
+  std::uint64_t total = 0;
+  for (const SimilarityEntry& entry : entries) total += entry.common.size();
+  return total;
+}
+
+void SimilarityMap::sort_by_score() {
+  std::sort(entries.begin(), entries.end(),
+            [](const SimilarityEntry& a, const SimilarityEntry& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+}
+
+std::size_t SimilarityMap::memory_bytes() const {
+  std::size_t bytes = entries.capacity() * sizeof(SimilarityEntry);
+  for (const SimilarityEntry& entry : entries) {
+    bytes += entry.common.capacity() * sizeof(graph::VertexId);
+  }
+  return bytes;
+}
+
+const SimilarityEntry* SimilarityMap::find(graph::VertexId u, graph::VertexId v) const {
+  if (u > v) std::swap(u, v);
+  for (const SimilarityEntry& entry : entries) {
+    if (entry.u == u && entry.v == v) return &entry;
+  }
+  return nullptr;
+}
+
+SimilarityMap build_similarity_map(const graph::WeightedGraph& graph,
+                                   const SimilarityMapOptions& options) {
+  const std::size_t n = graph.vertex_count();
+  std::vector<double> h1(n, 0.0);
+  std::vector<double> h2(n, 0.0);
+  pass1_range(graph, 0, 1, h1, h2);
+
+  if (options.map_kind == PairMapKind::kFlat) {
+    return build_flat(graph, h1, h2, options.measure);
+  }
+
+  PartialMap map;
+  pass2_range(graph, 0, 1, map);
+  pass3_range(graph, 0, 1, h1, map);
+  finalize_range(map.entries, 0, map.entries.size(), graph, h2, options.measure);
+
+  SimilarityMap result;
+  result.entries = std::move(map.entries);
+  return result;
+}
+
+SimilarityMap build_similarity_map_parallel(const graph::WeightedGraph& graph,
+                                            parallel::ThreadPool& pool,
+                                            sim::WorkLedger* ledger,
+                                            const SimilarityMapOptions& options) {
+  const std::size_t n = graph.vertex_count();
+  const std::size_t t_count = pool.thread_count();
+  std::vector<double> h1(n, 0.0);
+  std::vector<double> h2(n, 0.0);
+
+  // Pass 1: disjoint (round-robin) vertex slices write disjoint H1/H2 slots.
+  if (ledger != nullptr) {
+    ledger->begin_phase("init.pass1");
+    ledger->begin_round(t_count);
+  }
+  {
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t t = 0; t < t_count; ++t) {
+      tasks.push_back([&, t] {
+        std::uint64_t work = 0;
+        for (std::size_t v = t; v < n; v += t_count) {
+          work += graph.degree(static_cast<VertexId>(v)) + 1;
+        }
+        pass1_range(graph, t, t_count, h1, h2);
+        if (ledger != nullptr) ledger->add_work(t, work);
+      });
+    }
+    pool.run_batch(tasks);
+  }
+
+  // Pass 2, step 1: per-thread maps over disjoint round-robin vertex slices.
+  std::vector<AccumMap> maps(t_count);
+  if (ledger != nullptr) {
+    ledger->begin_phase("init.pass2.build");
+    ledger->begin_round(t_count);
+  }
+  {
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t t = 0; t < t_count; ++t) {
+      tasks.push_back([&, t] {
+        const std::uint64_t work = pass2_accum(graph, t, t_count, maps[t]);
+        if (ledger != nullptr) ledger->add_work(t, work);
+      });
+    }
+    pool.run_batch(tasks);
+  }
+
+  // Pass 2, step 2: hierarchical pairwise merge of the per-thread maps
+  // (§VI-A: pairs merge concurrently per round; once at most three maps
+  // remain, one thread folds them together). Common lists are spliced as
+  // whole segments, so each entry costs O(1) regardless of its list length.
+  if (ledger != nullptr) ledger->begin_phase("init.pass2.merge");
+  {
+    auto merge_into = [&maps](std::size_t dst, std::size_t src) -> std::uint64_t {
+      AccumMap& d = maps[dst];
+      AccumMap& s = maps[src];
+      std::uint64_t work = 0;
+      for (AccumEntry& entry : s.entries) {
+        ++work;
+        const std::uint64_t key = pair_key(entry.u, entry.v);
+        const auto [it, inserted] =
+            d.index.try_emplace(key, static_cast<std::uint32_t>(d.entries.size()));
+        if (inserted) {
+          d.entries.push_back(std::move(entry));
+        } else {
+          AccumEntry& target = d.entries[it->second];
+          target.sum += entry.sum;
+          for (auto& segment : entry.segments) {
+            target.segments.push_back(std::move(segment));
+          }
+        }
+      }
+      s.entries.clear();
+      s.index.clear();
+      return work;
+    };
+
+    std::vector<std::size_t> active(t_count);
+    for (std::size_t i = 0; i < t_count; ++i) active[i] = i;
+    while (active.size() > 3) {
+      std::vector<std::function<void()>> tasks;
+      std::vector<std::size_t> survivors;
+      if (ledger != nullptr) ledger->begin_round(active.size() / 2);
+      std::size_t slot = 0;
+      std::size_t i = 0;
+      for (; i + 1 < active.size(); i += 2) {
+        const std::size_t dst = active[i];
+        const std::size_t src = active[i + 1];
+        survivors.push_back(dst);
+        const std::size_t this_slot = slot++;
+        tasks.push_back([&, dst, src, this_slot] {
+          const std::uint64_t work = merge_into(dst, src);
+          if (ledger != nullptr) ledger->add_work(this_slot, work);
+        });
+      }
+      if (i < active.size()) survivors.push_back(active[i]);
+      pool.run_batch(tasks);
+      active = std::move(survivors);
+    }
+    if (active.size() > 1) {
+      if (ledger != nullptr) ledger->begin_round(1);
+      std::uint64_t work = 0;
+      for (std::size_t i = 1; i < active.size(); ++i) work += merge_into(active[0], active[i]);
+      if (ledger != nullptr) ledger->add_work(0, work);
+    }
+    if (active[0] != 0) std::swap(maps[0], maps[active[0]]);
+  }
+  AccumMap& merged = maps[0];
+
+  // Pass 3: partition the keys by first vertex (round-robin); every thread
+  // scans the edge list and updates only the keys it owns, so writes are
+  // disjoint.
+  if (ledger != nullptr) {
+    ledger->begin_phase("init.pass3");
+    ledger->begin_round(t_count);
+  }
+  {
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t t = 0; t < t_count; ++t) {
+      tasks.push_back([&, t] {
+        const std::uint64_t work =
+            pass3_accum(graph, t, t_count, h1, merged) + graph.edge_count();
+        if (ledger != nullptr) ledger->add_work(t, work);
+      });
+    }
+    pool.run_batch(tasks);
+  }
+
+  // Flatten + finalize: convert segments into flat common lists and turn the
+  // accumulated inner products into Tanimoto scores, over disjoint entry
+  // ranges (entry sizes vary, so slices are strided for balance).
+  SimilarityMap result;
+  result.entries.resize(merged.entries.size());
+  if (ledger != nullptr) {
+    ledger->begin_phase("init.finalize");
+    ledger->begin_round(t_count);
+  }
+  {
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t t = 0; t < t_count; ++t) {
+      tasks.push_back([&, t] {
+        std::uint64_t work = 0;
+        for (std::size_t i = t; i < merged.entries.size(); i += t_count) {
+          AccumEntry& source = merged.entries[i];
+          SimilarityEntry& entry = result.entries[i];
+          entry.u = source.u;
+          entry.v = source.v;
+          std::size_t total = 0;
+          for (const auto& segment : source.segments) total += segment.size();
+          entry.common.reserve(total);
+          for (const auto& segment : source.segments) {
+            entry.common.insert(entry.common.end(), segment.begin(), segment.end());
+          }
+          if (options.measure == SimilarityMeasure::kJaccard) {
+            entry.score = jaccard_score(graph, entry.u, entry.v, total);
+          } else {
+            const double p = source.sum;
+            const double denom = h2[entry.u] + h2[entry.v] - p;
+            LC_DCHECK(denom > 0.0);
+            entry.score = p / denom;
+          }
+          work += 1 + total;
+        }
+        if (ledger != nullptr) ledger->add_work(t, work);
+      });
+    }
+    pool.run_batch(tasks);
+  }
+  return result;
+}
+
+double tanimoto_similarity_bruteforce(const graph::WeightedGraph& graph, graph::VertexId i,
+                                      graph::VertexId j, graph::VertexId k) {
+  LC_CHECK_MSG(graph.has_edge(i, k) && graph.has_edge(j, k),
+               "edges (i,k) and (j,k) must exist for an incident pair");
+  const std::size_t n = graph.vertex_count();
+  auto vector_of = [&](graph::VertexId x) {
+    std::vector<double> a(n, 0.0);
+    const std::span<const VertexId> adj = graph.neighbors(x);
+    const std::span<const double> weights = graph.neighbor_weights(x);
+    double sum = 0.0;
+    for (std::size_t p = 0; p < adj.size(); ++p) {
+      a[adj[p]] = weights[p];
+      sum += weights[p];
+    }
+    a[x] = adj.empty() ? 0.0 : sum / static_cast<double>(adj.size());
+    return a;
+  };
+  const std::vector<double> ai = vector_of(i);
+  const std::vector<double> aj = vector_of(j);
+  double dot = 0.0;
+  double ni = 0.0;
+  double nj = 0.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    dot += ai[p] * aj[p];
+    ni += ai[p] * ai[p];
+    nj += aj[p] * aj[p];
+  }
+  return dot / (ni + nj - dot);
+}
+
+double jaccard_similarity_bruteforce(const graph::WeightedGraph& graph, graph::VertexId i,
+                                     graph::VertexId j, graph::VertexId k) {
+  LC_CHECK_MSG(graph.has_edge(i, k) && graph.has_edge(j, k),
+               "edges (i,k) and (j,k) must exist for an incident pair");
+  auto inclusive = [&](graph::VertexId x) {
+    std::vector<bool> member(graph.vertex_count(), false);
+    for (VertexId w : graph.neighbors(x)) member[w] = true;
+    member[x] = true;
+    return member;
+  };
+  const std::vector<bool> a = inclusive(i);
+  const std::vector<bool> b = inclusive(j);
+  std::size_t both = 0;
+  std::size_t either = 0;
+  for (std::size_t x = 0; x < a.size(); ++x) {
+    if (a[x] && b[x]) ++both;
+    if (a[x] || b[x]) ++either;
+  }
+  return static_cast<double>(both) / static_cast<double>(either);
+}
+
+}  // namespace lc::core

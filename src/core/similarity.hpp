@@ -1,0 +1,106 @@
+// Phase I of the paper's algorithm (Algorithm 1): build map M.
+//
+// A key of M is a vertex pair (u, v), u < v, with at least one common
+// neighbor; the value carries (a) the Tanimoto similarity shared by *every*
+// incident edge pair (e_uk, e_vk) whose non-shared endpoints are u and v —
+// the paper's key observation is that Eq. (1) does not depend on the shared
+// vertex k — and (b) the list of common neighbors k.
+//
+// Three passes over G(V, E):
+//   pass 1: H1[i] = average incident weight of v_i (the diagonal entry of
+//           a_i); H2[i] = H1[i]^2 + sum_j w_ij^2 = |a_i|^2.
+//   pass 2: for every vertex i and neighbor pair (j, k), accumulate
+//           w_ij * w_ik into M(j, k) and append i to the common list.
+//   pass 3: for every edge (i, j) that is a key of M, add
+//           (H1[i] + H1[j]) * w_ij — the inner-product terms at coordinates
+//           i and j.
+// Finalize: score = P / (H2[u] + H2[v] - P) where P = a_u · a_v.
+//
+// build_similarity_map_parallel implements §VI-A: pass 1 as a parallel-for,
+// pass 2 with per-thread maps merged by a hierarchical (tournament)
+// reduction, pass 3 partitioned by the first vertex of each key.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/work_ledger.hpp"
+
+namespace lc::core {
+
+struct SimilarityEntry {
+  graph::VertexId u = 0;  ///< first vertex of the key (u < v)
+  graph::VertexId v = 0;
+  double score = 0.0;     ///< Tanimoto similarity of any incident pair keyed here
+  std::vector<graph::VertexId> common;  ///< shared neighbors (the k's)
+};
+
+/// How map M is stored while being built (DESIGN.md ablation).
+enum class PairMapKind {
+  kHash,  ///< unordered_map keyed by packed (u, v) — the paper's O(1) map
+  kFlat,  ///< sort-and-aggregate over a flat tuple buffer
+};
+
+/// Which edge-pair similarity Eq. (1) is instantiated with.
+enum class SimilarityMeasure {
+  /// Weighted Tanimoto coefficient over the a_i vectors (the paper's Eq. 1).
+  kTanimoto,
+  /// Unweighted Jaccard of inclusive neighborhoods N+(i) = N(i) ∪ {i} (the
+  /// original Ahn et al. similarity for unweighted graphs). On unit-weight
+  /// graphs the a_i vectors are exactly the N+(i) indicators, so Tanimoto
+  /// and Jaccard coincide — a property the tests exploit.
+  kJaccard,
+};
+
+struct SimilarityMapOptions {
+  PairMapKind map_kind = PairMapKind::kHash;
+  SimilarityMeasure measure = SimilarityMeasure::kTanimoto;
+};
+
+class SimilarityMap {
+ public:
+  std::vector<SimilarityEntry> entries;
+
+  /// Total incident edge pairs covered: sum over entries of |common| == K2.
+  [[nodiscard]] std::uint64_t incident_pair_count() const;
+
+  /// K1: the number of keys.
+  [[nodiscard]] std::size_t key_count() const { return entries.size(); }
+
+  /// Sorts entries by score non-increasing; ties break by (u, v) ascending so
+  /// the sweep is deterministic. This produces the paper's list L.
+  void sort_by_score();
+
+  /// Approximate heap bytes held (entries + common lists).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Looks up the entry for pair (u, v); returns nullptr if absent.
+  /// Linear scan — intended for tests and small tools only.
+  [[nodiscard]] const SimilarityEntry* find(graph::VertexId u, graph::VertexId v) const;
+};
+
+/// Serial Algorithm 1.
+SimilarityMap build_similarity_map(const graph::WeightedGraph& graph,
+                                   const SimilarityMapOptions& options = {});
+
+/// §VI-A multi-threaded Algorithm 1. Results match the serial build up to
+/// floating-point summation order. When `ledger` is non-null, per-round
+/// per-thread work units are recorded for simulated-scaling analysis.
+SimilarityMap build_similarity_map_parallel(const graph::WeightedGraph& graph,
+                                            parallel::ThreadPool& pool,
+                                            sim::WorkLedger* ledger = nullptr,
+                                            const SimilarityMapOptions& options = {});
+
+/// Brute-force Eq. (1) for one incident edge pair (e_ik, e_jk), building the
+/// full |V|-dimensional vectors a_i, a_j. O(|V|) per call; tests only.
+double tanimoto_similarity_bruteforce(const graph::WeightedGraph& graph, graph::VertexId i,
+                                      graph::VertexId j, graph::VertexId k);
+
+/// Brute-force Jaccard of inclusive neighborhoods for one incident pair.
+/// Tests only.
+double jaccard_similarity_bruteforce(const graph::WeightedGraph& graph, graph::VertexId i,
+                                     graph::VertexId j, graph::VertexId k);
+
+}  // namespace lc::core

@@ -1,0 +1,48 @@
+#include "core/sweep.hpp"
+
+#include "core/cluster_array.hpp"
+#include "util/check.hpp"
+
+namespace lc::core {
+
+SweepResult sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
+                  const EdgeIndex& index, const PairObserver& observer,
+                  double min_similarity) {
+  LC_CHECK_MSG(index.size() == graph.edge_count(), "edge index must match the graph");
+  for (std::size_t i = 1; i < map.entries.size(); ++i) {
+    LC_CHECK_MSG(map.entries[i - 1].score >= map.entries[i].score,
+                 "similarity map must be sorted (call sort_by_score())");
+  }
+
+  SweepResult result;
+  result.dendrogram = Dendrogram(graph.edge_count());
+  ClusterArray clusters(graph.edge_count());
+  std::uint32_t level = 0;
+  std::uint64_t ordinal = 0;
+
+  for (const SimilarityEntry& entry : map.entries) {
+    if (entry.score < min_similarity) break;  // entries are sorted: all done
+    for (graph::VertexId k : entry.common) {
+      const graph::EdgeId e1 = graph.find_edge(entry.u, k);
+      const graph::EdgeId e2 = graph.find_edge(entry.v, k);
+      LC_DCHECK(e1 != graph::kInvalidEdge && e2 != graph::kInvalidEdge);
+      const MergeOutcome outcome = clusters.merge(index.index_of(e1), index.index_of(e2));
+      if (outcome.merged) {
+        ++level;
+        const EdgeIdx from = (outcome.c1 == outcome.target) ? outcome.c2 : outcome.c1;
+        result.dendrogram.add_event(level, from, outcome.target, entry.score);
+      }
+      if (observer) observer(ordinal, outcome.changes);
+      ++ordinal;
+    }
+  }
+
+  result.final_labels = clusters.root_labels();
+  result.stats.pairs_processed = ordinal;
+  result.stats.merges_effective = level;
+  result.stats.c_accesses = clusters.accesses();
+  result.stats.c_changes = clusters.total_changes();
+  return result;
+}
+
+}  // namespace lc::core

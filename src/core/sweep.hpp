@@ -1,0 +1,48 @@
+// Phase II of the serial algorithm (Algorithm 2): fine-grained sweeping.
+//
+// The sorted list L of vertex pairs is processed head to tail; for every
+// common neighbor v_k of a pair (v_i, v_j), MERGE unifies the clusters of
+// edges (v_i, v_k) and (v_j, v_k) in array C. Every effective merge advances
+// the level counter r and emits a dendrogram event (Eq. 5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "core/dendrogram.hpp"
+#include "core/edge_index.hpp"
+#include "core/similarity.hpp"
+#include "graph/graph.hpp"
+
+namespace lc::core {
+
+struct SweepStats {
+  std::uint64_t pairs_processed = 0;  ///< incident edge pairs merged (== K2)
+  std::uint64_t merges_effective = 0; ///< dendrogram events (levels in fine mode)
+  std::uint64_t c_accesses = 0;       ///< chain elements visited (Theorem 2 metric)
+  std::uint64_t c_changes = 0;        ///< C entries rewritten (Fig. 2(1) metric)
+};
+
+/// Optional per-pair instrumentation: called after each incident pair is
+/// merged with the ordinal of the pair (0-based) and the number of C-entry
+/// changes that merge caused. Drives the Fig. 2(1) bench.
+using PairObserver = std::function<void(std::uint64_t ordinal, std::uint32_t changes)>;
+
+struct SweepResult {
+  Dendrogram dendrogram;
+  std::vector<EdgeIdx> final_labels;  ///< canonical label per edge index
+  SweepStats stats;
+};
+
+/// Runs the sweep. `map` must already be sorted (sort_by_score()); this is
+/// asserted. The similarity map is read-only; the edge index supplies the
+/// paper's randomized edge enumeration. Entries with score < `min_similarity`
+/// are never processed (an early-stop knob: the resulting partition equals
+/// labels_at_threshold(min_similarity) of a full run, at a fraction of the
+/// cost — the fine-grained cousin of the coarse mode's phi stop).
+SweepResult sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
+                  const EdgeIndex& index, const PairObserver& observer = {},
+                  double min_similarity = -std::numeric_limits<double>::infinity());
+
+}  // namespace lc::core

@@ -1,0 +1,146 @@
+#include "eval/clustering_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace lc::eval {
+namespace {
+
+/// Contingency counts: n_ij for pair (label_a, label_b), and marginals.
+struct Contingency {
+  std::unordered_map<std::uint64_t, std::uint64_t> joint;
+  std::unordered_map<std::uint32_t, std::uint64_t> row;
+  std::unordered_map<std::uint32_t, std::uint64_t> col;
+  std::size_t n = 0;
+};
+
+Contingency build_contingency(std::span<const std::uint32_t> a,
+                              std::span<const std::uint32_t> b) {
+  LC_CHECK_MSG(a.size() == b.size(), "labelings must cover the same items");
+  Contingency c;
+  c.n = a.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ++c.joint[(static_cast<std::uint64_t>(a[i]) << 32) | b[i]];
+    ++c.row[a[i]];
+    ++c.col[b[i]];
+  }
+  return c;
+}
+
+double choose2(std::uint64_t x) {
+  return 0.5 * static_cast<double>(x) * static_cast<double>(x > 0 ? x - 1 : 0);
+}
+
+}  // namespace
+
+double rand_index(std::span<const std::uint32_t> a, std::span<const std::uint32_t> b) {
+  const Contingency c = build_contingency(a, b);
+  if (c.n < 2) return 1.0;
+  double sum_joint = 0.0;
+  double sum_row = 0.0;
+  double sum_col = 0.0;
+  for (const auto& [key, count] : c.joint) sum_joint += choose2(count);
+  for (const auto& [label, count] : c.row) sum_row += choose2(count);
+  for (const auto& [label, count] : c.col) sum_col += choose2(count);
+  const double total = choose2(c.n);
+  // agreements = pairs together in both + pairs apart in both.
+  const double agreements = sum_joint + (total - sum_row - sum_col + sum_joint);
+  return agreements / total;
+}
+
+double adjusted_rand_index(std::span<const std::uint32_t> a,
+                           std::span<const std::uint32_t> b) {
+  const Contingency c = build_contingency(a, b);
+  if (c.n < 2) return 1.0;
+  double sum_joint = 0.0;
+  double sum_row = 0.0;
+  double sum_col = 0.0;
+  for (const auto& [key, count] : c.joint) sum_joint += choose2(count);
+  for (const auto& [label, count] : c.row) sum_row += choose2(count);
+  for (const auto& [label, count] : c.col) sum_col += choose2(count);
+  const double total = choose2(c.n);
+  const double expected = sum_row * sum_col / total;
+  const double maximum = 0.5 * (sum_row + sum_col);
+  const double denom = maximum - expected;
+  if (std::fabs(denom) < 1e-12) return 1.0;  // both trivial partitions
+  return (sum_joint - expected) / denom;
+}
+
+double normalized_mutual_information(std::span<const std::uint32_t> a,
+                                     std::span<const std::uint32_t> b) {
+  const Contingency c = build_contingency(a, b);
+  if (c.n == 0) return 1.0;
+  const double n = static_cast<double>(c.n);
+  double mutual = 0.0;
+  for (const auto& [key, count] : c.joint) {
+    const auto la = static_cast<std::uint32_t>(key >> 32);
+    const auto lb = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
+    const double p = static_cast<double>(count) / n;
+    const double pa = static_cast<double>(c.row.at(la)) / n;
+    const double pb = static_cast<double>(c.col.at(lb)) / n;
+    mutual += p * std::log(p / (pa * pb));
+  }
+  auto entropy = [n](const std::unordered_map<std::uint32_t, std::uint64_t>& marginal) {
+    double h = 0.0;
+    for (const auto& [label, count] : marginal) {
+      const double p = static_cast<double>(count) / n;
+      h -= p * std::log(p);
+    }
+    return h;
+  };
+  const double ha = entropy(c.row);
+  const double hb = entropy(c.col);
+  if (ha + hb < 1e-12) return 1.0;  // both single-cluster
+  return std::max(0.0, 2.0 * mutual / (ha + hb));
+}
+
+std::vector<std::size_t> cluster_sizes(std::span<const std::uint32_t> labels) {
+  std::unordered_map<std::uint32_t, std::size_t> counts;
+  for (std::uint32_t label : labels) ++counts[label];
+  std::vector<std::size_t> sizes;
+  sizes.reserve(counts.size());
+  for (const auto& [label, count] : counts) sizes.push_back(count);
+  std::sort(sizes.rbegin(), sizes.rend());
+  return sizes;
+}
+
+std::unordered_map<graph::VertexId, std::vector<core::EdgeIdx>> vertex_memberships(
+    const graph::WeightedGraph& graph, const core::EdgeIndex& index,
+    std::span<const core::EdgeIdx> edge_labels) {
+  LC_CHECK_MSG(edge_labels.size() == graph.edge_count(), "one label per edge required");
+  std::unordered_map<graph::VertexId, std::vector<core::EdgeIdx>> memberships;
+  for (std::size_t idx = 0; idx < edge_labels.size(); ++idx) {
+    const graph::Edge& e = graph.edge(index.edge_at(static_cast<core::EdgeIdx>(idx)));
+    memberships[e.u].push_back(edge_labels[idx]);
+    memberships[e.v].push_back(edge_labels[idx]);
+  }
+  for (auto& [vertex, labels] : memberships) {
+    std::sort(labels.begin(), labels.end());
+    labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  }
+  return memberships;
+}
+
+OverlapStats overlap_stats(const graph::WeightedGraph& graph, const core::EdgeIndex& index,
+                           std::span<const core::EdgeIdx> edge_labels) {
+  const auto memberships = vertex_memberships(graph, index, edge_labels);
+  OverlapStats stats;
+  std::unordered_map<core::EdgeIdx, bool> seen;
+  for (core::EdgeIdx label : edge_labels) seen[label] = true;
+  stats.communities = seen.size();
+  stats.vertices = memberships.size();
+  std::size_t total_memberships = 0;
+  for (const auto& [vertex, labels] : memberships) {
+    total_memberships += labels.size();
+    if (labels.size() > 1) ++stats.overlapping_vertices;
+  }
+  stats.mean_memberships =
+      stats.vertices == 0 ? 0.0
+                          : static_cast<double>(total_memberships) /
+                                static_cast<double>(stats.vertices);
+  return stats;
+}
+
+}  // namespace lc::eval

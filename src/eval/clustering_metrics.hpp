@@ -1,0 +1,55 @@
+// Clustering-comparison metrics for evaluating link-community recovery:
+// Rand index, adjusted Rand index, normalized mutual information, plus
+// overlap statistics specific to link clustering (a vertex belongs to every
+// community that one of its edges belongs to, so vertices naturally overlap).
+//
+// These are library extensions beyond the ICDCS paper (its evaluation is
+// purely computational); they let downstream users score recovered
+// communities against ground truth, as the examples and integration tests do
+// against the synthetic corpus's planted topics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/edge_index.hpp"
+#include "graph/graph.hpp"
+
+namespace lc::eval {
+
+/// Rand index of two labelings of the same items, in [0, 1].
+double rand_index(std::span<const std::uint32_t> a, std::span<const std::uint32_t> b);
+
+/// Hubert–Arabie adjusted Rand index, in [-1, 1]; 1 for identical
+/// partitions, ~0 for independent ones. Degenerate cases (both partitions
+/// trivial) return 1.
+double adjusted_rand_index(std::span<const std::uint32_t> a, std::span<const std::uint32_t> b);
+
+/// NMI with the 2I/(H(A)+H(B)) normalization, in [0, 1]. Two zero-entropy
+/// partitions (both single-cluster) score 1.
+double normalized_mutual_information(std::span<const std::uint32_t> a,
+                                     std::span<const std::uint32_t> b);
+
+/// Cluster sizes, descending.
+std::vector<std::size_t> cluster_sizes(std::span<const std::uint32_t> labels);
+
+/// Link-community overlap: per-vertex community memberships derived from an
+/// edge labeling.
+struct OverlapStats {
+  std::size_t communities = 0;         ///< distinct edge clusters
+  std::size_t vertices = 0;            ///< vertices incident to >= 1 edge
+  std::size_t overlapping_vertices = 0;  ///< vertices in >= 2 communities
+  double mean_memberships = 0.0;       ///< average communities per vertex
+};
+
+OverlapStats overlap_stats(const graph::WeightedGraph& graph, const core::EdgeIndex& index,
+                           std::span<const core::EdgeIdx> edge_labels);
+
+/// Memberships per vertex: vertex id -> sorted distinct community labels.
+std::unordered_map<graph::VertexId, std::vector<core::EdgeIdx>> vertex_memberships(
+    const graph::WeightedGraph& graph, const core::EdgeIndex& index,
+    std::span<const core::EdgeIdx> edge_labels);
+
+}  // namespace lc::eval

@@ -1,0 +1,89 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace lc::graph {
+
+std::vector<VertexId> connected_components(const WeightedGraph& graph) {
+  const std::size_t n = graph.vertex_count();
+  constexpr VertexId kUnvisited = static_cast<VertexId>(-1);
+  std::vector<VertexId> label(n, kUnvisited);
+  std::vector<VertexId> stack;
+  for (VertexId start = 0; start < n; ++start) {
+    if (label[start] != kUnvisited) continue;
+    // Vertices are scanned in ascending order, so `start` is the minimum of
+    // its component and becomes the canonical label.
+    label[start] = start;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId w : graph.neighbors(v)) {
+        if (label[w] == kUnvisited) {
+          label[w] = start;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::size_t component_count(const WeightedGraph& graph) {
+  const std::vector<VertexId> labels = connected_components(graph);
+  std::size_t count = 0;
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    if (labels[v] == v) ++count;
+  }
+  return count;
+}
+
+Subgraph induced_subgraph(const WeightedGraph& graph, const std::vector<VertexId>& vertices) {
+  Subgraph result;
+  std::unordered_map<VertexId, VertexId> new_id;
+  new_id.reserve(vertices.size());
+  for (VertexId v : vertices) {
+    LC_CHECK_MSG(v < graph.vertex_count(), "vertex out of range");
+    if (new_id.emplace(v, static_cast<VertexId>(result.original_id.size())).second) {
+      result.original_id.push_back(v);
+    }
+  }
+  GraphBuilder builder(result.original_id.size());
+  for (const Edge& e : graph.edges()) {
+    const auto u_it = new_id.find(e.u);
+    const auto v_it = new_id.find(e.v);
+    if (u_it != new_id.end() && v_it != new_id.end()) {
+      builder.add_edge(u_it->second, v_it->second, e.weight);
+    }
+  }
+  result.graph = builder.build();
+  return result;
+}
+
+Subgraph largest_component(const WeightedGraph& graph) {
+  const std::vector<VertexId> labels = connected_components(graph);
+  std::unordered_map<VertexId, std::size_t> sizes;
+  for (VertexId label : labels) ++sizes[label];
+  VertexId best_label = 0;
+  std::size_t best_size = 0;
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    const VertexId label = labels[v];
+    if (label != v) continue;  // visit each component once, in label order
+    const std::size_t size = sizes[label];
+    if (size > best_size) {
+      best_size = size;
+      best_label = label;
+    }
+  }
+  std::vector<VertexId> members;
+  members.reserve(best_size);
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    if (labels[v] == best_label) members.push_back(static_cast<VertexId>(v));
+  }
+  return induced_subgraph(graph, members);
+}
+
+}  // namespace lc::graph

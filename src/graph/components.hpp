@@ -1,0 +1,35 @@
+// Connected components and induced subgraphs.
+//
+// Real edge-list datasets are rarely connected; link clustering treats each
+// component independently, and users typically want the giant component or a
+// vertex-induced slice. These helpers keep the vertex-id bookkeeping honest
+// (a subgraph carries its mapping back to the original ids).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lc::graph {
+
+/// Component label (minimum member vertex id) per vertex. Isolated vertices
+/// are their own components.
+std::vector<VertexId> connected_components(const WeightedGraph& graph);
+
+/// Number of connected components.
+std::size_t component_count(const WeightedGraph& graph);
+
+/// A vertex-induced subgraph with its id mapping.
+struct Subgraph {
+  WeightedGraph graph;
+  std::vector<VertexId> original_id;  ///< new vertex id -> original vertex id
+};
+
+/// Induces the subgraph on `vertices` (duplicates ignored; order defines the
+/// new ids). Edges with both endpoints selected are kept with their weights.
+Subgraph induced_subgraph(const WeightedGraph& graph, const std::vector<VertexId>& vertices);
+
+/// The largest connected component (ties: smallest component label wins).
+Subgraph largest_component(const WeightedGraph& graph);
+
+}  // namespace lc::graph

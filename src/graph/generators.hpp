@@ -1,0 +1,63 @@
+// Synthetic graph generators.
+//
+// Used by tests (property sweeps over many topologies), by the examples, and
+// by the Appendix-style complexity studies (the paper analyzes k-regular and
+// complete graphs explicitly). All generators take an explicit seed and a
+// weight policy so runs reproduce exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace lc::graph {
+
+/// How generated edges are weighted.
+enum class WeightPolicy {
+  kUnit,          ///< all weights 1.0
+  kUniform,       ///< i.i.d. uniform in (0.1, 1.0]
+};
+
+struct GeneratorOptions {
+  std::uint64_t seed = 42;
+  WeightPolicy weights = WeightPolicy::kUnit;
+};
+
+/// Erdős–Rényi G(n, p).
+WeightedGraph erdos_renyi(std::size_t n, double p, const GeneratorOptions& options = {});
+
+/// Complete graph K_n (the paper's §Appendix example: our algorithm is
+/// O(|V|^3.5) vs SLINK's O(|V|^4) here).
+WeightedGraph complete_graph(std::size_t n, const GeneratorOptions& options = {});
+
+/// Circulant k-regular graph: vertex i connects to i±1, ..., i±k/2 (mod n).
+/// k must be even and < n.
+WeightedGraph regular_graph(std::size_t n, std::size_t k, const GeneratorOptions& options = {});
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices. Produces heavy-tailed degrees (K2 >> |E|).
+WeightedGraph barabasi_albert(std::size_t n, std::size_t attach,
+                              const GeneratorOptions& options = {});
+
+/// Watts–Strogatz small world: start from circulant k-regular, rewire each
+/// edge with probability beta.
+WeightedGraph watts_strogatz(std::size_t n, std::size_t k, double beta,
+                             const GeneratorOptions& options = {});
+
+/// Planted-partition graph: `communities` equal-size groups, within-group edge
+/// probability p_in, across-group p_out. Natural test bed for link-community
+/// recovery (examples/word_communities analog on pure graphs).
+WeightedGraph planted_partition(std::size_t n, std::size_t communities, double p_in,
+                                double p_out, const GeneratorOptions& options = {});
+
+/// A disjoint union of `count` single edges: the paper's pathological case
+/// with K1 = K2 = 0 but |E| = |V|/2.
+WeightedGraph disjoint_edges(std::size_t count, const GeneratorOptions& options = {});
+
+/// The 5-vertex example graph of the paper's Figure 1: a triangle {0,1,2}
+/// with pendant path structure; see tests/core/sweep_test.cpp for the
+/// companion data-structure checks.
+WeightedGraph paper_figure1_graph();
+
+}  // namespace lc::graph

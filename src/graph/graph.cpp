@@ -1,0 +1,142 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace lc::graph {
+
+GraphBuilder::GraphBuilder(std::size_t vertex_count) : vertex_count_(vertex_count) {}
+
+bool GraphBuilder::add_edge(VertexId u, VertexId v, double weight) {
+  if (u == v) return false;
+  if (u >= vertex_count_ || v >= vertex_count_) return false;
+  if (!(weight > 0.0) || !std::isfinite(weight)) return false;
+  if (u > v) std::swap(u, v);
+  edges_.push_back(Edge{u, v, weight});
+  return true;
+}
+
+WeightedGraph GraphBuilder::build() {
+  // Canonical order + duplicate combination.
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  std::vector<Edge> unique_edges;
+  unique_edges.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    if (!unique_edges.empty() && unique_edges.back().u == e.u && unique_edges.back().v == e.v) {
+      unique_edges.back().weight += e.weight;
+    } else {
+      unique_edges.push_back(e);
+    }
+  }
+  edges_.clear();
+
+  WeightedGraph graph;
+  graph.edges_ = std::move(unique_edges);
+  const std::size_t n = vertex_count_;
+  const std::size_t m = graph.edges_.size();
+
+  std::vector<std::size_t> degrees(n, 0);
+  for (const Edge& e : graph.edges_) {
+    ++degrees[e.u];
+    ++degrees[e.v];
+  }
+  graph.offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) graph.offsets_[v + 1] = graph.offsets_[v] + degrees[v];
+
+  graph.adjacency_.resize(2 * m);
+  graph.weights_.resize(2 * m);
+  graph.adjacency_edge_.resize(2 * m);
+  std::vector<std::size_t> cursor(graph.offsets_.begin(), graph.offsets_.end() - 1);
+  for (std::size_t id = 0; id < m; ++id) {
+    const Edge& e = graph.edges_[id];
+    const std::size_t pu = cursor[e.u]++;
+    graph.adjacency_[pu] = e.v;
+    graph.weights_[pu] = e.weight;
+    graph.adjacency_edge_[pu] = static_cast<EdgeId>(id);
+    const std::size_t pv = cursor[e.v]++;
+    graph.adjacency_[pv] = e.u;
+    graph.weights_[pv] = e.weight;
+    graph.adjacency_edge_[pv] = static_cast<EdgeId>(id);
+  }
+  // Edges were inserted in ascending (u, v) order, so each vertex's neighbor
+  // run is already sorted: for vertex x, neighbors from edges (x, v) arrive in
+  // ascending v, and neighbors from edges (u, x) arrive in ascending u — but
+  // the two interleave, so sort each run to guarantee the invariant.
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t begin = graph.offsets_[v];
+    const std::size_t end = graph.offsets_[v + 1];
+    std::vector<std::size_t> order(end - begin);
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = begin + i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return graph.adjacency_[a] < graph.adjacency_[b];
+    });
+    std::vector<VertexId> adj_tmp(order.size());
+    std::vector<double> w_tmp(order.size());
+    std::vector<EdgeId> id_tmp(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      adj_tmp[i] = graph.adjacency_[order[i]];
+      w_tmp[i] = graph.weights_[order[i]];
+      id_tmp[i] = graph.adjacency_edge_[order[i]];
+    }
+    std::copy(adj_tmp.begin(), adj_tmp.end(), graph.adjacency_.begin() + static_cast<std::ptrdiff_t>(begin));
+    std::copy(w_tmp.begin(), w_tmp.end(), graph.weights_.begin() + static_cast<std::ptrdiff_t>(begin));
+    std::copy(id_tmp.begin(), id_tmp.end(), graph.adjacency_edge_.begin() + static_cast<std::ptrdiff_t>(begin));
+  }
+  return graph;
+}
+
+std::span<const VertexId> WeightedGraph::neighbors(VertexId v) const {
+  LC_DCHECK(v < vertex_count());
+  return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+}
+
+std::span<const double> WeightedGraph::neighbor_weights(VertexId v) const {
+  LC_DCHECK(v < vertex_count());
+  return {weights_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+}
+
+std::span<const EdgeId> WeightedGraph::neighbor_edge_ids(VertexId v) const {
+  LC_DCHECK(v < vertex_count());
+  return {adjacency_edge_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+}
+
+const Edge& WeightedGraph::edge(EdgeId id) const {
+  LC_CHECK(id < edges_.size());
+  return edges_[id];
+}
+
+EdgeId WeightedGraph::find_edge(VertexId u, VertexId v) const {
+  if (u >= vertex_count() || v >= vertex_count() || u == v) return kInvalidEdge;
+  // Search the smaller adjacency list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const std::span<const VertexId> adj = neighbors(u);
+  const auto it = std::lower_bound(adj.begin(), adj.end(), v);
+  if (it == adj.end() || *it != v) return kInvalidEdge;
+  const std::size_t pos = static_cast<std::size_t>(it - adj.begin());
+  return neighbor_edge_ids(u)[pos];
+}
+
+std::optional<double> WeightedGraph::edge_weight(VertexId u, VertexId v) const {
+  const EdgeId id = find_edge(u, v);
+  if (id == kInvalidEdge) return std::nullopt;
+  return edges_[id].weight;
+}
+
+double WeightedGraph::density() const {
+  const double n = static_cast<double>(vertex_count());
+  if (n < 2.0) return 0.0;
+  return 2.0 * static_cast<double>(edge_count()) / (n * (n - 1.0));
+}
+
+std::size_t WeightedGraph::memory_bytes() const {
+  return offsets_.capacity() * sizeof(std::size_t) +
+         adjacency_.capacity() * sizeof(VertexId) +
+         weights_.capacity() * sizeof(double) +
+         adjacency_edge_.capacity() * sizeof(EdgeId) + edges_.capacity() * sizeof(Edge);
+}
+
+}  // namespace lc::graph

@@ -1,0 +1,110 @@
+// Weighted undirected graph in compressed-sparse-row form.
+//
+// This is the substrate the whole library clusters over (§III of the paper:
+// G(V, E) with positive edge weights). Graphs are immutable after build();
+// construction goes through GraphBuilder, which canonicalizes edges to
+// (min, max) endpoint order, rejects self-loops and non-positive weights, and
+// combines duplicate insertions by summing their weights.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lc::graph {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// A canonical undirected edge: u < v, weight > 0.
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+  double weight = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class WeightedGraph;
+
+/// Mutable accumulation of edges; produces an immutable WeightedGraph.
+class GraphBuilder {
+ public:
+  /// `vertex_count` fixes |V|; vertices are 0..|V|-1.
+  explicit GraphBuilder(std::size_t vertex_count);
+
+  /// Adds an undirected edge. Self-loops are rejected (returns false), as are
+  /// non-positive or non-finite weights and out-of-range endpoints.
+  /// Duplicate (u, v) insertions accumulate weight.
+  bool add_edge(VertexId u, VertexId v, double weight = 1.0);
+
+  [[nodiscard]] std::size_t vertex_count() const { return vertex_count_; }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  /// Builds the CSR graph. The builder is left empty afterwards.
+  WeightedGraph build();
+
+ private:
+  std::size_t vertex_count_;
+  std::vector<Edge> edges_;
+};
+
+/// Immutable weighted undirected graph.
+///
+/// Edge ids are assigned 0..|E|-1 in the canonical sorted order of (u, v)
+/// pairs; `EdgeIndex` (core module) layers the paper's randomized edge
+/// enumeration on top of these stable ids.
+class WeightedGraph {
+ public:
+  WeightedGraph() = default;
+
+  [[nodiscard]] std::size_t vertex_count() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  /// Neighbors of v, sorted ascending by vertex id.
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const;
+
+  /// Weights parallel to neighbors(v).
+  [[nodiscard]] std::span<const double> neighbor_weights(VertexId v) const;
+
+  /// Edge ids parallel to neighbors(v) (id of the undirected edge {v, n}).
+  [[nodiscard]] std::span<const EdgeId> neighbor_edge_ids(VertexId v) const;
+
+  [[nodiscard]] std::size_t degree(VertexId v) const { return neighbors(v).size(); }
+
+  /// All canonical edges, ordered by id.
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  [[nodiscard]] const Edge& edge(EdgeId id) const;
+
+  /// Id of edge {u, v}, or kInvalidEdge if absent. O(log deg).
+  [[nodiscard]] EdgeId find_edge(VertexId u, VertexId v) const;
+
+  /// Weight of edge {u, v}; nullopt if absent.
+  [[nodiscard]] std::optional<double> edge_weight(VertexId u, VertexId v) const;
+
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const {
+    return find_edge(u, v) != kInvalidEdge;
+  }
+
+  /// 2|E| / (|V| (|V|-1)); 0 for graphs with < 2 vertices.
+  [[nodiscard]] double density() const;
+
+  /// Approximate heap footprint of the CSR arrays, in bytes.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::size_t> offsets_;      // |V|+1
+  std::vector<VertexId> adjacency_;       // 2|E|, sorted within each vertex
+  std::vector<double> weights_;           // parallel to adjacency_
+  std::vector<EdgeId> adjacency_edge_;    // parallel to adjacency_
+  std::vector<Edge> edges_;               // |E| canonical edges by id
+};
+
+}  // namespace lc::graph

@@ -1,0 +1,98 @@
+#include "graph/io.hpp"
+#include <limits>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace lc::graph {
+
+IoResult write_edge_list(const WeightedGraph& graph, std::ostream& out) {
+  IoResult result;
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "# linkcluster edge list: " << graph.vertex_count() << " vertices, "
+      << graph.edge_count() << " edges\n";
+  for (const Edge& e : graph.edges()) {
+    out << e.u << ' ' << e.v << ' ' << e.weight << '\n';
+  }
+  if (!out) {
+    result.error = "stream write failed";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+IoResult write_edge_list(const WeightedGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    IoResult result;
+    result.error = "cannot open '" + path + "' for writing";
+    return result;
+  }
+  return write_edge_list(graph, out);
+}
+
+std::optional<WeightedGraph> read_edge_list(std::istream& in, IoResult* result) {
+  IoResult local;
+  struct RawEdge {
+    std::uint64_t u, v;
+    double w;
+  };
+  std::vector<RawEdge> raw;
+  std::uint64_t max_id = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::istringstream ls{std::string(trimmed)};
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    double w = 1.0;
+    if (!(ls >> u >> v)) {
+      ++local.lines_skipped;
+      continue;
+    }
+    if (!(ls >> w)) w = 1.0;
+    if (u == v || !(w > 0.0)) {
+      ++local.lines_skipped;
+      continue;
+    }
+    if (u > 0xFFFFFFFFull || v > 0xFFFFFFFFull) {
+      ++local.lines_skipped;
+      continue;
+    }
+    raw.push_back({u, v, w});
+    max_id = std::max({max_id, u, v});
+  }
+  if (in.bad()) {
+    local.error = "stream read failed";
+    if (result != nullptr) *result = local;
+    return std::nullopt;
+  }
+  GraphBuilder builder(raw.empty() ? 0 : static_cast<std::size_t>(max_id) + 1);
+  for (const RawEdge& e : raw) {
+    builder.add_edge(static_cast<VertexId>(e.u), static_cast<VertexId>(e.v), e.w);
+  }
+  local.ok = true;
+  if (result != nullptr) *result = local;
+  return builder.build();
+}
+
+std::optional<WeightedGraph> read_edge_list(const std::string& path, IoResult* result) {
+  std::ifstream in(path);
+  if (!in) {
+    if (result != nullptr) {
+      result->ok = false;
+      result->error = "cannot open '" + path + "' for reading";
+    }
+    return std::nullopt;
+  }
+  return read_edge_list(in, result);
+}
+
+}  // namespace lc::graph

@@ -1,0 +1,33 @@
+// Plain-text edge-list I/O.
+//
+// Format: one edge per line, "u v weight" (weight optional, default 1.0);
+// '#'-prefixed lines are comments. This is the common interchange format of
+// SNAP/KONECT-style public graph datasets, which substitute for the paper's
+// proprietary Twitter-derived graphs when a user wants to feed real data in.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace lc::graph {
+
+struct IoResult {
+  bool ok = false;
+  std::string error;           ///< empty when ok
+  std::size_t lines_skipped = 0;  ///< malformed/self-loop lines dropped (read only)
+};
+
+/// Writes `graph` as an edge list. Returns ok=false with a message on I/O error.
+IoResult write_edge_list(const WeightedGraph& graph, const std::string& path);
+IoResult write_edge_list(const WeightedGraph& graph, std::ostream& out);
+
+/// Reads an edge list. Vertex ids may be arbitrary non-negative integers; the
+/// graph is built over max_id + 1 vertices. Malformed lines are counted in
+/// lines_skipped rather than failing the whole read.
+std::optional<WeightedGraph> read_edge_list(const std::string& path, IoResult* result = nullptr);
+std::optional<WeightedGraph> read_edge_list(std::istream& in, IoResult* result = nullptr);
+
+}  // namespace lc::graph

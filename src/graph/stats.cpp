@@ -1,0 +1,64 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+namespace lc::graph {
+namespace {
+
+std::uint64_t pair_key(VertexId a, VertexId b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+std::uint64_t count_incident_edge_pairs(const WeightedGraph& graph) {
+  std::uint64_t k2 = 0;
+  const std::size_t n = graph.vertex_count();
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint64_t d = graph.degree(v);
+    k2 += d * (d - 1) / 2;
+  }
+  return k2;
+}
+
+std::uint64_t count_vertex_pairs_with_common_neighbor(const WeightedGraph& graph) {
+  // Enumerate, for every vertex w, all pairs (u, v) of its neighbors with
+  // u < v; count distinct pairs. This is exactly the key set of map M in
+  // Algorithm 1, so |set| == K1.
+  std::unordered_set<std::uint64_t> pairs;
+  pairs.reserve(static_cast<std::size_t>(count_incident_edge_pairs(graph) / 2 + 16));
+  const std::size_t n = graph.vertex_count();
+  for (VertexId w = 0; w < n; ++w) {
+    const std::span<const VertexId> adj = graph.neighbors(w);
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      for (std::size_t j = i + 1; j < adj.size(); ++j) {
+        pairs.insert(pair_key(adj[i], adj[j]));
+      }
+    }
+  }
+  return pairs.size();
+}
+
+GraphStats compute_stats(const WeightedGraph& graph) {
+  GraphStats stats;
+  stats.vertices = graph.vertex_count();
+  stats.edges = graph.edge_count();
+  stats.density = graph.density();
+  stats.k2 = count_incident_edge_pairs(graph);
+  stats.k1 = count_vertex_pairs_with_common_neighbor(graph);
+  const std::uint64_t m = stats.edges;
+  stats.k3 = m * (m - 1) / 2;
+  std::size_t max_degree = 0;
+  for (VertexId v = 0; v < stats.vertices; ++v) {
+    max_degree = std::max(max_degree, graph.degree(v));
+  }
+  stats.max_degree = max_degree;
+  stats.mean_degree = stats.vertices == 0
+                          ? 0.0
+                          : 2.0 * static_cast<double>(m) / static_cast<double>(stats.vertices);
+  return stats;
+}
+
+}  // namespace lc::graph

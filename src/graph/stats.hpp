@@ -1,0 +1,37 @@
+// Graph statistics used throughout the paper's analysis (§IV-C):
+//
+//   K1 — number of vertex pairs with at least one common neighbor
+//   K2 — number of pairs of incident edges (Σ_v d_v (d_v - 1) / 2)
+//   K3 — number of pairs of distinct edges (|E| (|E|-1) / 2)
+//
+// plus degree summaries and density, for Fig. 4(1).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace lc::graph {
+
+struct GraphStats {
+  std::size_t vertices = 0;
+  std::size_t edges = 0;
+  std::uint64_t k1 = 0;  ///< vertex pairs sharing >= 1 common neighbor
+  std::uint64_t k2 = 0;  ///< incident edge pairs
+  std::uint64_t k3 = 0;  ///< distinct edge pairs
+  double density = 0.0;
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+};
+
+/// Computes all statistics. K1 requires enumerating two-hop pairs and is the
+/// expensive part: O(K2) time, O(K1) transient space.
+GraphStats compute_stats(const WeightedGraph& graph);
+
+/// K2 alone (cheap: degree sum).
+std::uint64_t count_incident_edge_pairs(const WeightedGraph& graph);
+
+/// K1 alone.
+std::uint64_t count_vertex_pairs_with_common_neighbor(const WeightedGraph& graph);
+
+}  // namespace lc::graph

@@ -1,0 +1,129 @@
+#include "numeric/least_squares.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace lc::numeric {
+
+bool solve_linear_system(std::vector<double>& a, std::vector<double>& b, std::size_t n) {
+  LC_CHECK(a.size() == n * n);
+  LC_CHECK(b.size() == n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: pick the largest-magnitude entry in this column.
+    std::size_t pivot = col;
+    double best = std::fabs(a[col * n + col]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double candidate = std::fabs(a[row * n + col]);
+      if (candidate > best) {
+        best = candidate;
+        pivot = row;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a[col * n + j], a[pivot * n + j]);
+      std::swap(b[col], b[pivot]);
+    }
+    const double diag = a[col * n + col];
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j) a[row * n + j] -= factor * a[col * n + j];
+      b[row] -= factor * b[col];
+    }
+  }
+  for (std::size_t rev = n; rev-- > 0;) {
+    double sum = b[rev];
+    for (std::size_t j = rev + 1; j < n; ++j) sum -= a[rev * n + j] * b[j];
+    b[rev] = sum / a[rev * n + rev];
+  }
+  return true;
+}
+
+LeastSquaresResult levenberg_marquardt(const ResidualFn& residual_fn,
+                                       std::vector<double> initial_params,
+                                       std::size_t residual_count,
+                                       const LeastSquaresOptions& options) {
+  const std::size_t n = initial_params.size();
+  const std::size_t m = residual_count;
+  LC_CHECK_MSG(n > 0 && m >= n, "need at least as many residuals as parameters");
+
+  LeastSquaresResult result;
+  result.params = std::move(initial_params);
+
+  std::vector<double> residuals(m);
+  std::vector<double> jacobian(m * n);
+
+  auto cost_of = [](const std::vector<double>& r) {
+    double cost = 0.0;
+    for (double v : r) cost += v * v;
+    return 0.5 * cost;
+  };
+
+  residual_fn(result.params, residuals, &jacobian);
+  double cost = cost_of(residuals);
+  double lambda = options.initial_lambda;
+
+  std::vector<double> jtj(n * n);
+  std::vector<double> jtr(n);
+  std::vector<double> trial_params(n);
+  std::vector<double> trial_residuals(m);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Normal equations (J^T J + lambda diag(J^T J)) dp = -J^T r.
+    std::fill(jtj.begin(), jtj.end(), 0.0);
+    std::fill(jtr.begin(), jtr.end(), 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* row = &jacobian[i * n];
+      for (std::size_t j = 0; j < n; ++j) {
+        jtr[j] += row[j] * residuals[i];
+        for (std::size_t k = j; k < n; ++k) jtj[j * n + k] += row[j] * row[k];
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < j; ++k) jtj[j * n + k] = jtj[k * n + j];
+    }
+
+    std::vector<double> damped = jtj;
+    std::vector<double> rhs(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double diag = jtj[j * n + j];
+      damped[j * n + j] = diag + lambda * (diag > 1e-300 ? diag : 1.0);
+      rhs[j] = -jtr[j];
+    }
+    if (!solve_linear_system(damped, rhs, n)) {
+      lambda *= options.lambda_up;
+      continue;
+    }
+
+    for (std::size_t j = 0; j < n; ++j) trial_params[j] = result.params[j] + rhs[j];
+    residual_fn(trial_params, trial_residuals, nullptr);
+    const double trial_cost = cost_of(trial_residuals);
+
+    if (std::isfinite(trial_cost) && trial_cost < cost) {
+      const double improvement = (cost - trial_cost) / (cost > 1e-300 ? cost : 1.0);
+      result.params = trial_params;
+      residual_fn(result.params, residuals, &jacobian);
+      cost = trial_cost;
+      lambda *= options.lambda_down;
+      if (lambda < 1e-12) lambda = 1e-12;
+      if (improvement < options.tolerance) {
+        result.converged = true;
+        break;
+      }
+    } else {
+      lambda *= options.lambda_up;
+      if (lambda > 1e12) {  // stuck: accept the current point as converged
+        result.converged = true;
+        break;
+      }
+    }
+  }
+
+  result.cost = cost;
+  return result;
+}
+
+}  // namespace lc::numeric

@@ -1,0 +1,44 @@
+// Dense Levenberg–Marquardt nonlinear least squares for small parameter
+// counts (the sigmoid fit has 4 parameters). Normal equations are solved with
+// Gaussian elimination and partial pivoting; problem sizes here are tiny so
+// numerical sophistication beyond LM damping is unnecessary.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace lc::numeric {
+
+struct LeastSquaresOptions {
+  std::size_t max_iterations = 200;
+  double initial_lambda = 1e-3;     ///< LM damping factor
+  double lambda_up = 10.0;          ///< multiplier on rejected steps
+  double lambda_down = 0.2;         ///< multiplier on accepted steps
+  double tolerance = 1e-12;         ///< relative cost-improvement stop criterion
+};
+
+struct LeastSquaresResult {
+  std::vector<double> params;
+  double cost = 0.0;  ///< final 0.5 * sum of squared residuals
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// residual_fn(params, residuals, jacobian): fills `residuals` (size m) and,
+/// when `jacobian` != nullptr, the m×n row-major Jacobian d r_i / d p_j.
+using ResidualFn =
+    std::function<void(const std::vector<double>&, std::vector<double>&, std::vector<double>*)>;
+
+/// Minimizes 0.5 * ||r(p)||^2 starting from `initial_params`.
+/// `residual_count` is m; the parameter count n is initial_params.size().
+LeastSquaresResult levenberg_marquardt(const ResidualFn& residual_fn,
+                                       std::vector<double> initial_params,
+                                       std::size_t residual_count,
+                                       const LeastSquaresOptions& options = {});
+
+/// Solves the n×n linear system A x = b in place (A row-major, partial
+/// pivoting). Returns false if A is singular to working precision.
+bool solve_linear_system(std::vector<double>& a, std::vector<double>& b, std::size_t n);
+
+}  // namespace lc::numeric

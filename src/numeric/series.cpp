@@ -1,0 +1,75 @@
+#include "numeric/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace lc::numeric {
+
+std::vector<double> normalize_unit(const std::vector<double>& values) {
+  if (values.empty()) return {};
+  const auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+  const double lo = *min_it;
+  const double hi = *max_it;
+  std::vector<double> out(values.size(), 0.0);
+  if (hi > lo) {
+    const double range = hi - lo;
+    for (std::size_t i = 0; i < values.size(); ++i) out[i] = (values[i] - lo) / range;
+  }
+  return out;
+}
+
+Series normalized_log_series(const Series& series) {
+  LC_CHECK(series.x.size() == series.y.size());
+  std::vector<double> logx(series.x.size());
+  for (std::size_t i = 0; i < series.x.size(); ++i) {
+    LC_CHECK_MSG(series.x[i] > 0.0, "log transform requires positive x");
+    logx[i] = std::log(series.x[i]);
+  }
+  Series out;
+  out.x = normalize_unit(logx);
+  out.y = normalize_unit(series.y);
+  return out;
+}
+
+Series downsample(const Series& series, std::size_t max_points) {
+  LC_CHECK(series.x.size() == series.y.size());
+  const std::size_t n = series.size();
+  if (n <= max_points || max_points < 2) return series;
+  Series out;
+  out.x.reserve(max_points);
+  out.y.reserve(max_points);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const std::size_t idx = (i * (n - 1)) / (max_points - 1);
+    out.x.push_back(series.x[idx]);
+    out.y.push_back(series.y[idx]);
+  }
+  return out;
+}
+
+double mean_abs_difference(const std::vector<double>& a, const std::vector<double>& b) {
+  LC_CHECK(a.size() == b.size());
+  LC_CHECK(!a.empty());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+  return sum / static_cast<double>(a.size());
+}
+
+double interpolate(const Series& series, double query_x) {
+  LC_CHECK(series.x.size() == series.y.size());
+  LC_CHECK(!series.x.empty());
+  const auto& xs = series.x;
+  const auto& ys = series.y;
+  if (query_x <= xs.front()) return ys.front();
+  if (query_x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), query_x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double span = xs[hi] - xs[lo];
+  if (span <= 0.0) return ys[lo];
+  const double t = (query_x - xs[lo]) / span;
+  return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+}  // namespace lc::numeric

@@ -1,0 +1,38 @@
+// Curve/series helpers used when reproducing the paper's normalized plots
+// (Fig. 2): axis normalization to [0,1], log transforms, and simple
+// downsampling for compact bench output.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lc::numeric {
+
+/// An (x, y) series.
+struct Series {
+  std::vector<double> x;
+  std::vector<double> y;
+
+  [[nodiscard]] std::size_t size() const { return x.size(); }
+};
+
+/// Linearly rescales values to span exactly [0, 1]. A constant series maps to
+/// all zeros. Returns the scaled copy.
+std::vector<double> normalize_unit(const std::vector<double>& values);
+
+/// Applies the paper's Fig. 2(2) transform: x' = normalized log(x),
+/// y' = normalized y. All x must be positive.
+Series normalized_log_series(const Series& series);
+
+/// Keeps at most `max_points` samples, evenly spaced by index (first and last
+/// are always kept).
+Series downsample(const Series& series, std::size_t max_points);
+
+/// Mean absolute difference between two equally-sized y-vectors.
+double mean_abs_difference(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Linear interpolation of `series` at query x (clamped to the range).
+/// x must be strictly increasing.
+double interpolate(const Series& series, double query_x);
+
+}  // namespace lc::numeric

@@ -1,0 +1,61 @@
+#include "numeric/sigmoid.hpp"
+
+#include <cmath>
+
+#include "numeric/least_squares.hpp"
+#include "util/check.hpp"
+
+namespace lc::numeric {
+
+double sigmoid_eval(const SigmoidParams& params, double x) {
+  LC_CHECK_MSG(x > 0.0, "sigmoid model is defined for positive x (log x)");
+  const double z = -params.k * (std::log(x) - params.b);
+  return params.a / (1.0 + std::exp(z)) + params.c;
+}
+
+std::array<double, 4> sigmoid_gradient(const SigmoidParams& params, double x) {
+  LC_CHECK(x > 0.0);
+  const double u = std::log(x) - params.b;
+  const double e = std::exp(-params.k * u);
+  const double denom = 1.0 + e;
+  const double s = 1.0 / denom;          // logistic(k*u)
+  const double ds_du = params.k * e * s * s;  // d/du logistic
+  std::array<double, 4> grad{};
+  grad[0] = s;                       // d/da
+  grad[1] = -params.a * ds_du;       // d/db (u depends on b with factor -1)
+  grad[2] = 1.0;                     // d/dc
+  grad[3] = params.a * u * e * s * s;  // d/dk
+  return grad;
+}
+
+SigmoidFit fit_sigmoid(const std::vector<double>& x, const std::vector<double>& y,
+                       const SigmoidParams& init) {
+  LC_CHECK_MSG(x.size() == y.size(), "x and y must be parallel arrays");
+  LC_CHECK_MSG(x.size() >= 4, "need at least 4 samples to fit 4 parameters");
+  for (double v : x) LC_CHECK_MSG(v > 0.0, "all x samples must be positive");
+
+  const std::size_t m = x.size();
+  auto residual_fn = [&](const std::vector<double>& p, std::vector<double>& r,
+                         std::vector<double>* jac) {
+    const SigmoidParams params{p[0], p[1], p[2], p[3]};
+    for (std::size_t i = 0; i < m; ++i) {
+      r[i] = sigmoid_eval(params, x[i]) - y[i];
+      if (jac != nullptr) {
+        const std::array<double, 4> g = sigmoid_gradient(params, x[i]);
+        for (std::size_t j = 0; j < 4; ++j) (*jac)[i * 4 + j] = g[j];
+      }
+    }
+  };
+
+  const LeastSquaresResult lm = levenberg_marquardt(
+      residual_fn, {init.a, init.b, init.c, init.k}, m);
+
+  SigmoidFit fit;
+  fit.params = SigmoidParams{lm.params[0], lm.params[1], lm.params[2], lm.params[3]};
+  fit.rmse = std::sqrt(2.0 * lm.cost / static_cast<double>(m));
+  fit.iterations = lm.iterations;
+  fit.converged = lm.converged;
+  return fit;
+}
+
+}  // namespace lc::numeric

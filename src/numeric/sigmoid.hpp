@@ -1,0 +1,47 @@
+// The sigmoid model of §V used for coarse-grained dendrogram shape prediction:
+//
+//   y = f(x) = a / (1 + e^{-k (log x - b)}) + c
+//
+// where x is the (normalized) level identifier, y the (normalized) number of
+// clusters, and (a, b, c, k) the model parameters. The paper reports that
+// a = -1, b = 0.48, c = 1, k = 10 agrees with the measured curves for word
+// fractions 0.0005 and 0.001 (Fig. 2(2)).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace lc::numeric {
+
+struct SigmoidParams {
+  double a = -1.0;
+  double b = 0.48;
+  double c = 1.0;
+  double k = 10.0;
+};
+
+/// The paper's reference parameterization.
+inline constexpr std::array<double, 4> kPaperSigmoid = {-1.0, 0.48, 1.0, 10.0};
+
+/// Evaluates the sigmoid model at x (x > 0; log is the natural logarithm of
+/// the already-normalized level id as in the paper's plot).
+double sigmoid_eval(const SigmoidParams& params, double x);
+
+/// Analytic gradient of sigmoid_eval with respect to (a, b, c, k).
+std::array<double, 4> sigmoid_gradient(const SigmoidParams& params, double x);
+
+/// Result of a model fit.
+struct SigmoidFit {
+  SigmoidParams params;
+  double rmse = 0.0;          ///< root-mean-square residual at convergence
+  std::size_t iterations = 0; ///< LM iterations used
+  bool converged = false;
+};
+
+/// Fits the sigmoid model to (x, y) samples via Levenberg–Marquardt, starting
+/// from `init`. x values must be positive.
+SigmoidFit fit_sigmoid(const std::vector<double>& x, const std::vector<double>& y,
+                       const SigmoidParams& init = SigmoidParams{});
+
+}  // namespace lc::numeric

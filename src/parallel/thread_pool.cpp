@@ -1,0 +1,117 @@
+#include "parallel/thread_pool.hpp"
+
+#include "util/check.hpp"
+
+namespace lc::parallel {
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  LC_CHECK_MSG(thread_count >= 1, "a thread pool needs at least one worker");
+  workers_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_batch(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  LC_CHECK_MSG(batch_.tasks == nullptr, "run_batch is not reentrant");
+  batch_.tasks = &tasks;
+  batch_.next_index = 0;
+  batch_.remaining = tasks.size();
+  work_ready_.notify_all();
+  batch_done_.wait(lock, [this] { return batch_.remaining == 0; });
+  batch_.tasks = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_ready_.wait(lock, [this] {
+      return shutdown_ || (batch_.tasks != nullptr && batch_.next_index < batch_.tasks->size());
+    });
+    if (shutdown_) return;
+    while (batch_.tasks != nullptr && batch_.next_index < batch_.tasks->size()) {
+      const std::size_t index = batch_.next_index++;
+      const std::function<void()>& task = (*batch_.tasks)[index];
+      lock.unlock();
+      task();
+      lock.lock();
+      if (--batch_.remaining == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+std::vector<std::size_t> split_range(std::size_t n, std::size_t parts) {
+  LC_CHECK_MSG(parts >= 1, "need at least one part");
+  std::vector<std::size_t> bounds(parts + 1, 0);
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  for (std::size_t i = 0; i < parts; ++i) {
+    bounds[i + 1] = bounds[i] + base + (i < extra ? 1 : 0);
+  }
+  LC_DCHECK(bounds.back() == n);
+  return bounds;
+}
+
+void parallel_for_blocks(ThreadPool& pool, std::size_t n,
+                         const std::function<void(std::size_t, std::size_t)>& fn) {
+  const std::vector<std::size_t> bounds = split_range(n, pool.thread_count());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(pool.thread_count());
+  for (std::size_t t = 0; t < pool.thread_count(); ++t) {
+    const std::size_t begin = bounds[t];
+    const std::size_t end = bounds[t + 1];
+    if (begin == end) continue;
+    tasks.push_back([&fn, begin, end] { fn(begin, end); });
+  }
+  pool.run_batch(tasks);
+}
+
+void tournament_reduce(ThreadPool& pool, std::size_t item_count,
+                       const std::function<void(std::size_t, std::size_t)>& merge_fn,
+                       std::size_t final_fan_in) {
+  LC_CHECK_MSG(final_fan_in >= 1, "final fan-in must be positive");
+  if (item_count <= 1) return;
+  std::vector<std::size_t> active(item_count);
+  for (std::size_t i = 0; i < item_count; ++i) active[i] = i;
+
+  while (active.size() > final_fan_in) {
+    std::vector<std::function<void()>> tasks;
+    std::vector<std::size_t> survivors;
+    survivors.reserve(active.size() / 2 + 1);
+    std::size_t i = 0;
+    for (; i + 1 < active.size(); i += 2) {
+      const std::size_t dst = active[i];
+      const std::size_t src = active[i + 1];
+      survivors.push_back(dst);
+      tasks.push_back([&merge_fn, dst, src] { merge_fn(dst, src); });
+    }
+    if (i < active.size()) survivors.push_back(active[i]);  // odd one carries over
+    pool.run_batch(tasks);
+    active = std::move(survivors);
+  }
+
+  // Final sequential merge of the at-most-final_fan_in survivors into item 0
+  // of the active list (single thread, matching the paper's description).
+  if (active.size() > 1) {
+    std::vector<std::function<void()>> tasks;
+    const std::size_t dst = active[0];
+    std::vector<std::size_t> rest(active.begin() + 1, active.end());
+    tasks.push_back([&merge_fn, dst, rest] {
+      for (std::size_t src : rest) merge_fn(dst, src);
+    });
+    pool.run_batch(tasks);
+  }
+}
+
+}  // namespace lc::parallel

@@ -1,0 +1,72 @@
+// Fixed-size thread pool.
+//
+// The paper's parallelization (§VI) launches T workers per pass and joins
+// them; we keep a persistent pool so the benches don't pay thread start-up in
+// every measured region. Tasks are plain std::function<void()>; run_batch()
+// is the primitive every parallel pass uses (submit T tasks, wait for all).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lc::parallel {
+
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers (>= 1).
+  explicit ThreadPool(std::size_t thread_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Runs all tasks on the pool and blocks until every one has finished.
+  /// Exceptions escaping a task terminate (tasks are required to be noexcept
+  /// in spirit; the library's parallel passes never throw).
+  void run_batch(const std::vector<std::function<void()>>& tasks);
+
+ private:
+  void worker_loop();
+
+  struct Batch {
+    const std::vector<std::function<void()>>* tasks = nullptr;
+    std::size_t next_index = 0;
+    std::size_t remaining = 0;
+  };
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  Batch batch_;
+  bool shutdown_ = false;
+};
+
+/// Splits [0, n) into `parts` contiguous ranges of near-equal size.
+/// Returns part boundaries: result[i]..result[i+1] is part i. Some trailing
+/// parts may be empty when n < parts.
+std::vector<std::size_t> split_range(std::size_t n, std::size_t parts);
+
+/// parallel_for: applies fn(begin, end) over a static block partition of
+/// [0, n) using the pool (the caller's thread is not used).
+void parallel_for_blocks(ThreadPool& pool, std::size_t n,
+                         const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Tournament (hierarchical pairwise) reduction driver, the paper's §VI-A
+/// pass-2 / §VI-B merge structure: in each round, pairs (0,1), (2,3), ... are
+/// merged concurrently via merge_fn(dst_index, src_index) — src is merged
+/// into dst and drops out. When at most `final_fan_in` items remain, a single
+/// thread merges the rest sequentially into item 0 (the paper uses
+/// final_fan_in = 3). `item_count` is the initial number of items.
+void tournament_reduce(ThreadPool& pool, std::size_t item_count,
+                       const std::function<void(std::size_t, std::size_t)>& merge_fn,
+                       std::size_t final_fan_in = 3);
+
+}  // namespace lc::parallel

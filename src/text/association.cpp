@@ -1,0 +1,78 @@
+#include "text/association.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace lc::text {
+namespace {
+
+std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+AssociationGraph build_association_graph(const std::vector<TokenizedDocument>& documents,
+                                         std::vector<std::string> words) {
+  AssociationGraph result;
+  const std::size_t n = words.size();
+  std::unordered_map<std::string, std::uint32_t> id_of;
+  id_of.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) id_of[words[i]] = static_cast<std::uint32_t>(i);
+
+  // Document frequencies and pair co-occurrence counts (per-document
+  // presence, deduplicated, matching the indicator-variable model).
+  std::vector<std::uint64_t> doc_freq(n, 0);
+  std::unordered_map<std::uint64_t, std::uint64_t> pair_counts;
+  std::vector<std::uint32_t> present;
+  std::size_t used_documents = 0;
+
+  for (const TokenizedDocument& doc : documents) {
+    present.clear();
+    for (const std::string& word : doc) {
+      const auto it = id_of.find(word);
+      if (it != id_of.end()) present.push_back(it->second);
+    }
+    ++used_documents;
+    if (present.empty()) continue;
+    std::sort(present.begin(), present.end());
+    present.erase(std::unique(present.begin(), present.end()), present.end());
+    for (std::uint32_t id : present) ++doc_freq[id];
+    for (std::size_t i = 0; i < present.size(); ++i) {
+      for (std::size_t j = i + 1; j < present.size(); ++j) {
+        ++pair_counts[pair_key(present[i], present[j])];
+      }
+    }
+  }
+
+  graph::GraphBuilder builder(n);
+  if (used_documents > 0) {
+    const double m = static_cast<double>(used_documents);
+    for (const auto& [key, count] : pair_counts) {
+      const auto a = static_cast<std::uint32_t>(key >> 32);
+      const auto b = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
+      const double p_ab = static_cast<double>(count) / m;
+      const double p_a = static_cast<double>(doc_freq[a]) / m;
+      const double p_b = static_cast<double>(doc_freq[b]) / m;
+      LC_DCHECK(p_a > 0.0 && p_b > 0.0);
+      const double w = p_ab * std::log(p_ab / (p_a * p_b));
+      if (w > 0.0) {
+        builder.add_edge(static_cast<graph::VertexId>(a), static_cast<graph::VertexId>(b), w);
+      }
+    }
+  }
+  result.graph = builder.build();
+  result.words = std::move(words);
+  return result;
+}
+
+AssociationGraph build_association_graph(const std::vector<TokenizedDocument>& documents,
+                                         const Vocabulary& vocab, double alpha) {
+  return build_association_graph(documents, vocab.top_fraction(alpha));
+}
+
+}  // namespace lc::text

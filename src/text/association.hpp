@@ -1,0 +1,36 @@
+// Word-association network construction (§III of the paper).
+//
+// Vertices are the selected candidate words. For two words f_i, f_j the edge
+// weight is the pointwise-mutual-information-style quantity of Eq. (3):
+//
+//   w_ij = p(X_i = 1, X_j = 1) * log( p(X_i=1, X_j=1) / (p(X_i=1) p(X_j=1)) )
+//
+// over the per-message indicator variables X_f ("word f appears in the
+// message"). An edge is added exactly when w_ij > 0, i.e. when the pair
+// co-occurs more often than independence predicts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "text/vocabulary.hpp"
+
+namespace lc::text {
+
+struct AssociationGraph {
+  graph::WeightedGraph graph;
+  std::vector<std::string> words;  ///< vertex id -> word (rank order)
+};
+
+/// Builds the association graph over the top-`alpha` fraction of `vocab`
+/// using document-level co-occurrence in `documents`.
+AssociationGraph build_association_graph(const std::vector<TokenizedDocument>& documents,
+                                         const Vocabulary& vocab, double alpha);
+
+/// Convenience overload: selects an explicit list of words (vertex id =
+/// position in `words`).
+AssociationGraph build_association_graph(const std::vector<TokenizedDocument>& documents,
+                                         std::vector<std::string> words);
+
+}  // namespace lc::text

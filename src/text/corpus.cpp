@@ -1,0 +1,139 @@
+#include "text/corpus.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "text/stopwords.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lc::text {
+namespace {
+
+constexpr char kConsonants[] = {'b', 'd', 'f', 'g', 'k', 'l', 'm', 'p', 'r', 't', 'v', 'z'};
+constexpr char kVowels[] = {'a', 'e', 'i', 'o', 'u'};
+constexpr std::size_t kSyllables = sizeof(kConsonants) * sizeof(kVowels);  // 60
+
+/// Cumulative Zipf table: cumulative[i] = sum_{r=0..i} (r+1)^{-s}. A prefix
+/// of the same table serves any smaller support size.
+std::vector<double> zipf_cumulative(std::size_t n, double s) {
+  std::vector<double> cumulative(n);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -s);
+    cumulative[r] = total;
+  }
+  return cumulative;
+}
+
+}  // namespace
+
+std::string synthetic_word(std::size_t index) {
+  // Base-60 syllable expansion, at least two syllables (>= 4 chars).
+  std::string word;
+  std::size_t value = index;
+  do {
+    const std::size_t digit = value % kSyllables;
+    value /= kSyllables;
+    word.insert(0, 1, kVowels[digit % sizeof(kVowels)]);
+    word.insert(0, 1, kConsonants[digit / sizeof(kVowels)]);
+  } while (value > 0);
+  while (word.size() < 4) word.insert(0, "ba");
+  return word;
+}
+
+Corpus generate_corpus(const SyntheticCorpusOptions& options) {
+  LC_CHECK_MSG(options.vocab_size >= options.num_topics,
+               "need at least one word per topic");
+  LC_CHECK_MSG(options.num_topics >= 1, "need at least one topic");
+  LC_CHECK_MSG(options.min_words >= 1 && options.min_words <= options.max_words,
+               "message length range is invalid");
+  LC_CHECK_MSG(options.global_mix >= 0.0 && options.global_mix <= 1.0,
+               "global_mix must be a probability");
+
+  Rng rng(options.seed);
+  const std::size_t vocab = options.vocab_size;
+  const std::size_t topics = options.num_topics;
+
+  // Global Zipf over all word indices; topic draws reuse a prefix of a Zipf
+  // table over the largest per-topic support (topic t owns indices
+  // {i : i % topics == t}, which preserves the global rank order inside the
+  // topic).
+  const std::vector<double> global_cdf = zipf_cumulative(vocab, options.zipf_exponent);
+  const std::size_t max_topic_size = (vocab + topics - 1) / topics;
+  const std::vector<double> topic_cdf = zipf_cumulative(max_topic_size, options.zipf_exponent);
+
+  const std::vector<std::string_view>& stops = stop_word_list();
+
+  Corpus corpus;
+  corpus.documents.reserve(options.num_documents);
+
+  for (std::size_t d = 0; d < options.num_documents; ++d) {
+    const bool global_doc = rng.next_bool(options.global_mix);
+    const std::size_t topic = rng.next_below(topics);
+    const std::size_t topic_size = vocab / topics + ((topic < vocab % topics) ? 1 : 0);
+    const std::size_t words =
+        options.min_words + rng.next_below(options.max_words - options.min_words + 1);
+
+    std::string message;
+    message.reserve(words * 12);
+
+    if (rng.next_bool(options.mention_rate)) {
+      message += "@user";
+      message += std::to_string(rng.next_below(10000));
+      message += ' ';
+    }
+
+    for (std::size_t w = 0; w < words; ++w) {
+      // Interleave stop words to exercise the filter.
+      while (rng.next_bool(options.stopword_rate / (1.0 + options.stopword_rate))) {
+        message += stops[rng.next_below(stops.size())];
+        message += ' ';
+      }
+      std::size_t word_index;
+      const bool from_global = global_doc != rng.next_bool(options.word_leak);
+      if (from_global) {
+        word_index = sample_cumulative(global_cdf.data(), vocab, rng);
+      } else {
+        const std::size_t rank = sample_cumulative(topic_cdf.data(), topic_size, rng);
+        word_index = rank * topics + topic;
+      }
+      const bool hashtag = rng.next_bool(options.hashtag_rate);
+      if (hashtag) message += '#';
+      message += synthetic_word(word_index);
+      // Occasional punctuation (must be stripped by the tokenizer).
+      if (rng.next_bool(0.1)) message += (rng.next_bool(0.5) ? "!" : ",");
+      message += ' ';
+    }
+
+    if (rng.next_bool(options.url_rate)) {
+      message += "https://t.co/";
+      message += std::to_string(rng.next_u64() % 100000);
+      message += ' ';
+    }
+    if (!message.empty() && message.back() == ' ') message.pop_back();
+    corpus.documents.push_back(std::move(message));
+  }
+  return corpus;
+}
+
+std::optional<Corpus> read_corpus_file(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open '" + path + "' for reading";
+    return std::nullopt;
+  }
+  Corpus corpus;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    corpus.documents.push_back(line);
+  }
+  if (in.bad()) {
+    if (error != nullptr) *error = "read error on '" + path + "'";
+    return std::nullopt;
+  }
+  return corpus;
+}
+
+}  // namespace lc::text

@@ -1,0 +1,316 @@
+#include "text/porter.hpp"
+
+#include <cctype>
+
+namespace lc::text {
+namespace {
+
+// The implementation follows the structure of the published algorithm: a
+// buffer b[0..k] holding the current word, with helper predicates defined on
+// index ranges. All indices are inclusive.
+
+class Stemmer {
+ public:
+  explicit Stemmer(std::string word) : b_(std::move(word)), k_(b_.size() - 1) {}
+
+  std::string run() {
+    if (b_.size() <= 2) return b_;
+    step1a();
+    step1b();
+    step1c();
+    step2();
+    step3();
+    step4();
+    step5a();
+    step5b();
+    return b_.substr(0, k_ + 1);
+  }
+
+ private:
+  /// True if b[i] is a consonant (letters other than aeiou; y is a consonant
+  /// unless preceded by a consonant).
+  bool is_consonant(std::size_t i) const {
+    switch (b_[i]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !is_consonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  /// The measure m of b[0..j_]: number of VC sequences in [C](VC)^m[V].
+  std::size_t measure(std::size_t j) const {
+    std::size_t n = 0;
+    std::size_t i = 0;
+    // skip initial consonants
+    while (true) {
+      if (i > j) return n;
+      if (!is_consonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      // in vowel run
+      while (true) {
+        if (i > j) return n;
+        if (is_consonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      // in consonant run
+      while (true) {
+        if (i > j) return n;
+        if (!is_consonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  /// True if b[0..j] contains a vowel.
+  bool has_vowel(std::size_t j) const {
+    for (std::size_t i = 0; i <= j; ++i) {
+      if (!is_consonant(i)) return true;
+    }
+    return false;
+  }
+
+  /// True if b[j-1..j] is a double consonant.
+  bool double_consonant(std::size_t j) const {
+    if (j < 1) return false;
+    if (b_[j] != b_[j - 1]) return false;
+    return is_consonant(j);
+  }
+
+  /// *o: b[j-2..j] is consonant-vowel-consonant and the final consonant is
+  /// not w, x or y. Used to restore a trailing e (e.g. hop-ing -> hope... no,
+  /// hopping; fil-ing -> file).
+  bool cvc(std::size_t j) const {
+    if (j < 2) return false;
+    if (!is_consonant(j) || is_consonant(j - 1) || !is_consonant(j - 2)) return false;
+    const char c = b_[j];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  /// True if b ends with `suffix` (within b[0..k_]); if so, j_ is set to the
+  /// index just before the suffix.
+  bool ends(std::string_view suffix) {
+    const std::size_t len = suffix.size();
+    if (len > k_ + 1) return false;
+    if (b_.compare(k_ + 1 - len, len, suffix) != 0) return false;
+    j_ = k_ - len;  // may wrap to SIZE_MAX when the suffix is the whole word
+    return true;
+  }
+
+  /// Measure of the stem b[0..j_] (0 when the suffix was the whole word).
+  std::size_t stem_measure() const {
+    if (j_ == static_cast<std::size_t>(-1)) return 0;
+    return measure(j_);
+  }
+
+  bool stem_has_vowel() const {
+    if (j_ == static_cast<std::size_t>(-1)) return false;
+    return has_vowel(j_);
+  }
+
+  /// Replaces the current suffix (after a successful ends()) with `s`.
+  void set_to(std::string_view s) {
+    b_.replace(j_ + 1, k_ - j_, s);
+    k_ = j_ + s.size();
+  }
+
+  /// set_to() guarded by m > 0.
+  void replace_if_m_positive(std::string_view s) {
+    if (stem_measure() > 0) set_to(s);
+  }
+
+  void step1a() {
+    if (b_[k_] != 's') return;
+    if (ends("sses")) {
+      k_ -= 2;
+    } else if (ends("ies")) {
+      set_to("i");
+    } else if (k_ >= 1 && b_[k_ - 1] != 's') {
+      --k_;
+    }
+  }
+
+  void step1b() {
+    bool cleanup = false;
+    if (ends("eed")) {
+      if (stem_measure() > 0) --k_;
+    } else if (ends("ed") && stem_has_vowel()) {
+      k_ = j_;
+      cleanup = true;
+    } else if (ends("ing") && stem_has_vowel()) {
+      k_ = j_;
+      cleanup = true;
+    }
+    if (!cleanup) return;
+    if (ends("at")) {
+      set_to("ate");
+    } else if (ends("bl")) {
+      set_to("ble");
+    } else if (ends("iz")) {
+      set_to("ize");
+    } else if (double_consonant(k_)) {
+      const char c = b_[k_];
+      if (c != 'l' && c != 's' && c != 'z') --k_;
+    } else if (measure(k_) == 1 && cvc(k_)) {
+      b_.replace(k_ + 1, b_.size() - k_ - 1, "e");
+      k_ += 1;
+    }
+  }
+
+  void step1c() {
+    if (ends("y") && stem_has_vowel()) b_[k_] = 'i';
+  }
+
+  void step2() {
+    // Keyed on the penultimate letter, as in the published algorithm.
+    if (k_ < 1) return;
+    switch (b_[k_ - 1]) {
+      case 'a':
+        if (ends("ational")) { replace_if_m_positive("ate"); break; }
+        if (ends("tional")) { replace_if_m_positive("tion"); break; }
+        break;
+      case 'c':
+        if (ends("enci")) { replace_if_m_positive("ence"); break; }
+        if (ends("anci")) { replace_if_m_positive("ance"); break; }
+        break;
+      case 'e':
+        if (ends("izer")) { replace_if_m_positive("ize"); break; }
+        break;
+      case 'l':
+        if (ends("abli")) { replace_if_m_positive("able"); break; }
+        if (ends("alli")) { replace_if_m_positive("al"); break; }
+        if (ends("entli")) { replace_if_m_positive("ent"); break; }
+        if (ends("eli")) { replace_if_m_positive("e"); break; }
+        if (ends("ousli")) { replace_if_m_positive("ous"); break; }
+        break;
+      case 'o':
+        if (ends("ization")) { replace_if_m_positive("ize"); break; }
+        if (ends("ation")) { replace_if_m_positive("ate"); break; }
+        if (ends("ator")) { replace_if_m_positive("ate"); break; }
+        break;
+      case 's':
+        if (ends("alism")) { replace_if_m_positive("al"); break; }
+        if (ends("iveness")) { replace_if_m_positive("ive"); break; }
+        if (ends("fulness")) { replace_if_m_positive("ful"); break; }
+        if (ends("ousness")) { replace_if_m_positive("ous"); break; }
+        break;
+      case 't':
+        if (ends("aliti")) { replace_if_m_positive("al"); break; }
+        if (ends("iviti")) { replace_if_m_positive("ive"); break; }
+        if (ends("biliti")) { replace_if_m_positive("ble"); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void step3() {
+    switch (b_[k_]) {
+      case 'e':
+        if (ends("icate")) { replace_if_m_positive("ic"); break; }
+        if (ends("ative")) { replace_if_m_positive(""); break; }
+        if (ends("alize")) { replace_if_m_positive("al"); break; }
+        break;
+      case 'i':
+        if (ends("iciti")) { replace_if_m_positive("ic"); break; }
+        break;
+      case 'l':
+        if (ends("ical")) { replace_if_m_positive("ic"); break; }
+        if (ends("ful")) { replace_if_m_positive(""); break; }
+        break;
+      case 's':
+        if (ends("ness")) { replace_if_m_positive(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void step4() {
+    if (k_ < 1) return;
+    bool matched = false;
+    switch (b_[k_ - 1]) {
+      case 'a':
+        matched = ends("al");
+        break;
+      case 'c':
+        matched = ends("ance") || ends("ence");
+        break;
+      case 'e':
+        matched = ends("er");
+        break;
+      case 'i':
+        matched = ends("ic");
+        break;
+      case 'l':
+        matched = ends("able") || ends("ible");
+        break;
+      case 'n':
+        matched = ends("ant") || ends("ement") || ends("ment") || ends("ent");
+        break;
+      case 'o':
+        if (ends("ion")) {
+          matched = j_ != static_cast<std::size_t>(-1) && (b_[j_] == 's' || b_[j_] == 't');
+        } else {
+          matched = ends("ou");
+        }
+        break;
+      case 's':
+        matched = ends("ism");
+        break;
+      case 't':
+        matched = ends("ate") || ends("iti");
+        break;
+      case 'u':
+        matched = ends("ous");
+        break;
+      case 'v':
+        matched = ends("ive");
+        break;
+      case 'z':
+        matched = ends("ize");
+        break;
+      default:
+        break;
+    }
+    if (matched && stem_measure() > 1) k_ = j_;
+  }
+
+  void step5a() {
+    if (k_ < 1 || b_[k_] != 'e') return;
+    const std::size_t m = measure(k_ - 1);
+    if (m > 1 || (m == 1 && !cvc(k_ - 1))) --k_;
+  }
+
+  void step5b() {
+    if (k_ >= 1 && b_[k_] == 'l' && double_consonant(k_) && measure(k_) > 1) --k_;
+  }
+
+  std::string b_;
+  std::size_t k_;                          ///< last valid index of the word
+  std::size_t j_ = static_cast<std::size_t>(-1);  ///< stem end set by ends()
+};
+
+}  // namespace
+
+std::string porter_stem(std::string_view word) {
+  if (word.size() <= 2) return std::string(word);
+  for (char c : word) {
+    if (std::isalpha(static_cast<unsigned char>(c)) == 0) return std::string(word);
+  }
+  return Stemmer(std::string(word)).run();
+}
+
+}  // namespace lc::text

@@ -1,0 +1,22 @@
+// Porter stemming algorithm (M. F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980), implemented from the published
+// specification.
+//
+// The paper's preprocessing pipeline (§VII) stems every tweet word with the
+// porter algorithm (via nltk); this is the equivalent from-scratch C++
+// implementation of the original algorithm, validated in
+// tests/text/porter_test.cpp against the example vocabulary of the 1980
+// paper.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace lc::text {
+
+/// Stems a single lower-case ASCII word. Words shorter than 3 characters are
+/// returned unchanged (per the original algorithm). Non-alphabetic input is
+/// returned unchanged.
+std::string porter_stem(std::string_view word);
+
+}  // namespace lc::text

@@ -1,0 +1,21 @@
+// English stop-word filtering.
+//
+// The paper removes "common stop words" (its reference [11] is the clips
+// English list) before building the word-association network. The embedded
+// list below is that standard 174-word English list; lookups accept both the
+// raw form ("don't") and the apostrophe-stripped form the tokenizer emits
+// ("dont").
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace lc::text {
+
+/// True if `word` (lower-case) is an English stop word.
+bool is_stop_word(std::string_view word);
+
+/// The embedded list (raw forms, lower-case), for inspection/tests.
+const std::vector<std::string_view>& stop_word_list();
+
+}  // namespace lc::text

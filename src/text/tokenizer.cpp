@@ -1,0 +1,55 @@
+#include "text/tokenizer.hpp"
+
+#include <cctype>
+
+#include "text/porter.hpp"
+#include "text/stopwords.hpp"
+#include "util/strings.hpp"
+
+namespace lc::text {
+namespace {
+
+bool looks_like_url(std::string_view token) {
+  return starts_with(token, "http://") || starts_with(token, "https://") ||
+         starts_with(token, "www.");
+}
+
+}  // namespace
+
+std::vector<std::string> tokenize(std::string_view message, const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  for (std::string_view raw : split_whitespace(message)) {
+    if (options.strip_urls && looks_like_url(raw)) continue;
+    if (options.strip_mentions && !raw.empty() && raw.front() == '@') continue;
+    if (!raw.empty() && raw.front() == '#') {
+      if (!options.keep_hashtag_body) continue;
+      raw.remove_prefix(1);
+    }
+    // Split the whitespace token into alphabetic runs; apostrophes join the
+    // surrounding letters ("don't" -> "dont").
+    std::string current;
+    auto flush = [&] {
+      if (current.empty()) return;
+      std::string word = std::move(current);
+      current.clear();
+      if (options.remove_stop_words && is_stop_word(word)) return;
+      if (options.stem) word = porter_stem(word);
+      if (word.size() < options.min_length) return;
+      tokens.push_back(std::move(word));
+    };
+    for (char c : raw) {
+      const auto uc = static_cast<unsigned char>(c);
+      if (std::isalpha(uc) != 0) {
+        current.push_back(static_cast<char>(std::tolower(uc)));
+      } else if (c == '\'') {
+        // skip: joins the two sides
+      } else {
+        flush();
+      }
+    }
+    flush();
+  }
+  return tokens;
+}
+
+}  // namespace lc::text

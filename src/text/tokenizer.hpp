@@ -1,0 +1,26 @@
+// Tweet tokenizer mirroring the paper's preprocessing (§VII): lower-case,
+// strip URLs / @mentions, split on non-alphabetic characters (apostrophes are
+// removed in place so "don't" -> "dont"), drop stop words, then Porter-stem
+// what remains to produce candidate words.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lc::text {
+
+struct TokenizerOptions {
+  bool strip_urls = true;       ///< drop http:// and https:// and www. tokens
+  bool strip_mentions = true;   ///< drop @user tokens
+  bool keep_hashtag_body = true;  ///< "#topic" -> "topic" (dropped when false)
+  bool remove_stop_words = true;
+  bool stem = true;             ///< Porter-stem surviving tokens
+  std::size_t min_length = 2;   ///< drop shorter tokens (post-stemming)
+};
+
+/// Tokenizes one message into candidate words.
+std::vector<std::string> tokenize(std::string_view message,
+                                  const TokenizerOptions& options = {});
+
+}  // namespace lc::text

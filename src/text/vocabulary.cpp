@@ -1,0 +1,50 @@
+#include "text/vocabulary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace lc::text {
+
+Vocabulary Vocabulary::build(const std::vector<TokenizedDocument>& documents) {
+  Vocabulary vocab;
+  std::unordered_map<std::string, std::uint64_t> counts;
+  for (const TokenizedDocument& doc : documents) {
+    for (const std::string& word : doc) ++counts[word];
+  }
+  vocab.ranked_.reserve(counts.size());
+  for (auto& [word, count] : counts) vocab.ranked_.push_back(WordCount{word, count});
+  std::sort(vocab.ranked_.begin(), vocab.ranked_.end(),
+            [](const WordCount& a, const WordCount& b) {
+              return a.count != b.count ? a.count > b.count : a.word < b.word;
+            });
+  vocab.rank_index_.reserve(vocab.ranked_.size());
+  for (std::size_t r = 0; r < vocab.ranked_.size(); ++r) {
+    vocab.rank_index_[vocab.ranked_[r].word] = r;
+  }
+  return vocab;
+}
+
+std::size_t Vocabulary::rank_of(const std::string& word) const {
+  const auto it = rank_index_.find(word);
+  return it == rank_index_.end() ? ranked_.size() : it->second;
+}
+
+std::size_t Vocabulary::selection_size(double alpha) const {
+  LC_CHECK_MSG(alpha >= 0.0, "fraction must be non-negative");
+  if (alpha >= 1.0) return ranked_.size();
+  const auto n = static_cast<std::size_t>(
+      std::ceil(alpha * static_cast<double>(ranked_.size())));
+  return std::min(n, ranked_.size());
+}
+
+std::vector<std::string> Vocabulary::top_fraction(double alpha) const {
+  const std::size_t n = selection_size(alpha);
+  std::vector<std::string> words;
+  words.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) words.push_back(ranked_[r].word);
+  return words;
+}
+
+}  // namespace lc::text

@@ -1,0 +1,50 @@
+// Candidate-word ranking (§VII of the paper): after tokenization the
+// candidate words are sorted in non-ascending order of their number of
+// appearances across all messages, and the top fraction alpha becomes the
+// vertex set of the association graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lc::text {
+
+/// One document after preprocessing: the candidate words it contains.
+using TokenizedDocument = std::vector<std::string>;
+
+struct WordCount {
+  std::string word;
+  std::uint64_t count = 0;
+};
+
+class Vocabulary {
+ public:
+  /// Counts word appearances over all documents (every occurrence counts,
+  /// matching the paper's "number of appearances in all the tweets") and
+  /// ranks non-ascending; ties break lexicographically for determinism.
+  static Vocabulary build(const std::vector<TokenizedDocument>& documents);
+
+  [[nodiscard]] std::size_t size() const { return ranked_.size(); }
+
+  /// Words ranked by frequency (rank 0 = most frequent).
+  [[nodiscard]] const std::vector<WordCount>& ranked() const { return ranked_; }
+
+  /// Rank of `word`, or size() if absent.
+  [[nodiscard]] std::size_t rank_of(const std::string& word) const;
+
+  /// Number of words selected by fraction alpha: ceil(alpha * size()),
+  /// clamped to [0, size()].
+  [[nodiscard]] std::size_t selection_size(double alpha) const;
+
+  /// The top-`alpha` fraction of candidate words, in rank order (these become
+  /// vertices 0..n-1 of the association graph).
+  [[nodiscard]] std::vector<std::string> top_fraction(double alpha) const;
+
+ private:
+  std::vector<WordCount> ranked_;
+  std::unordered_map<std::string, std::size_t> rank_index_;
+};
+
+}  // namespace lc::text

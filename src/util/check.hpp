@@ -1,0 +1,39 @@
+// Invariant-checking macros.
+//
+// LC_CHECK is for programming-error invariants (precondition/postcondition
+// violations): it aborts with a message in all build types, following the
+// CppCoreGuidelines I.6/E.12 guidance that broken invariants should not limp on.
+// LC_DCHECK compiles out in release builds and is for hot-path assertions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lc {
+
+[[noreturn]] inline void check_failed(const char* file, int line, const char* expr,
+                                      const char* msg) {
+  std::fprintf(stderr, "LC_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace lc
+
+#define LC_CHECK(expr)                                          \
+  do {                                                          \
+    if (!(expr)) ::lc::check_failed(__FILE__, __LINE__, #expr, ""); \
+  } while (false)
+
+#define LC_CHECK_MSG(expr, msg)                                      \
+  do {                                                               \
+    if (!(expr)) ::lc::check_failed(__FILE__, __LINE__, #expr, msg); \
+  } while (false)
+
+#ifdef NDEBUG
+#define LC_DCHECK(expr) \
+  do {                  \
+  } while (false)
+#else
+#define LC_DCHECK(expr) LC_CHECK(expr)
+#endif

@@ -1,0 +1,172 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace lc {
+
+void CliFlags::add_string(const std::string& name, std::string default_value,
+                          std::string help) {
+  Flag flag;
+  flag.type = Type::kString;
+  flag.help = std::move(help);
+  flag.string_value = std::move(default_value);
+  flags_[name] = std::move(flag);
+}
+
+void CliFlags::add_int(const std::string& name, std::int64_t default_value, std::string help) {
+  Flag flag;
+  flag.type = Type::kInt;
+  flag.help = std::move(help);
+  flag.int_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void CliFlags::add_double(const std::string& name, double default_value, std::string help) {
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.help = std::move(help);
+  flag.double_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void CliFlags::add_bool(const std::string& name, bool default_value, std::string help) {
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.help = std::move(help);
+  flag.bool_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+bool CliFlags::set_value(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+    return false;
+  }
+  Flag& flag = it->second;
+  try {
+    switch (flag.type) {
+      case Type::kString:
+        flag.string_value = value;
+        break;
+      case Type::kInt:
+        flag.int_value = std::stoll(value);
+        break;
+      case Type::kDouble:
+        flag.double_value = std::stod(value);
+        break;
+      case Type::kBool:
+        if (value == "true" || value == "1") {
+          flag.bool_value = true;
+        } else if (value == "false" || value == "0") {
+          flag.bool_value = false;
+        } else {
+          std::fprintf(stderr, "flag --%s expects true/false, got '%s'\n", name.c_str(),
+                       value.c_str());
+          return false;
+        }
+        break;
+    }
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "flag --%s: cannot parse value '%s'\n", name.c_str(), value.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool CliFlags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      if (!set_value(body.substr(0, eq), body.substr(eq + 1))) return false;
+      continue;
+    }
+    // "--name value" or boolean "--name" / "--no-name".
+    auto it = flags_.find(body);
+    if (it != flags_.end() && it->second.type == Type::kBool) {
+      it->second.bool_value = true;
+      continue;
+    }
+    if (it == flags_.end() && starts_with(body, "no-")) {
+      auto neg = flags_.find(body.substr(3));
+      if (neg != flags_.end() && neg->second.type == Type::kBool) {
+        neg->second.bool_value = false;
+        continue;
+      }
+    }
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n", body.c_str());
+      print_usage(argv[0]);
+      return false;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag --%s expects a value\n", body.c_str());
+      return false;
+    }
+    if (!set_value(body, argv[++i])) return false;
+  }
+  return true;
+}
+
+const CliFlags::Flag& CliFlags::require(const std::string& name, Type type) const {
+  auto it = flags_.find(name);
+  LC_CHECK_MSG(it != flags_.end(), "flag was never registered");
+  LC_CHECK_MSG(it->second.type == type, "flag accessed with the wrong type");
+  return it->second;
+}
+
+const std::string& CliFlags::get_string(const std::string& name) const {
+  return require(name, Type::kString).string_value;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name) const {
+  return require(name, Type::kInt).int_value;
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  return require(name, Type::kDouble).double_value;
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  return require(name, Type::kBool).bool_value;
+}
+
+void CliFlags::print_usage(const std::string& program) const {
+  std::fprintf(stderr, "usage: %s [flags]\n", program.c_str());
+  for (const auto& [name, flag] : flags_) {
+    std::string default_text;
+    switch (flag.type) {
+      case Type::kString:
+        default_text = "\"" + flag.string_value + "\"";
+        break;
+      case Type::kInt:
+        default_text = std::to_string(flag.int_value);
+        break;
+      case Type::kDouble:
+        default_text = strprintf("%g", flag.double_value);
+        break;
+      case Type::kBool:
+        default_text = flag.bool_value ? "true" : "false";
+        break;
+    }
+    std::fprintf(stderr, "  --%-18s %s (default: %s)\n", name.c_str(), flag.help.c_str(),
+                 default_text.c_str());
+  }
+}
+
+}  // namespace lc

@@ -1,0 +1,56 @@
+// Tiny command-line flag parser for the benches and examples.
+//
+// Supports "--name=value", "--name value", and boolean "--name" /
+// "--no-name". Unknown flags are an error so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lc {
+
+class CliFlags {
+ public:
+  /// Registers flags with defaults and help text; call before parse().
+  void add_string(const std::string& name, std::string default_value, std::string help);
+  void add_int(const std::string& name, std::int64_t default_value, std::string help);
+  void add_double(const std::string& name, double default_value, std::string help);
+  void add_bool(const std::string& name, bool default_value, std::string help);
+
+  /// Parses argv. Returns false (after printing the error and usage to
+  /// stderr) on malformed input or unknown flags; also returns false when
+  /// "--help" was given (after printing usage to stdout).
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  void print_usage(const std::string& program) const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string string_value;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+  };
+
+  bool set_value(const std::string& name, const std::string& value);
+  const Flag& require(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lc

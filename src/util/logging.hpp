@@ -1,0 +1,48 @@
+// Minimal leveled logging to stderr.
+//
+// Deliberately tiny: benchmarks and examples use it for progress lines; the
+// library itself logs only at kDebug (off by default) so embedding programs
+// stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped. Thread-safe to set
+/// before spawning workers; reads are relaxed.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace lc
+
+#define LC_LOG(level)                                     \
+  if (static_cast<int>(::lc::LogLevel::level) <           \
+      static_cast<int>(::lc::log_level())) {              \
+  } else                                                  \
+    ::lc::detail::LogMessage(::lc::LogLevel::level)

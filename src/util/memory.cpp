@@ -1,0 +1,29 @@
+#include "util/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace lc {
+
+MemoryUsage read_memory_usage() {
+  MemoryUsage usage;
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return usage;
+  char line[256];
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    unsigned long long value = 0;
+    if (std::sscanf(line, "VmSize: %llu kB", &value) == 1) {
+      usage.vm_size_kb = value;
+    } else if (std::sscanf(line, "VmPeak: %llu kB", &value) == 1) {
+      usage.vm_peak_kb = value;
+    } else if (std::sscanf(line, "VmRSS: %llu kB", &value) == 1) {
+      usage.rss_kb = value;
+    } else if (std::sscanf(line, "VmHWM: %llu kB", &value) == 1) {
+      usage.rss_peak_kb = value;
+    }
+  }
+  std::fclose(file);
+  return usage;
+}
+
+}  // namespace lc

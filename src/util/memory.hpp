@@ -1,0 +1,23 @@
+// Process memory probes (Linux /proc/self/status).
+//
+// Used by the Fig. 4(3)/5(2) benches to report the same "virtual memory
+// usage" metric the paper plots. Values are in kibibytes, matching the paper's
+// KB axis.
+#pragma once
+
+#include <cstdint>
+
+namespace lc {
+
+struct MemoryUsage {
+  std::uint64_t vm_size_kb = 0;  ///< current virtual memory (VmSize)
+  std::uint64_t vm_peak_kb = 0;  ///< peak virtual memory (VmPeak)
+  std::uint64_t rss_kb = 0;      ///< current resident set (VmRSS)
+  std::uint64_t rss_peak_kb = 0; ///< peak resident set (VmHWM)
+};
+
+/// Reads the current process's memory counters. Returns zeros if the probe
+/// is unavailable (non-Linux); callers treat 0 as "unknown".
+MemoryUsage read_memory_usage();
+
+}  // namespace lc

@@ -1,0 +1,18 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+
+namespace lc {
+
+std::size_t sample_cumulative(const double* cumulative, std::size_t n, Rng& rng) {
+  LC_CHECK_MSG(n > 0, "sample_cumulative requires a non-empty table");
+  const double total = cumulative[n - 1];
+  LC_CHECK_MSG(total > 0.0, "sample_cumulative requires positive total weight");
+  const double u = rng.next_double() * total;
+  const double* it = std::upper_bound(cumulative, cumulative + n, u);
+  std::size_t idx = static_cast<std::size_t>(it - cumulative);
+  if (idx >= n) idx = n - 1;  // u == total edge case from FP rounding
+  return idx;
+}
+
+}  // namespace lc

@@ -1,0 +1,118 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (graph generators, edge-id
+// shuffles, the synthetic corpus) take an explicit seed so every experiment is
+// reproducible bit-for-bit. We implement SplitMix64 (for seeding) and
+// xoshiro256** 1.0 (Blackman & Vigna) as the workhorse generator; both are
+// public-domain algorithms re-implemented here from their specifications.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace lc {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit generator.
+/// Satisfies std::uniform_random_bit_generator so it can drive <random>
+/// distributions, though the helpers below avoid libstdc++ distribution
+/// implementation-dependence for cross-platform reproducibility.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1c3a5f7e9b2d4c68ull) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t next_below(std::uint64_t bound) {
+    LC_CHECK_MSG(bound > 0, "next_below requires a positive bound");
+    __uint128_t m = static_cast<__uint128_t>(next_u64()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next_u64()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Bernoulli draw.
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+  /// Fork an independent stream (for per-thread generators).
+  Rng split() { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ull); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+/// In-place Fisher–Yates shuffle using Rng (deterministic across platforms,
+/// unlike std::shuffle whose draw sequence is implementation-defined).
+template <typename RandomIt>
+void shuffle(RandomIt first, RandomIt last, Rng& rng) {
+  const auto n = static_cast<std::uint64_t>(last - first);
+  for (std::uint64_t i = n; i > 1; --i) {
+    const std::uint64_t j = rng.next_below(i);
+    using std::swap;
+    swap(first[static_cast<std::ptrdiff_t>(i - 1)], first[static_cast<std::ptrdiff_t>(j)]);
+  }
+}
+
+/// Samples an index from an (unnormalized) cumulative weight table via binary
+/// search. `cumulative` must be non-decreasing with a positive final value.
+std::size_t sample_cumulative(const double* cumulative, std::size_t n, Rng& rng);
+
+}  // namespace lc

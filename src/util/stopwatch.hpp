@@ -1,0 +1,36 @@
+// Wall-clock stopwatch used throughout the bench harness.
+#pragma once
+
+#include <chrono>
+
+namespace lc {
+
+/// Monotonic wall-clock timer. Starts running on construction.
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the timer and returns the elapsed seconds before the restart.
+  double lap() {
+    const Clock::time_point now = Clock::now();
+    const double elapsed = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return elapsed;
+  }
+
+  /// Elapsed seconds since construction or the last lap()/reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace lc

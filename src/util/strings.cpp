@@ -1,0 +1,105 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace lc {
+
+std::vector<std::string_view> split(std::string_view input, char delimiter) {
+  std::vector<std::string_view> pieces;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      pieces.push_back(input.substr(start));
+      break;
+    }
+    pieces.push_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::vector<std::string_view> split_whitespace(std::string_view input) {
+  std::vector<std::string_view> pieces;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+  while (i < n) {
+    while (i < n && std::isspace(static_cast<unsigned char>(input[i])) != 0) ++i;
+    const std::size_t start = i;
+    while (i < n && std::isspace(static_cast<unsigned char>(input[i])) == 0) ++i;
+    if (i > start) pieces.push_back(input.substr(start, i - start));
+  }
+  return pieces;
+}
+
+std::string_view trim(std::string_view input) {
+  std::size_t begin = 0;
+  std::size_t end = input.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(input[begin])) != 0) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(input[end - 1])) != 0) --end;
+  return input.substr(begin, end - begin);
+}
+
+std::string to_lower(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  for (char c : input) {
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string format_seconds(double seconds) {
+  if (seconds < 0) return "-";
+  if (seconds < 1e-3) return strprintf("%.1f us", seconds * 1e6);
+  if (seconds < 1.0) return strprintf("%.1f ms", seconds * 1e3);
+  if (seconds < 100.0) return strprintf("%.2f s", seconds);
+  return strprintf("%.0f s", seconds);
+}
+
+std::string format_kb(double kb) {
+  if (kb < 0) return "-";
+  if (kb < 1024.0) return strprintf("%.1f KB", kb);
+  if (kb < 1024.0 * 1024.0) return strprintf("%.1f MB", kb / 1024.0);
+  return strprintf("%.2f GB", kb / (1024.0 * 1024.0));
+}
+
+std::string strprintf(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  LC_CHECK(needed >= 0);
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace lc

@@ -1,0 +1,37 @@
+// Small string helpers shared by the text pipeline, CLI parser and benches.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lc {
+
+/// Splits `input` on any occurrence of `delimiter`; empty pieces are kept.
+std::vector<std::string_view> split(std::string_view input, char delimiter);
+
+/// Splits on runs of ASCII whitespace; empty pieces are dropped.
+std::vector<std::string_view> split_whitespace(std::string_view input);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view input);
+
+/// ASCII lower-casing (the text pipeline only handles ASCII tokens).
+std::string to_lower(std::string_view input);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Formats `value` with thousands separators ("1,628,578") for bench tables.
+std::string with_commas(std::uint64_t value);
+
+/// Formats seconds in a human-scaled unit ("421 ms", "13.2 s").
+std::string format_seconds(double seconds);
+
+/// Formats kibibytes in a human-scaled unit ("881.2 MB", "19.9 GB").
+std::string format_kb(double kb);
+
+/// printf-style formatting into std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace lc

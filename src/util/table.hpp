@@ -1,0 +1,37 @@
+// Aligned text-table printer used by every bench binary so their output
+// matches the row/column layout of the paper's figures, plus a CSV writer so
+// results can be replotted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with columns padded to their widest cell.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Convenience: prints the text table to stdout.
+  void print() const;
+
+  /// Writes the CSV form to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lc

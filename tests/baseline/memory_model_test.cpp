@@ -1,0 +1,46 @@
+#include "baseline/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lc::baseline {
+namespace {
+
+TEST(MemoryModel, StandardIsQuadraticInEdges) {
+  const MemoryModel small = predict_memory(1000, 5000, 20000);
+  const MemoryModel big = predict_memory(10000, 50000, 200000);
+  // 10x edges -> ~100x matrix memory.
+  EXPECT_NEAR(static_cast<double>(big.standard_bytes) /
+                  static_cast<double>(small.standard_bytes),
+              100.0, 5.0);
+}
+
+TEST(MemoryModel, SweepingIsLinearInK2) {
+  const MemoryModel small = predict_memory(1000, 5000, 20000);
+  const MemoryModel big = predict_memory(1000, 5000, 200000);
+  EXPECT_LT(static_cast<double>(big.sweeping_bytes) /
+                static_cast<double>(small.sweeping_bytes),
+            10.5);
+  EXPECT_GT(big.sweeping_bytes, small.sweeping_bytes);
+}
+
+TEST(MemoryModel, PaperScaleGapReproduced) {
+  // At the paper's alpha = 0.001 point (~73k edges), standard needs ~20 GB
+  // while sweeping stays under ~1 GB: a gap of more than an order of
+  // magnitude, matching Fig. 4(3)'s 19.9 GB vs 881.2 MB.
+  const std::uint64_t edges = 73000;
+  const std::uint64_t k2 = 40'000'000;   // K2 >> |E| on the dense word graph
+  const std::uint64_t k1 = 2'500'000;
+  const MemoryModel model = predict_memory(edges, k1, k2);
+  EXPECT_GT(model.standard_bytes, 15ull << 30);
+  EXPECT_LT(model.sweeping_bytes, 2ull << 30);
+  EXPECT_GT(model.standard_bytes / model.sweeping_bytes, 10u);
+}
+
+TEST(MemoryModel, ZeroGraph) {
+  const MemoryModel model = predict_memory(0, 0, 0);
+  EXPECT_EQ(model.standard_bytes, 0u);
+  EXPECT_EQ(model.sweeping_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace lc::baseline

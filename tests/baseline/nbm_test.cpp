@@ -1,0 +1,119 @@
+#include "baseline/nbm.hpp"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include <set>
+
+#include "core/similarity.hpp"
+#include "core/sweep.hpp"
+#include "graph/generators.hpp"
+
+namespace lc::baseline {
+namespace {
+
+using graph::WeightedGraph;
+
+struct Built {
+  WeightedGraph graph;
+  core::SimilarityMap map;
+  core::EdgeIndex index;
+  EdgeSimilarityMatrix matrix;
+};
+
+Built build(WeightedGraph graph, std::uint64_t seed = 42) {
+  core::SimilarityMap map = core::build_similarity_map(graph);
+  map.sort_by_score();
+  core::EdgeIndex index(graph.edge_count(), core::EdgeOrder::kShuffled, seed);
+  auto matrix = EdgeSimilarityMatrix::build(graph, map, index);
+  return Built{std::move(graph), std::move(map), std::move(index), std::move(*matrix)};
+}
+
+TEST(EdgeSimilarityMatrix, SymmetricWithZeroDefault) {
+  const Built b = build(graph::paper_figure1_graph());
+  const std::size_t n = b.matrix.size();
+  ASSERT_EQ(n, 8u);
+  std::size_t nonzero = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(b.matrix.at(i, i), 0.0f);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      EXPECT_EQ(b.matrix.at(i, j), b.matrix.at(j, i));
+      if (b.matrix.at(i, j) > 0.0f) ++nonzero;
+    }
+  }
+  EXPECT_EQ(nonzero, 16u);  // K2 incident pairs get scores
+}
+
+TEST(EdgeSimilarityMatrix, RefusesOversizedGraphs) {
+  const WeightedGraph graph = graph::complete_graph(12);  // 66 edges
+  core::SimilarityMap map = core::build_similarity_map(graph);
+  const core::EdgeIndex index(graph.edge_count(), core::EdgeOrder::kNatural);
+  EXPECT_FALSE(EdgeSimilarityMatrix::build(graph, map, index, /*max_edges=*/50).has_value());
+  EXPECT_TRUE(EdgeSimilarityMatrix::build(graph, map, index, /*max_edges=*/70).has_value());
+}
+
+TEST(EdgeSimilarityMatrix, PredictedBytesQuadratic) {
+  EXPECT_EQ(EdgeSimilarityMatrix::predicted_bytes(1000), 4'000'000u);
+  // The paper's 19.9 GB point: ~73k edges at alpha = 0.001.
+  const std::uint64_t bytes = EdgeSimilarityMatrix::predicted_bytes(73000);
+  EXPECT_NEAR(static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0), 19.85, 0.3);
+}
+
+TEST(NbmCluster, Figure1HeightsMatchSweep) {
+  const Built b = build(graph::paper_figure1_graph());
+  const NbmResult nbm = nbm_cluster(b.matrix, {/*stop_at_zero=*/true});
+  // 7 merges: four at 2/3, three at 1/2 (same multiset as the sweep).
+  ASSERT_EQ(nbm.dendrogram.events().size(), 7u);
+  std::multiset<double> heights;
+  for (const core::MergeEvent& e : nbm.dendrogram.events()) {
+    heights.insert(std::round(e.similarity * 1e6) / 1e6);
+  }
+  EXPECT_EQ(heights.count(std::round((2.0 / 3.0) * 1e6) / 1e6), 4u);
+  EXPECT_EQ(heights.count(0.5), 3u);
+}
+
+TEST(NbmCluster, FullDendrogramMergesEverything) {
+  const Built b = build(graph::disjoint_edges(4));
+  const NbmResult nbm = nbm_cluster(b.matrix);  // no stop_at_zero
+  EXPECT_EQ(nbm.dendrogram.events().size(), 3u);  // merges at similarity 0
+  const std::set<core::EdgeIdx> labels(nbm.final_labels.begin(), nbm.final_labels.end());
+  EXPECT_EQ(labels.size(), 1u);
+}
+
+TEST(NbmCluster, StopAtZeroKeepsComponents) {
+  const Built b = build(graph::disjoint_edges(4));
+  const NbmResult nbm = nbm_cluster(b.matrix, {/*stop_at_zero=*/true});
+  EXPECT_TRUE(nbm.dendrogram.events().empty());
+  const std::set<core::EdgeIdx> labels(nbm.final_labels.begin(), nbm.final_labels.end());
+  EXPECT_EQ(labels.size(), 4u);
+}
+
+TEST(NbmCluster, TrivialSizes) {
+  {
+    graph::GraphBuilder builder(2);
+    const Built b = build(builder.build());
+    const NbmResult nbm = nbm_cluster(b.matrix);
+    EXPECT_TRUE(nbm.dendrogram.events().empty());
+  }
+  {
+    graph::GraphBuilder builder(2);
+    builder.add_edge(0, 1);
+    const Built b = build(builder.build());
+    const NbmResult nbm = nbm_cluster(b.matrix);
+    EXPECT_TRUE(nbm.dendrogram.events().empty());
+    EXPECT_EQ(nbm.final_labels.size(), 1u);
+  }
+}
+
+TEST(NbmCluster, MergesInNonIncreasingSimilarityOrder) {
+  const Built b = build(graph::erdos_renyi(20, 0.3, {3, graph::WeightPolicy::kUniform}));
+  const NbmResult nbm = nbm_cluster(b.matrix);
+  double prev = 2.0;
+  for (const core::MergeEvent& e : nbm.dendrogram.events()) {
+    EXPECT_LE(e.similarity, prev + 1e-6);
+    prev = e.similarity;
+  }
+}
+
+}  // namespace
+}  // namespace lc::baseline

@@ -1,0 +1,116 @@
+#include "baseline/slink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "baseline/nbm.hpp"
+#include "core/similarity.hpp"
+#include "graph/generators.hpp"
+
+namespace lc::baseline {
+namespace {
+
+using graph::WeightedGraph;
+
+EdgeSimilarityMatrix matrix_for(const WeightedGraph& graph, std::uint64_t seed = 42) {
+  core::SimilarityMap map = core::build_similarity_map(graph);
+  map.sort_by_score();
+  const core::EdgeIndex index(graph.edge_count(), core::EdgeOrder::kShuffled, seed);
+  return *EdgeSimilarityMatrix::build(graph, map, index);
+}
+
+TEST(Slink, PointerRepresentationInvariants) {
+  const EdgeSimilarityMatrix matrix = matrix_for(graph::paper_figure1_graph());
+  const SlinkResult result = slink_cluster(matrix);
+  const std::size_t n = matrix.size();
+  ASSERT_EQ(result.pi.size(), n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    EXPECT_GT(result.pi[i], i);  // Pi points to a later element
+    EXPECT_TRUE(std::isfinite(result.lambda[i]));
+  }
+  EXPECT_TRUE(std::isinf(result.lambda[n - 1]));
+}
+
+TEST(Slink, Figure1MergeHeights) {
+  const EdgeSimilarityMatrix matrix = matrix_for(graph::paper_figure1_graph());
+  const SlinkResult result = slink_cluster(matrix);
+  std::vector<double> sims = result.merge_similarities();
+  std::sort(sims.begin(), sims.end());
+  ASSERT_EQ(sims.size(), 7u);
+  EXPECT_NEAR(sims[0], 0.5, 1e-6);
+  EXPECT_NEAR(sims[2], 0.5, 1e-6);
+  EXPECT_NEAR(sims[3], 2.0 / 3.0, 1e-6);
+  EXPECT_NEAR(sims[6], 2.0 / 3.0, 1e-6);
+}
+
+TEST(Slink, HeightsMatchNbmExactly) {
+  // Single-linkage dendrogram heights are unique: SLINK and NBM must agree on
+  // the sorted multiset of merge similarities (above zero; NBM's zero merges
+  // are the disconnected-component joins SLINK also reports at d = 1).
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const WeightedGraph graph =
+        graph::erdos_renyi(18, 0.3, {seed, graph::WeightPolicy::kUniform});
+    if (graph.edge_count() < 2) continue;
+    const EdgeSimilarityMatrix matrix = matrix_for(graph, seed);
+    const SlinkResult slink = slink_cluster(matrix);
+    const NbmResult nbm = nbm_cluster(matrix);
+    std::vector<double> a = slink.merge_similarities();
+    std::vector<double> b;
+    for (const core::MergeEvent& e : nbm.dendrogram.events()) b.push_back(e.similarity);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a.size(), b.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(a[i], b[i], 1e-5) << "seed " << seed << " i=" << i;
+    }
+  }
+}
+
+TEST(Slink, LabelsAtThresholdMatchNbm) {
+  for (std::uint64_t seed : {4u, 5u}) {
+    const WeightedGraph graph =
+        graph::erdos_renyi(16, 0.35, {seed, graph::WeightPolicy::kUniform});
+    if (graph.edge_count() < 2) continue;
+    const EdgeSimilarityMatrix matrix = matrix_for(graph, seed);
+    const SlinkResult slink = slink_cluster(matrix);
+    const NbmResult nbm = nbm_cluster(matrix);
+    for (double threshold : {0.9, 0.6, 0.3, 0.1}) {
+      // Guard against thresholds landing on a merge height (tie semantics).
+      bool on_height = false;
+      for (double s : slink.merge_similarities()) {
+        if (std::fabs(s - threshold) < 1e-4) on_height = true;
+      }
+      if (on_height) continue;
+      EXPECT_EQ(slink.labels_at_threshold(threshold),
+                nbm.dendrogram.labels_at_threshold(threshold))
+          << "seed " << seed << " threshold " << threshold;
+    }
+  }
+}
+
+TEST(Slink, EmptyAndSingle) {
+  const SlinkResult empty = slink_cluster(0, [](std::size_t, std::size_t) { return 0.0; });
+  EXPECT_TRUE(empty.pi.empty());
+  const SlinkResult one = slink_cluster(1, [](std::size_t, std::size_t) { return 0.0; });
+  ASSERT_EQ(one.pi.size(), 1u);
+  EXPECT_TRUE(std::isinf(one.lambda[0]));
+}
+
+TEST(Slink, KnownThreePointProblem) {
+  // d(0,1) = 0.1, d(0,2) = 0.9, d(1,2) = 0.5: merges at 0.1 and 0.5.
+  const SlinkResult result = slink_cluster(3, [](std::size_t i, std::size_t j) {
+    if (i == 0 && j == 1) return 0.1;
+    if (i == 0 && j == 2) return 0.9;
+    return 0.5;
+  });
+  std::vector<double> lambdas{result.lambda[0], result.lambda[1]};
+  std::sort(lambdas.begin(), lambdas.end());
+  EXPECT_DOUBLE_EQ(lambdas[0], 0.1);
+  EXPECT_DOUBLE_EQ(lambdas[1], 0.5);
+}
+
+}  // namespace
+}  // namespace lc::baseline

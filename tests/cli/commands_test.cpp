@@ -1,0 +1,189 @@
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace lc::cli {
+namespace {
+
+int run(std::initializer_list<const char*> args, std::string* out_text = nullptr,
+        std::string* err_text = nullptr) {
+  std::vector<const char*> argv{"linkcluster"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run_command(static_cast<int>(argv.size()), argv.data(), out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return code;
+}
+
+std::string temp_path(const std::string& name) { return testing::TempDir() + "/" + name; }
+
+TEST(Cli, NoArgsPrintsUsageAndFails) {
+  std::string err;
+  EXPECT_EQ(run({}, nullptr, &err), 1);
+  EXPECT_NE(err.find("subcommands"), std::string::npos);
+}
+
+TEST(Cli, HelpSucceeds) {
+  std::string out;
+  EXPECT_EQ(run({"--help"}, &out), 0);
+  EXPECT_NE(out.find("communities"), std::string::npos);
+}
+
+TEST(Cli, UnknownSubcommandFails) {
+  std::string err;
+  EXPECT_EQ(run({"frobnicate"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("unknown subcommand"), std::string::npos);
+}
+
+TEST(Cli, GenerateThenStats) {
+  const std::string path = temp_path("cli_er.edges");
+  std::string out;
+  ASSERT_EQ(run({"generate", "--type", "er", "--n", "40", "--p", "0.3", "--seed", "5",
+                 "--output", path.c_str()},
+                &out),
+            0);
+  EXPECT_NE(out.find("wrote 40 vertices"), std::string::npos);
+
+  ASSERT_EQ(run({"stats", "--input", path.c_str()}, &out), 0);
+  EXPECT_NE(out.find("vertices"), std::string::npos);
+  EXPECT_NE(out.find("K2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, GenerateAllTypes) {
+  for (const char* type : {"er", "ba", "ws", "complete", "regular"}) {
+    const std::string path = temp_path(std::string("cli_") + type + ".edges");
+    EXPECT_EQ(run({"generate", "--type", type, "--n", "20", "--k", "4", "--output",
+                   path.c_str()}),
+              0)
+        << type;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Cli, GenerateUnknownTypeFails) {
+  const std::string path = temp_path("cli_bad.edges");
+  std::string err;
+  EXPECT_EQ(run({"generate", "--type", "nope", "--output", path.c_str()}, nullptr, &err), 1);
+  EXPECT_NE(err.find("unknown --type"), std::string::npos);
+}
+
+TEST(Cli, ClusterFineAndCoarseWithExports) {
+  const std::string graph_path = temp_path("cli_cluster.edges");
+  ASSERT_EQ(run({"generate", "--type", "er", "--n", "30", "--p", "0.3", "--output",
+                 graph_path.c_str()}),
+            0);
+  std::string out;
+  ASSERT_EQ(run({"cluster", "--input", graph_path.c_str(), "--mode", "fine"}, &out), 0);
+  EXPECT_NE(out.find("dendrogram:"), std::string::npos);
+
+  const std::string newick_path = temp_path("cli_tree.nwk");
+  const std::string merges_path = temp_path("cli_merges.txt");
+  ASSERT_EQ(run({"cluster", "--input", graph_path.c_str(), "--mode", "coarse", "--newick",
+                 newick_path.c_str(), "--merges", merges_path.c_str()},
+                &out),
+            0);
+  EXPECT_NE(out.find("coarse:"), std::string::npos);
+  std::ifstream newick(newick_path);
+  std::string tree;
+  std::getline(newick, tree);
+  EXPECT_FALSE(tree.empty());
+  EXPECT_EQ(tree.back(), ';');
+  std::ifstream merges(merges_path);
+  std::string header;
+  std::getline(merges, header);
+  EXPECT_NE(header.find("# leaves="), std::string::npos);
+  std::remove(graph_path.c_str());
+  std::remove(newick_path.c_str());
+  std::remove(merges_path.c_str());
+}
+
+TEST(Cli, ClusterRejectsBadMode) {
+  std::string err;
+  EXPECT_EQ(run({"cluster", "--input", "x.edges", "--mode", "medium"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("fine or coarse"), std::string::npos);
+}
+
+TEST(Cli, MissingInputFileIsRuntimeError) {
+  std::string err;
+  EXPECT_EQ(run({"stats", "--input", "/no/such/file.edges"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("error"), std::string::npos);
+}
+
+TEST(Cli, CommunitiesOnTwoTriangles) {
+  const std::string path = temp_path("cli_tri.edges");
+  {
+    std::ofstream file(path);
+    file << "0 1\n1 2\n0 2\n3 4\n4 5\n3 5\n2 3 0.4\n";
+  }
+  std::string out;
+  ASSERT_EQ(run({"communities", "--input", path.c_str(), "--top", "5"}, &out), 0);
+  EXPECT_NE(out.find("partition density"), std::string::npos);
+  EXPECT_NE(out.find("communities over"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, AssocBuildsGraphFromCorpus) {
+  const std::string corpus_path = temp_path("cli_corpus.txt");
+  {
+    std::ofstream file(corpus_path);
+    file << "alpha bravo charlie\n"
+            "alpha bravo\n"
+            "charlie delta\n"
+            "alpha bravo delta\n";
+  }
+  const std::string edges_path = temp_path("cli_assoc.edges");
+  const std::string words_path = temp_path("cli_assoc.words");
+  std::string out;
+  ASSERT_EQ(run({"assoc", "--input", corpus_path.c_str(), "--alpha", "1.0", "--output",
+                 edges_path.c_str(), "--words", words_path.c_str()},
+                &out),
+            0);
+  EXPECT_NE(out.find("4 documents"), std::string::npos);
+  // The strongest association (alpha, bravo: always together) must be an edge.
+  std::ifstream words(words_path);
+  std::string line;
+  bool saw_alpha = false;
+  while (std::getline(words, line)) {
+    if (line.find("alpha") != std::string::npos) saw_alpha = true;
+  }
+  EXPECT_TRUE(saw_alpha);
+  std::ifstream edges(edges_path);
+  std::size_t edge_lines = 0;
+  while (std::getline(edges, line)) {
+    if (!line.empty() && line[0] != '#') ++edge_lines;
+  }
+  EXPECT_GT(edge_lines, 0u);
+  std::remove(corpus_path.c_str());
+  std::remove(edges_path.c_str());
+  std::remove(words_path.c_str());
+}
+
+TEST(Cli, AssocMissingCorpusFails) {
+  std::string err;
+  EXPECT_EQ(run({"assoc", "--input", "/no/such.txt", "--output", "/tmp/x.edges"}, nullptr,
+                &err),
+            2);
+  EXPECT_NE(err.find("error"), std::string::npos);
+}
+
+TEST(Cli, CommunitiesEmptyGraph) {
+  const std::string path = temp_path("cli_empty.edges");
+  {
+    std::ofstream file(path);
+    file << "# no edges\n";
+  }
+  std::string out;
+  EXPECT_EQ(run({"communities", "--input", path.c_str()}, &out), 0);
+  EXPECT_NE(out.find("no edges"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lc::cli

@@ -1,0 +1,194 @@
+#include "core/cluster_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dsu.hpp"
+#include "util/rng.hpp"
+
+namespace lc::core {
+namespace {
+
+TEST(ClusterArray, InitialStateIsIdentity) {
+  ClusterArray c(5);
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.cluster_count(), 5u);
+  for (EdgeIdx i = 0; i < 5; ++i) {
+    EXPECT_EQ(c[i], i);
+    EXPECT_EQ(c.root(i), i);
+  }
+}
+
+TEST(ClusterArray, MergeTwoSingletons) {
+  ClusterArray c(4);
+  const MergeOutcome outcome = c.merge(1, 3);
+  EXPECT_TRUE(outcome.merged);
+  EXPECT_EQ(outcome.c1, 1u);
+  EXPECT_EQ(outcome.c2, 3u);
+  EXPECT_EQ(outcome.target, 1u);
+  EXPECT_EQ(outcome.changes, 1u);  // only C[3] changes
+  EXPECT_EQ(c.cluster_count(), 3u);
+  EXPECT_EQ(c.root(3), 1u);
+}
+
+TEST(ClusterArray, MergeSameClusterIsNoOp) {
+  ClusterArray c(4);
+  c.merge(0, 1);
+  const MergeOutcome outcome = c.merge(0, 1);
+  EXPECT_FALSE(outcome.merged);
+  EXPECT_EQ(outcome.changes, 0u);
+  EXPECT_EQ(c.cluster_count(), 3u);
+}
+
+TEST(ClusterArray, ChainFollowsToRoot) {
+  ClusterArray c(6);
+  c.merge(4, 5);  // {4,5} root 4
+  c.merge(2, 4);  // {2,4,5} root 2
+  c.merge(0, 2);  // root 0
+  std::vector<EdgeIdx> chain_out;
+  c.chain(5, chain_out);
+  EXPECT_EQ(chain_out.back(), 0u);
+  EXPECT_EQ(c.root(5), 0u);
+}
+
+TEST(ClusterArray, RootIsAlwaysMinimum) {
+  // Theorem 1: min{F(i)} is the cluster id. Compare against MinDsu on a
+  // random merge sequence.
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 40;
+    ClusterArray c(n);
+    MinDsu dsu(n);
+    for (int step = 0; step < 60; ++step) {
+      const auto a = static_cast<EdgeIdx>(rng.next_below(n));
+      const auto b = static_cast<EdgeIdx>(rng.next_below(n));
+      if (a == b) continue;
+      const MergeOutcome outcome = c.merge(a, b);
+      const bool distinct = dsu.unite(a, b);
+      EXPECT_EQ(outcome.merged, distinct);
+      EXPECT_EQ(c.root(a), dsu.find(a));
+      EXPECT_EQ(c.root(b), dsu.find(b));
+    }
+    EXPECT_EQ(c.cluster_count(), dsu.set_count());
+    EXPECT_EQ(c.root_labels(), dsu.labels());
+  }
+}
+
+TEST(ClusterArray, RootLabelsMatchRootQueries) {
+  ClusterArray c(8);
+  c.merge(0, 7);
+  c.merge(3, 5);
+  c.merge(5, 7);
+  const std::vector<EdgeIdx> labels = c.root_labels();
+  for (EdgeIdx i = 0; i < 8; ++i) EXPECT_EQ(labels[i], c.root(i));
+}
+
+TEST(ClusterArray, AccessAndChangeCountersAccumulate) {
+  ClusterArray c(4);
+  EXPECT_EQ(c.accesses(), 0u);
+  c.merge(0, 1);  // C[1] = 0: 1 change, 2 accesses
+  c.merge(2, 3);  // C[3] = 2: 1 change, 2 accesses
+  c.merge(1, 3);  // chains {1,0} and {3,2}: C[3] = C[2] = 0: 2 changes, 4 accesses
+  EXPECT_EQ(c.accesses(), 8u);
+  EXPECT_EQ(c.total_changes(), 4u);
+}
+
+TEST(ClusterArray, SnapshotRestoreRoundTrip) {
+  ClusterArray c(6);
+  c.merge(0, 1);
+  const std::vector<EdgeIdx> saved = c.snapshot();
+  c.merge(2, 3);
+  c.merge(0, 5);
+  EXPECT_EQ(c.cluster_count(), 3u);
+  c.restore(saved);
+  EXPECT_EQ(c.cluster_count(), 5u);
+  EXPECT_EQ(c.root(1), 0u);
+  EXPECT_EQ(c.root(2), 2u);
+}
+
+TEST(ClusterArrayMergeFrom, PaperCounterexample) {
+  // §VI-B: C0 = [1->1, 2->2, 3->2, 4->1], C1 = [..., 4->3] (1-based). The
+  // flawed scheme leaves two clusters; the corrected scheme yields one.
+  auto build = [](std::vector<EdgeIdx> parents) {
+    ClusterArray c(parents.size());
+    // Reconstruct via restore (parents satisfy the decreasing invariant).
+    c.restore(parents);
+    return c;
+  };
+  // 0-based translation: C0 = [0,1,1,0], C1 = [0,1,2,2].
+  {
+    ClusterArray c0 = build({0, 1, 1, 0});
+    const ClusterArray c1 = build({0, 1, 2, 2});
+    c0.merge_from(c1, /*corrected=*/false);
+    EXPECT_EQ(c0.cluster_count(), 2u);  // the paper's flaw reproduced
+  }
+  {
+    ClusterArray c0 = build({0, 1, 1, 0});
+    const ClusterArray c1 = build({0, 1, 2, 2});
+    c0.merge_from(c1, /*corrected=*/true);
+    EXPECT_EQ(c0.cluster_count(), 1u);  // the fix
+    for (EdgeIdx i = 0; i < 4; ++i) EXPECT_EQ(c0.root(i), 0u);
+  }
+}
+
+TEST(ClusterArrayMergeFrom, EquivalentToDsuUnionProperty) {
+  // Merging C1 into C0 must produce exactly the union of both equivalence
+  // relations, for random partitions.
+  Rng rng(1234);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 50;
+    ClusterArray c0(n);
+    ClusterArray c1(n);
+    MinDsu oracle(n);
+    for (int step = 0; step < 25; ++step) {
+      const auto a = static_cast<EdgeIdx>(rng.next_below(n));
+      const auto b = static_cast<EdgeIdx>(rng.next_below(n));
+      if (a == b) continue;
+      if (rng.next_bool(0.5)) {
+        c0.merge(a, b);
+      } else {
+        c1.merge(a, b);
+      }
+      oracle.unite(a, b);
+    }
+    c0.merge_from(c1, /*corrected=*/true);
+    EXPECT_EQ(c0.root_labels(), oracle.labels()) << "trial " << trial;
+  }
+}
+
+TEST(ClusterArrayMergeFrom, IdempotentWithSelf) {
+  ClusterArray c(10);
+  c.merge(0, 4);
+  c.merge(4, 9);
+  const ClusterArray copy = [&] {
+    ClusterArray other(10);
+    other.restore(c.snapshot());
+    return other;
+  }();
+  const std::vector<EdgeIdx> before = c.root_labels();
+  c.merge_from(copy);
+  EXPECT_EQ(c.root_labels(), before);
+}
+
+TEST(ClusterArray, SamePartitionComparesCanonically) {
+  ClusterArray a(5);
+  ClusterArray b(5);
+  a.merge(1, 2);
+  b.merge(2, 1);
+  EXPECT_TRUE(same_partition(a, b));
+  b.merge(3, 4);
+  EXPECT_FALSE(same_partition(a, b));
+}
+
+TEST(MinDsu, BasicInvariants) {
+  MinDsu dsu(5);
+  EXPECT_EQ(dsu.set_count(), 5u);
+  EXPECT_TRUE(dsu.unite(1, 4));
+  EXPECT_FALSE(dsu.unite(4, 1));
+  EXPECT_EQ(dsu.find(4), 1u);
+  EXPECT_EQ(dsu.set_count(), 4u);
+  EXPECT_TRUE(dsu.unite(0, 4));
+  EXPECT_EQ(dsu.find(1), 0u);  // minimum becomes the label
+}
+
+}  // namespace
+}  // namespace lc::core

@@ -1,0 +1,90 @@
+#include "core/dendrogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lc::core {
+namespace {
+
+TEST(Dendrogram, EmptyHasLeavesOnly) {
+  const Dendrogram d(5);
+  EXPECT_EQ(d.leaf_count(), 5u);
+  EXPECT_EQ(d.height(), 0u);
+  EXPECT_EQ(d.cluster_count_after(0), 5u);
+  const auto labels = d.labels_after(0);
+  for (EdgeIdx i = 0; i < 5; ++i) EXPECT_EQ(labels[i], i);
+}
+
+TEST(Dendrogram, EventReplayProducesExpectedLabels) {
+  Dendrogram d(6);
+  d.add_event(1, 3, 1, 0.9);
+  d.add_event(2, 5, 4, 0.8);
+  d.add_event(3, 4, 1, 0.7);  // {1,3} ∪ {4,5}
+  EXPECT_EQ(d.cluster_count_after(3), 3u);
+  const auto labels = d.labels_after(3);
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 1u);
+  EXPECT_EQ(labels[2], 2u);
+  EXPECT_EQ(labels[3], 1u);
+  EXPECT_EQ(labels[4], 1u);
+  EXPECT_EQ(labels[5], 1u);
+}
+
+TEST(Dendrogram, LabelsAtLevelRespectsLevelBoundaries) {
+  Dendrogram d(4);
+  d.add_event(1, 1, 0, 0.9);
+  d.add_event(1, 3, 2, 0.9);   // coarse level with two events
+  d.add_event(2, 2, 0, 0.5);
+  const auto level1 = d.labels_at_level(1);
+  EXPECT_EQ(level1[1], 0u);
+  EXPECT_EQ(level1[3], 2u);
+  EXPECT_EQ(level1[2], 2u);
+  const auto level2 = d.labels_at_level(2);
+  for (EdgeIdx i = 0; i < 4; ++i) EXPECT_EQ(level2[i], 0u);
+  EXPECT_EQ(d.height(), 2u);
+}
+
+TEST(Dendrogram, LabelsAtThresholdFiltersBySimilarity) {
+  Dendrogram d(4);
+  d.add_event(1, 1, 0, 0.9);
+  d.add_event(2, 3, 2, 0.6);
+  d.add_event(3, 2, 0, 0.2);
+  const auto high = d.labels_at_threshold(0.8);
+  EXPECT_EQ(high[1], 0u);
+  EXPECT_EQ(high[3], 3u);
+  const auto mid = d.labels_at_threshold(0.5);
+  EXPECT_EQ(mid[3], 2u);
+  EXPECT_EQ(mid[2], 2u);
+  const auto all = d.labels_at_threshold(0.0);
+  for (EdgeIdx i = 0; i < 4; ++i) EXPECT_EQ(all[i], 0u);
+}
+
+TEST(Dendrogram, ClusterCountsByLevel) {
+  Dendrogram d(5);
+  d.add_event(1, 4, 0, 1.0);
+  d.add_event(2, 3, 1, 0.8);
+  d.add_event(2, 2, 1, 0.8);
+  const auto counts = d.cluster_counts_by_level();
+  ASSERT_EQ(counts.size(), 3u);  // levels 0..2
+  EXPECT_EQ(counts[0], 5u);
+  EXPECT_EQ(counts[1], 4u);
+  EXPECT_EQ(counts[2], 2u);
+}
+
+TEST(DendrogramDeathTest, RejectsNonCanonicalEvent) {
+  Dendrogram d(4);
+  EXPECT_DEATH(d.add_event(1, 0, 3, 1.0), "minimum");
+}
+
+TEST(DendrogramDeathTest, RejectsDecreasingLevels) {
+  Dendrogram d(4);
+  d.add_event(2, 1, 0, 1.0);
+  EXPECT_DEATH(d.add_event(1, 3, 2, 1.0), "nondecreasing");
+}
+
+TEST(DendrogramDeathTest, RejectsOutOfRangeId) {
+  Dendrogram d(3);
+  EXPECT_DEATH(d.add_event(1, 7, 0, 1.0), "out of range");
+}
+
+}  // namespace
+}  // namespace lc::core

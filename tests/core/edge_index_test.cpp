@@ -1,0 +1,48 @@
+#include "core/edge_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lc::core {
+namespace {
+
+TEST(EdgeIndex, NaturalOrderIsIdentity) {
+  const EdgeIndex index(10, EdgeOrder::kNatural);
+  for (graph::EdgeId e = 0; e < 10; ++e) {
+    EXPECT_EQ(index.index_of(e), e);
+    EXPECT_EQ(index.edge_at(e), e);
+  }
+}
+
+TEST(EdgeIndex, ShuffledIsAPermutation) {
+  const EdgeIndex index(100, EdgeOrder::kShuffled, 7);
+  std::set<EdgeIdx> indices;
+  for (graph::EdgeId e = 0; e < 100; ++e) indices.insert(index.index_of(e));
+  EXPECT_EQ(indices.size(), 100u);
+  for (EdgeIdx idx = 0; idx < 100; ++idx) {
+    EXPECT_EQ(index.index_of(index.edge_at(idx)), idx);
+  }
+}
+
+TEST(EdgeIndex, ShuffleDeterministicPerSeed) {
+  const EdgeIndex a(50, EdgeOrder::kShuffled, 9);
+  const EdgeIndex b(50, EdgeOrder::kShuffled, 9);
+  const EdgeIndex c(50, EdgeOrder::kShuffled, 10);
+  bool all_same_c = true;
+  for (graph::EdgeId e = 0; e < 50; ++e) {
+    EXPECT_EQ(a.index_of(e), b.index_of(e));
+    all_same_c = all_same_c && (a.index_of(e) == c.index_of(e));
+  }
+  EXPECT_FALSE(all_same_c);
+}
+
+TEST(EdgeIndex, EmptyAndSingle) {
+  const EdgeIndex empty(0, EdgeOrder::kShuffled);
+  EXPECT_EQ(empty.size(), 0u);
+  const EdgeIndex one(1, EdgeOrder::kShuffled, 3);
+  EXPECT_EQ(one.index_of(0), 0u);
+}
+
+}  // namespace
+}  // namespace lc::core

@@ -1,0 +1,163 @@
+#include "core/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/link_clusterer.hpp"
+#include "graph/generators.hpp"
+
+namespace lc::core {
+namespace {
+
+Dendrogram small_dendrogram() {
+  // 5 leaves; merges: (1<-4 @0.9), (0<-2 @0.8), (0<-1 @0.5). Leaf 3 isolated.
+  Dendrogram d(5);
+  d.add_event(1, 4, 1, 0.9);
+  d.add_event(2, 2, 0, 0.8);
+  d.add_event(3, 1, 0, 0.5);
+  return d;
+}
+
+TEST(Hierarchy, NodeStructure) {
+  const Hierarchy h(small_dendrogram());
+  EXPECT_EQ(h.leaf_count(), 5u);
+  EXPECT_EQ(h.node_count(), 8u);  // 5 leaves + 3 merges
+  // Leaves are nodes 0..4.
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(h.node(i).is_leaf());
+    EXPECT_EQ(h.node(i).leaf_index, i);
+    EXPECT_EQ(h.node(i).leaf_count, 1u);
+  }
+  // First merge joins leaves 1 and 4 at 0.9.
+  const HierarchyNode& first = h.node(5);
+  EXPECT_FALSE(first.is_leaf());
+  EXPECT_DOUBLE_EQ(first.height, 0.9);
+  EXPECT_EQ(first.leaf_count, 2u);
+  EXPECT_EQ(h.node(first.left).leaf_index, 1u);
+  EXPECT_EQ(h.node(first.right).leaf_index, 4u);
+  // Roots: the final merge node and the isolated leaf 3.
+  ASSERT_EQ(h.roots().size(), 2u);
+}
+
+TEST(Hierarchy, ParentLinksConsistent) {
+  const Hierarchy h(small_dendrogram());
+  for (std::uint32_t id = 0; id < h.node_count(); ++id) {
+    const HierarchyNode& n = h.node(id);
+    if (!n.is_leaf()) {
+      EXPECT_EQ(h.node(n.left).parent, id);
+      EXPECT_EQ(h.node(n.right).parent, id);
+      EXPECT_EQ(n.leaf_count, h.node(n.left).leaf_count + h.node(n.right).leaf_count);
+      EXPECT_LE(n.height, 1.0);
+    }
+  }
+}
+
+TEST(Hierarchy, LeavesUnder) {
+  const Hierarchy h(small_dendrogram());
+  const auto all = h.leaves_under(7);  // the last merge: {0,2} ∪ {1,4}
+  const std::set<EdgeIdx> leaf_set(all.begin(), all.end());
+  EXPECT_EQ(leaf_set, (std::set<EdgeIdx>{0, 1, 2, 4}));
+  const auto single = h.leaves_under(3);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], 3u);
+}
+
+TEST(Hierarchy, CutToClusterCount) {
+  const Hierarchy h(small_dendrogram());
+  // 5 clusters: nothing merged.
+  {
+    const auto labels = h.cut_to_cluster_count(5);
+    const std::set<EdgeIdx> distinct(labels.begin(), labels.end());
+    EXPECT_EQ(distinct.size(), 5u);
+  }
+  // 3 clusters: first two merges applied -> {1,4}, {0,2}, {3}.
+  {
+    const auto labels = h.cut_to_cluster_count(3);
+    EXPECT_EQ(labels[1], labels[4]);
+    EXPECT_EQ(labels[0], labels[2]);
+    EXPECT_NE(labels[0], labels[1]);
+    EXPECT_EQ(labels[3], 3u);
+  }
+  // 2 clusters = the forest roots; requests below that clamp.
+  {
+    const auto two = h.cut_to_cluster_count(2);
+    const auto clamped = h.cut_to_cluster_count(1);
+    EXPECT_EQ(two, clamped);
+    const std::set<EdgeIdx> distinct(two.begin(), two.end());
+    EXPECT_EQ(distinct.size(), 2u);
+  }
+}
+
+TEST(Hierarchy, CutMatchesDendrogramReplay) {
+  const graph::WeightedGraph graph =
+      graph::erdos_renyi(30, 0.2, {5, graph::WeightPolicy::kUniform});
+  const ClusterResult result = LinkClusterer().cluster(graph);
+  const Hierarchy h(result.dendrogram);
+  for (std::size_t k : {1u, 2u, 5u, 10u}) {
+    const auto cut = h.cut_to_cluster_count(k);
+    const std::set<EdgeIdx> distinct(cut.begin(), cut.end());
+    // Dendrogram replay with the same number of applied merges must agree.
+    const std::size_t applied = graph.edge_count() - distinct.size();
+    EXPECT_EQ(cut, result.dendrogram.labels_after(applied)) << "k=" << k;
+  }
+}
+
+TEST(Hierarchy, LinkageMatrixScipySemantics) {
+  const Hierarchy h(small_dendrogram());
+  const auto rows = h.linkage_matrix();
+  ASSERT_EQ(rows.size(), 3u);
+  // Row 0: leaves 1 and 4, distance 1-0.9, size 2.
+  EXPECT_DOUBLE_EQ(rows[0].a, 1.0);
+  EXPECT_DOUBLE_EQ(rows[0].b, 4.0);
+  EXPECT_NEAR(rows[0].distance, 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(rows[0].size, 2.0);
+  // Row 2 merges clusters 6 (={0,2}, scipy id 5+1) and 5 (={1,4}, scipy id 5).
+  EXPECT_DOUBLE_EQ(rows[2].a, 6.0);
+  EXPECT_DOUBLE_EQ(rows[2].b, 5.0);
+  EXPECT_DOUBLE_EQ(rows[2].size, 4.0);
+  // Distances are non-decreasing (single linkage is monotone).
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].distance, rows[i - 1].distance - 1e-12);
+  }
+}
+
+TEST(Hierarchy, HandlesCoarseDendrograms) {
+  // Coarse mode emits several events per level; the tree must still be a
+  // valid binary hierarchy with consistent leaf counts.
+  const graph::WeightedGraph graph =
+      graph::erdos_renyi(40, 0.25, {9, graph::WeightPolicy::kUniform});
+  LinkClusterer::Config config;
+  config.mode = ClusterMode::kCoarse;
+  config.coarse.phi = 5;
+  config.coarse.delta0 = 30;
+  const ClusterResult result = LinkClusterer(config).cluster(graph);
+  const Hierarchy h(result.dendrogram);
+  EXPECT_EQ(h.leaf_count(), graph.edge_count());
+  EXPECT_EQ(h.node_count(), graph.edge_count() + result.dendrogram.events().size());
+  std::size_t root_leaves = 0;
+  for (std::uint32_t root : h.roots()) root_leaves += h.node(root).leaf_count;
+  EXPECT_EQ(root_leaves, graph.edge_count());
+  // Heights never increase from child to parent (merges happen at lower or
+  // equal similarity than earlier ones in the same branch).
+  for (std::uint32_t id = 0; id < h.node_count(); ++id) {
+    const HierarchyNode& n = h.node(id);
+    if (n.parent != HierarchyNode::kNone) {
+      EXPECT_GE(n.height, h.node(n.parent).height - 1e-12);
+    }
+  }
+}
+
+TEST(Hierarchy, EmptyAndLeafOnly) {
+  const Hierarchy empty{Dendrogram(0)};
+  EXPECT_EQ(empty.node_count(), 0u);
+  EXPECT_TRUE(empty.roots().empty());
+  const Hierarchy leaves{Dendrogram(3)};
+  EXPECT_EQ(leaves.node_count(), 3u);
+  EXPECT_EQ(leaves.roots().size(), 3u);
+  EXPECT_TRUE(leaves.linkage_matrix().empty());
+}
+
+}  // namespace
+}  // namespace lc::core

@@ -1,0 +1,123 @@
+#include "eval/clustering_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/edge_index.hpp"
+#include "graph/generators.hpp"
+
+namespace lc::eval {
+namespace {
+
+const std::vector<std::uint32_t> kA{0, 0, 0, 1, 1, 1};
+const std::vector<std::uint32_t> kB{2, 2, 2, 9, 9, 9};  // same partition, new names
+const std::vector<std::uint32_t> kC{0, 0, 1, 1, 2, 2};
+
+TEST(RandIndex, IdenticalPartitionsScoreOne) {
+  EXPECT_DOUBLE_EQ(rand_index(kA, kA), 1.0);
+  EXPECT_DOUBLE_EQ(rand_index(kA, kB), 1.0);  // label-invariant
+}
+
+TEST(RandIndex, KnownHandComputedValue) {
+  // A = {0,0,0,1,1,1}, C = {0,0,1,1,2,2}: of the 15 pairs,
+  // together-in-both: (0,1), (4,5) = 2; apart-in-both: 3x3 cross pairs minus
+  // ... direct count: agreements = 2 + 8 = 10 -> RI = 10/15.
+  EXPECT_NEAR(rand_index(kA, kC), 10.0 / 15.0, 1e-12);
+}
+
+TEST(RandIndex, SingletonsVsOneCluster) {
+  const std::vector<std::uint32_t> singletons{0, 1, 2, 3};
+  const std::vector<std::uint32_t> one{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(rand_index(singletons, one), 0.0);
+}
+
+TEST(AdjustedRand, IdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(kA, kB), 1.0);
+}
+
+TEST(AdjustedRand, KnownValue) {
+  // ARI for kA vs kC: sum_joint = C(2,2)*... contingency:
+  //   rows (kA): {3, 3}; cols (kC): {2, 2, 2}
+  //   joint: (0,0)=2 (0,1)=1 (1,1)=1 (1,2)=2
+  // sum_joint C2 = 1 + 0 + 0 + 1 = 2; sum_row = 3+3 = 6; sum_col = 1*3 = 3;
+  // expected = 6*3/15 = 1.2; max = 4.5; ARI = (2-1.2)/(4.5-1.2) = 0.8/3.3.
+  EXPECT_NEAR(adjusted_rand_index(kA, kC), 0.8 / 3.3, 1e-12);
+}
+
+TEST(AdjustedRand, DegenerateBothTrivial) {
+  const std::vector<std::uint32_t> one{7, 7, 7};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(one, one), 1.0);
+}
+
+TEST(Nmi, IdenticalIsOne) {
+  EXPECT_NEAR(normalized_mutual_information(kA, kB), 1.0, 1e-12);
+}
+
+TEST(Nmi, IndependentIsNearZero) {
+  // Perfectly crossed partitions share no information.
+  const std::vector<std::uint32_t> a{0, 0, 1, 1};
+  const std::vector<std::uint32_t> b{0, 1, 0, 1};
+  EXPECT_NEAR(normalized_mutual_information(a, b), 0.0, 1e-12);
+}
+
+TEST(Nmi, BothSingleClusterIsOne) {
+  const std::vector<std::uint32_t> one{3, 3, 3};
+  EXPECT_DOUBLE_EQ(normalized_mutual_information(one, one), 1.0);
+}
+
+TEST(Nmi, RefinementScoresBetweenZeroAndOne) {
+  const double nmi = normalized_mutual_information(kA, kC);
+  EXPECT_GT(nmi, 0.5);
+  EXPECT_LT(nmi, 1.0);
+}
+
+TEST(ClusterSizes, SortedDescending) {
+  const auto sizes = cluster_sizes(std::vector<std::uint32_t>{4, 4, 4, 2, 2, 9});
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 3u);
+  EXPECT_EQ(sizes[1], 2u);
+  EXPECT_EQ(sizes[2], 1u);
+}
+
+TEST(OverlapStats, TwoTrianglesSharedVertexOverlaps) {
+  // Two triangles sharing vertex 2; edges of each triangle labeled apart.
+  graph::GraphBuilder builder(5);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(0, 2);
+  builder.add_edge(2, 3);
+  builder.add_edge(3, 4);
+  builder.add_edge(2, 4);
+  const graph::WeightedGraph graph = builder.build();
+  const core::EdgeIndex index(6, core::EdgeOrder::kNatural);
+  // Canonical edges: (0,1),(0,2),(1,2),(2,3),(2,4),(3,4).
+  const std::vector<core::EdgeIdx> labels{0, 0, 0, 1, 1, 1};
+  const OverlapStats stats = overlap_stats(graph, index, labels);
+  EXPECT_EQ(stats.communities, 2u);
+  EXPECT_EQ(stats.vertices, 5u);
+  EXPECT_EQ(stats.overlapping_vertices, 1u);  // vertex 2 is in both
+  EXPECT_NEAR(stats.mean_memberships, 6.0 / 5.0, 1e-12);
+
+  const auto memberships = vertex_memberships(graph, index, labels);
+  ASSERT_EQ(memberships.at(2).size(), 2u);
+  EXPECT_EQ(memberships.at(0).size(), 1u);
+}
+
+TEST(OverlapStats, EmptyGraph) {
+  graph::GraphBuilder builder(3);
+  const graph::WeightedGraph graph = builder.build();
+  const core::EdgeIndex index(0, core::EdgeOrder::kNatural);
+  const OverlapStats stats = overlap_stats(graph, index, std::vector<core::EdgeIdx>{});
+  EXPECT_EQ(stats.communities, 0u);
+  EXPECT_EQ(stats.vertices, 0u);
+}
+
+TEST(MetricsDeathTest, MismatchedSizesRejected) {
+  const std::vector<std::uint32_t> a{0, 1};
+  const std::vector<std::uint32_t> b{0};
+  EXPECT_DEATH(rand_index(a, b), "same items");
+}
+
+}  // namespace
+}  // namespace lc::eval

@@ -1,0 +1,106 @@
+#include "graph/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+
+namespace lc::graph {
+namespace {
+
+WeightedGraph two_triangles_and_isolated() {
+  // Component A: {0,1,2} triangle; component B: {3,4}; vertex 5 isolated.
+  GraphBuilder builder(6);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(0, 2);
+  builder.add_edge(3, 4, 2.5);
+  return builder.build();
+}
+
+TEST(ConnectedComponents, LabelsAreComponentMinima) {
+  const auto labels = connected_components(two_triangles_and_isolated());
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[1], 0u);
+  EXPECT_EQ(labels[2], 0u);
+  EXPECT_EQ(labels[3], 3u);
+  EXPECT_EQ(labels[4], 3u);
+  EXPECT_EQ(labels[5], 5u);
+}
+
+TEST(ConnectedComponents, CountsIncludeIsolatedVertices) {
+  EXPECT_EQ(component_count(two_triangles_and_isolated()), 3u);
+  EXPECT_EQ(component_count(complete_graph(5)), 1u);
+  GraphBuilder empty(4);
+  EXPECT_EQ(component_count(empty.build()), 4u);
+}
+
+TEST(ConnectedComponents, MatchesDisjointEdgesConstruction) {
+  const WeightedGraph graph = disjoint_edges(7);
+  EXPECT_EQ(component_count(graph), 7u);
+}
+
+TEST(InducedSubgraph, KeepsInternalEdgesAndWeights) {
+  const WeightedGraph graph = two_triangles_and_isolated();
+  const Subgraph sub = induced_subgraph(graph, {2, 0, 1, 3});
+  EXPECT_EQ(sub.graph.vertex_count(), 4u);
+  EXPECT_EQ(sub.graph.edge_count(), 3u);  // triangle only: 3 has no partner
+  // New ids follow the given order: 2->0, 0->1, 1->2, 3->3.
+  EXPECT_EQ(sub.original_id[0], 2u);
+  EXPECT_EQ(sub.original_id[1], 0u);
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));  // original (2,0)
+  EXPECT_EQ(sub.graph.degree(3), 0u);     // original 3 lost its only neighbor
+}
+
+TEST(InducedSubgraph, DuplicatesIgnored) {
+  const WeightedGraph graph = two_triangles_and_isolated();
+  const Subgraph sub = induced_subgraph(graph, {3, 4, 3, 4});
+  EXPECT_EQ(sub.graph.vertex_count(), 2u);
+  EXPECT_EQ(sub.graph.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(sub.graph.edges()[0].weight, 2.5);
+}
+
+TEST(InducedSubgraph, EmptySelection) {
+  const Subgraph sub = induced_subgraph(two_triangles_and_isolated(), {});
+  EXPECT_EQ(sub.graph.vertex_count(), 0u);
+  EXPECT_EQ(sub.graph.edge_count(), 0u);
+}
+
+TEST(InducedSubgraphDeathTest, OutOfRangeVertexRejected) {
+  const WeightedGraph graph = two_triangles_and_isolated();
+  EXPECT_DEATH(induced_subgraph(graph, {99}), "out of range");
+}
+
+TEST(LargestComponent, PicksTheTriangle) {
+  const Subgraph sub = largest_component(two_triangles_and_isolated());
+  EXPECT_EQ(sub.graph.vertex_count(), 3u);
+  EXPECT_EQ(sub.graph.edge_count(), 3u);
+  const std::set<VertexId> originals(sub.original_id.begin(), sub.original_id.end());
+  EXPECT_EQ(originals, (std::set<VertexId>{0, 1, 2}));
+}
+
+TEST(LargestComponent, WholeGraphWhenConnected) {
+  const WeightedGraph graph = complete_graph(6);
+  const Subgraph sub = largest_component(graph);
+  EXPECT_EQ(sub.graph.vertex_count(), 6u);
+  EXPECT_EQ(sub.graph.edge_count(), 15u);
+}
+
+TEST(LargestComponent, RandomGraphInvariants) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const WeightedGraph graph = erdos_renyi(80, 0.02, {seed});
+    const Subgraph sub = largest_component(graph);
+    EXPECT_EQ(component_count(sub.graph), sub.graph.vertex_count() > 0 ? 1u : 0u);
+    EXPECT_LE(sub.graph.vertex_count(), graph.vertex_count());
+    // Every subgraph edge exists in the original with the same weight.
+    for (const Edge& e : sub.graph.edges()) {
+      const auto weight = graph.edge_weight(sub.original_id[e.u], sub.original_id[e.v]);
+      ASSERT_TRUE(weight.has_value());
+      EXPECT_DOUBLE_EQ(*weight, e.weight);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lc::graph

@@ -1,0 +1,123 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lc::graph {
+namespace {
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  const std::size_t n = 200;
+  const double p = 0.1;
+  const WeightedGraph graph = erdos_renyi(n, p, {123});
+  const double expected = p * static_cast<double>(n) * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(graph.edge_count()), expected, 4.0 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyi, Deterministic) {
+  const WeightedGraph a = erdos_renyi(50, 0.2, {9});
+  const WeightedGraph b = erdos_renyi(50, 0.2, {9});
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(ErdosRenyi, ExtremeProbabilities) {
+  EXPECT_EQ(erdos_renyi(20, 0.0).edge_count(), 0u);
+  EXPECT_EQ(erdos_renyi(20, 1.0).edge_count(), 190u);
+}
+
+TEST(ErdosRenyi, NoSelfLoopsOrDuplicates) {
+  const WeightedGraph graph = erdos_renyi(60, 0.3, {5});
+  for (const Edge& e : graph.edges()) EXPECT_LT(e.u, e.v);
+  for (std::size_t i = 1; i < graph.edges().size(); ++i) {
+    const Edge& a = graph.edges()[i - 1];
+    const Edge& b = graph.edges()[i];
+    EXPECT_TRUE(a.u < b.u || (a.u == b.u && a.v < b.v));
+  }
+}
+
+TEST(CompleteGraph, AllPairsPresent) {
+  const WeightedGraph graph = complete_graph(6);
+  EXPECT_EQ(graph.edge_count(), 15u);
+  for (VertexId i = 0; i < 6; ++i) EXPECT_EQ(graph.degree(i), 5u);
+}
+
+TEST(RegularGraph, DegreesUniform) {
+  const WeightedGraph graph = regular_graph(20, 4);
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(graph.degree(v), 4u);
+  EXPECT_EQ(graph.edge_count(), 40u);
+}
+
+TEST(RegularGraphDeathTest, OddDegreeRejected) {
+  EXPECT_DEATH(regular_graph(10, 3), "even");
+}
+
+TEST(BarabasiAlbert, EdgeCountAndHubFormation) {
+  const std::size_t n = 300;
+  const std::size_t attach = 3;
+  const WeightedGraph graph = barabasi_albert(n, attach, {7});
+  // Seed clique C(4,2)=6 edges + ~3 per subsequent vertex.
+  EXPECT_GE(graph.edge_count(), (n - attach - 1) * attach / 2);
+  EXPECT_LE(graph.edge_count(), 6 + (n - attach - 1) * attach);
+  std::size_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) max_degree = std::max(max_degree, graph.degree(v));
+  // Preferential attachment must form hubs far above the mean degree (~6).
+  EXPECT_GT(max_degree, 15u);
+}
+
+TEST(WattsStrogatz, PreservesEdgeBudgetApproximately) {
+  const WeightedGraph graph = watts_strogatz(100, 6, 0.1, {3});
+  // Rewiring can collide into duplicates which merge, so <= n*k/2.
+  EXPECT_LE(graph.edge_count(), 300u);
+  EXPECT_GE(graph.edge_count(), 270u);
+}
+
+TEST(WattsStrogatz, ZeroBetaIsRegularRing) {
+  const WeightedGraph graph = watts_strogatz(30, 4, 0.0, {3});
+  for (VertexId v = 0; v < 30; ++v) EXPECT_EQ(graph.degree(v), 4u);
+}
+
+TEST(PlantedPartition, IntraDensityExceedsInter) {
+  const std::size_t n = 120;
+  const std::size_t communities = 4;
+  const WeightedGraph graph = planted_partition(n, communities, 0.5, 0.02, {11});
+  std::size_t intra = 0;
+  std::size_t inter = 0;
+  for (const Edge& e : graph.edges()) {
+    if (e.u % communities == e.v % communities) ++intra;
+    else ++inter;
+  }
+  EXPECT_GT(intra, inter);
+}
+
+TEST(DisjointEdges, StructureExact) {
+  const WeightedGraph graph = disjoint_edges(5);
+  EXPECT_EQ(graph.vertex_count(), 10u);
+  EXPECT_EQ(graph.edge_count(), 5u);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(graph.degree(v), 1u);
+}
+
+TEST(Generators, UniformWeightPolicyInRange) {
+  GeneratorOptions options;
+  options.weights = WeightPolicy::kUniform;
+  options.seed = 4;
+  const WeightedGraph graph = erdos_renyi(40, 0.3, options);
+  for (const Edge& e : graph.edges()) {
+    EXPECT_GT(e.weight, 0.1 - 1e-12);
+    EXPECT_LE(e.weight, 1.0);
+  }
+}
+
+TEST(PaperFigure1Graph, IsKTwoFour) {
+  const WeightedGraph graph = paper_figure1_graph();
+  EXPECT_EQ(graph.vertex_count(), 6u);
+  EXPECT_EQ(graph.edge_count(), 8u);
+  EXPECT_EQ(graph.degree(0), 4u);
+  EXPECT_EQ(graph.degree(1), 4u);
+  for (VertexId leaf = 2; leaf < 6; ++leaf) EXPECT_EQ(graph.degree(leaf), 2u);
+  EXPECT_FALSE(graph.has_edge(0, 1));
+}
+
+}  // namespace
+}  // namespace lc::graph

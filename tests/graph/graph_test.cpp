@@ -1,0 +1,138 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lc::graph {
+namespace {
+
+TEST(GraphBuilder, RejectsSelfLoops) {
+  GraphBuilder builder(3);
+  EXPECT_FALSE(builder.add_edge(1, 1));
+  EXPECT_EQ(builder.edge_count(), 0u);
+}
+
+TEST(GraphBuilder, RejectsOutOfRangeVertices) {
+  GraphBuilder builder(3);
+  EXPECT_FALSE(builder.add_edge(0, 3));
+  EXPECT_FALSE(builder.add_edge(5, 1));
+}
+
+TEST(GraphBuilder, RejectsBadWeights) {
+  GraphBuilder builder(3);
+  EXPECT_FALSE(builder.add_edge(0, 1, 0.0));
+  EXPECT_FALSE(builder.add_edge(0, 1, -2.0));
+  EXPECT_FALSE(builder.add_edge(0, 1, std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_FALSE(builder.add_edge(0, 1, std::numeric_limits<double>::infinity()));
+}
+
+TEST(GraphBuilder, DuplicatesAccumulateWeight) {
+  GraphBuilder builder(3);
+  EXPECT_TRUE(builder.add_edge(0, 1, 1.0));
+  EXPECT_TRUE(builder.add_edge(1, 0, 2.5));  // reversed orientation, same edge
+  const WeightedGraph graph = builder.build();
+  EXPECT_EQ(graph.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(graph.edges()[0].weight, 3.5);
+}
+
+TEST(WeightedGraph, CanonicalEdgeOrientation) {
+  GraphBuilder builder(4);
+  builder.add_edge(3, 1, 1.0);
+  const WeightedGraph graph = builder.build();
+  EXPECT_EQ(graph.edges()[0].u, 1u);
+  EXPECT_EQ(graph.edges()[0].v, 3u);
+}
+
+TEST(WeightedGraph, NeighborsSortedWithWeightsAndIds) {
+  GraphBuilder builder(5);
+  builder.add_edge(2, 4, 0.4);
+  builder.add_edge(2, 0, 0.1);
+  builder.add_edge(2, 3, 0.3);
+  builder.add_edge(2, 1, 0.2);
+  const WeightedGraph graph = builder.build();
+  const auto adj = graph.neighbors(2);
+  ASSERT_EQ(adj.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(adj.begin(), adj.end()));
+  const auto weights = graph.neighbor_weights(2);
+  EXPECT_DOUBLE_EQ(weights[0], 0.1);
+  EXPECT_DOUBLE_EQ(weights[3], 0.4);
+  const auto ids = graph.neighbor_edge_ids(2);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const Edge& e = graph.edge(ids[i]);
+    EXPECT_TRUE(e.u == 2 || e.v == 2);
+    EXPECT_TRUE(e.u == adj[i] || e.v == adj[i]);
+  }
+}
+
+TEST(WeightedGraph, EdgeIdsFollowCanonicalOrder) {
+  GraphBuilder builder(4);
+  builder.add_edge(2, 3, 1.0);
+  builder.add_edge(0, 1, 1.0);
+  builder.add_edge(0, 3, 1.0);
+  const WeightedGraph graph = builder.build();
+  EXPECT_EQ(graph.edge(0).u, 0u);
+  EXPECT_EQ(graph.edge(0).v, 1u);
+  EXPECT_EQ(graph.edge(1).u, 0u);
+  EXPECT_EQ(graph.edge(1).v, 3u);
+  EXPECT_EQ(graph.edge(2).u, 2u);
+  EXPECT_EQ(graph.edge(2).v, 3u);
+}
+
+TEST(WeightedGraph, FindEdgeBothDirections) {
+  GraphBuilder builder(4);
+  builder.add_edge(1, 3, 2.0);
+  const WeightedGraph graph = builder.build();
+  EXPECT_NE(graph.find_edge(1, 3), kInvalidEdge);
+  EXPECT_EQ(graph.find_edge(1, 3), graph.find_edge(3, 1));
+  EXPECT_EQ(graph.find_edge(0, 1), kInvalidEdge);
+  EXPECT_EQ(graph.find_edge(1, 1), kInvalidEdge);
+  EXPECT_TRUE(graph.has_edge(3, 1));
+  EXPECT_FALSE(graph.has_edge(0, 2));
+}
+
+TEST(WeightedGraph, EdgeWeightLookup) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 2, 0.75);
+  const WeightedGraph graph = builder.build();
+  ASSERT_TRUE(graph.edge_weight(2, 0).has_value());
+  EXPECT_DOUBLE_EQ(*graph.edge_weight(2, 0), 0.75);
+  EXPECT_FALSE(graph.edge_weight(0, 1).has_value());
+}
+
+TEST(WeightedGraph, DensityFormula) {
+  GraphBuilder builder(4);  // complete K4 has density 1
+  for (VertexId i = 0; i < 4; ++i) {
+    for (VertexId j = i + 1; j < 4; ++j) builder.add_edge(i, j);
+  }
+  EXPECT_DOUBLE_EQ(builder.build().density(), 1.0);
+
+  GraphBuilder sparse(4);
+  sparse.add_edge(0, 1);
+  EXPECT_DOUBLE_EQ(sparse.build().density(), 2.0 / 12.0);
+}
+
+TEST(WeightedGraph, EmptyGraph) {
+  GraphBuilder builder(0);
+  const WeightedGraph graph = builder.build();
+  EXPECT_EQ(graph.vertex_count(), 0u);
+  EXPECT_EQ(graph.edge_count(), 0u);
+  EXPECT_DOUBLE_EQ(graph.density(), 0.0);
+}
+
+TEST(WeightedGraph, IsolatedVerticesHaveNoNeighbors) {
+  GraphBuilder builder(5);
+  builder.add_edge(0, 1);
+  const WeightedGraph graph = builder.build();
+  EXPECT_EQ(graph.degree(2), 0u);
+  EXPECT_TRUE(graph.neighbors(4).empty());
+}
+
+TEST(WeightedGraph, MemoryBytesPositive) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  EXPECT_GT(builder.build().memory_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace lc::graph

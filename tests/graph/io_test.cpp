@@ -1,0 +1,85 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "graph/generators.hpp"
+
+namespace lc::graph {
+namespace {
+
+TEST(GraphIo, StreamRoundTrip) {
+  const WeightedGraph original = erdos_renyi(30, 0.2, {77, WeightPolicy::kUniform});
+  std::stringstream buffer;
+  ASSERT_TRUE(write_edge_list(original, buffer).ok);
+  IoResult result;
+  const auto loaded = read_edge_list(buffer, &result);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.lines_skipped, 0u);
+  ASSERT_EQ(loaded->edge_count(), original.edge_count());
+  for (std::size_t i = 0; i < original.edge_count(); ++i) {
+    EXPECT_EQ(loaded->edges()[i].u, original.edges()[i].u);
+    EXPECT_EQ(loaded->edges()[i].v, original.edges()[i].v);
+    EXPECT_NEAR(loaded->edges()[i].weight, original.edges()[i].weight, 1e-9);
+  }
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  const WeightedGraph original = complete_graph(5);
+  const std::string path = testing::TempDir() + "/lc_io_test.edges";
+  ASSERT_TRUE(write_edge_list(original, path).ok);
+  const auto loaded = read_edge_list(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->edge_count(), 10u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, CommentsAndBlanksIgnored) {
+  std::stringstream in("# comment\n\n0 1 2.0\n   \n# another\n1 2\n");
+  IoResult result;
+  const auto graph = read_edge_list(in, &result);
+  ASSERT_TRUE(graph.has_value());
+  EXPECT_EQ(graph->edge_count(), 2u);
+  EXPECT_DOUBLE_EQ(graph->edges()[0].weight, 2.0);
+  EXPECT_DOUBLE_EQ(graph->edges()[1].weight, 1.0);  // default weight
+  EXPECT_EQ(result.lines_skipped, 0u);
+}
+
+TEST(GraphIo, MalformedLinesSkippedNotFatal) {
+  std::stringstream in("0 1 1.0\nnot numbers\n2 2 1.0\n3 4 -1.0\n5 6 2.0\n");
+  IoResult result;
+  const auto graph = read_edge_list(in, &result);
+  ASSERT_TRUE(graph.has_value());
+  EXPECT_EQ(graph->edge_count(), 2u);  // (0,1) and (5,6)
+  EXPECT_EQ(result.lines_skipped, 3u);  // junk, self-loop, negative weight
+}
+
+TEST(GraphIo, MissingFileFails) {
+  IoResult result;
+  const auto graph = read_edge_list(std::string("/no/such/file.edges"), &result);
+  EXPECT_FALSE(graph.has_value());
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(GraphIo, EmptyStreamGivesEmptyGraph) {
+  std::stringstream in("");
+  const auto graph = read_edge_list(in);
+  ASSERT_TRUE(graph.has_value());
+  EXPECT_EQ(graph->vertex_count(), 0u);
+  EXPECT_EQ(graph->edge_count(), 0u);
+}
+
+TEST(GraphIo, SparseVertexIdsCreateRange) {
+  std::stringstream in("10 20 1.5\n");
+  const auto graph = read_edge_list(in);
+  ASSERT_TRUE(graph.has_value());
+  EXPECT_EQ(graph->vertex_count(), 21u);
+  EXPECT_TRUE(graph->has_edge(10, 20));
+}
+
+}  // namespace
+}  // namespace lc::graph

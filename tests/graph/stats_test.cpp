@@ -1,0 +1,98 @@
+#include "graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace lc::graph {
+namespace {
+
+TEST(Stats, PaperFigure1Counts) {
+  // The paper quotes K1 = 7 < K2 = 16 < K3 = 28 for its Figure-1 example.
+  const WeightedGraph graph = paper_figure1_graph();
+  const GraphStats stats = compute_stats(graph);
+  EXPECT_EQ(stats.vertices, 6u);
+  EXPECT_EQ(stats.edges, 8u);
+  EXPECT_EQ(stats.k1, 7u);
+  EXPECT_EQ(stats.k2, 16u);
+  EXPECT_EQ(stats.k3, 28u);
+}
+
+TEST(Stats, OrderingInvariantHolds) {
+  // K1 <= K2 <= K3 for any graph (§IV-C).
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const WeightedGraph graph = erdos_renyi(40, 0.15, {seed});
+    const GraphStats stats = compute_stats(graph);
+    EXPECT_LE(stats.k1, stats.k2);
+    EXPECT_LE(stats.k2, stats.k3);
+  }
+}
+
+TEST(Stats, DisjointEdgesPathologicalCase) {
+  // The paper's example where K1 = K2 = 0 but |E| = |V|/2.
+  const WeightedGraph graph = disjoint_edges(10);
+  const GraphStats stats = compute_stats(graph);
+  EXPECT_EQ(stats.vertices, 20u);
+  EXPECT_EQ(stats.edges, 10u);
+  EXPECT_EQ(stats.k1, 0u);
+  EXPECT_EQ(stats.k2, 0u);
+  EXPECT_EQ(stats.k3, 45u);
+}
+
+TEST(Stats, TriangleCounts) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  builder.add_edge(0, 2);
+  const GraphStats stats = compute_stats(builder.build());
+  // Each vertex has degree 2 -> K2 = 3. Every pair shares a neighbor -> K1 = 3.
+  EXPECT_EQ(stats.k1, 3u);
+  EXPECT_EQ(stats.k2, 3u);
+  EXPECT_EQ(stats.k3, 3u);
+}
+
+TEST(Stats, StarGraph) {
+  // Star S_5: hub 0 with 5 leaves. K2 = C(5,2) = 10; K1 = 10 (leaf pairs).
+  GraphBuilder builder(6);
+  for (VertexId leaf = 1; leaf <= 5; ++leaf) builder.add_edge(0, leaf);
+  const GraphStats stats = compute_stats(builder.build());
+  EXPECT_EQ(stats.k2, 10u);
+  EXPECT_EQ(stats.k1, 10u);
+  EXPECT_EQ(stats.max_degree, 5u);
+}
+
+TEST(Stats, CompleteGraphFormulas) {
+  // K_n: K2 = n * C(n-1, 2); K1 = C(n, 2) (the paper's Appendix example).
+  const std::size_t n = 7;
+  const GraphStats stats = compute_stats(complete_graph(n));
+  EXPECT_EQ(stats.k2, n * (n - 1) * (n - 2) / 2);
+  EXPECT_EQ(stats.k1, n * (n - 1) / 2);
+  EXPECT_DOUBLE_EQ(stats.density, 1.0);
+}
+
+TEST(Stats, RegularGraphK2Formula) {
+  // k-regular: K2 = n * k(k-1)/2 (paper Appendix: K2 = |V| k (k-1) / 4 * 2).
+  const std::size_t n = 24;
+  const std::size_t k = 6;
+  const GraphStats stats = compute_stats(regular_graph(n, k));
+  EXPECT_EQ(stats.edges, n * k / 2);
+  EXPECT_EQ(stats.k2, n * k * (k - 1) / 2);
+}
+
+TEST(Stats, MeanDegree) {
+  const WeightedGraph graph = complete_graph(5);
+  const GraphStats stats = compute_stats(graph);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 4.0);
+}
+
+TEST(Stats, EmptyGraph) {
+  GraphBuilder builder(0);
+  const GraphStats stats = compute_stats(builder.build());
+  EXPECT_EQ(stats.k1, 0u);
+  EXPECT_EQ(stats.k2, 0u);
+  EXPECT_EQ(stats.k3, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 0.0);
+}
+
+}  // namespace
+}  // namespace lc::graph

@@ -1,0 +1,143 @@
+// End-to-end pipeline: synthetic corpus -> tokenizer/stemmer/stop words ->
+// vocabulary -> association graph -> link clustering -> communities, checked
+// for determinism and for actually recovering the corpus's planted topic
+// structure (scored with NMI against the generator's topic assignment).
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "core/link_clusterer.hpp"
+#include "core/partition_density.hpp"
+#include "eval/clustering_metrics.hpp"
+#include "text/association.hpp"
+#include "text/corpus.hpp"
+#include "text/porter.hpp"
+#include "text/tokenizer.hpp"
+#include "util/rng.hpp"
+
+namespace lc {
+namespace {
+
+struct Pipeline {
+  text::AssociationGraph ag;
+  core::ClusterResult result;
+  core::DensityCut cut;
+};
+
+Pipeline run_pipeline(std::uint64_t seed, double alpha) {
+  text::SyntheticCorpusOptions options;
+  options.num_documents = 3000;
+  options.vocab_size = 1200;
+  options.num_topics = 8;
+  options.seed = seed;
+  options.global_mix = 0.3;  // topic-heavy corpus: clear community structure
+  const text::Corpus corpus = text::generate_corpus(options);
+  std::vector<text::TokenizedDocument> docs;
+  docs.reserve(corpus.size());
+  for (const std::string& doc : corpus.documents) docs.push_back(text::tokenize(doc));
+  const text::Vocabulary vocab = text::Vocabulary::build(docs);
+
+  Pipeline p;
+  p.ag = text::build_association_graph(docs, vocab, alpha);
+  p.result = core::LinkClusterer().cluster(p.ag.graph);
+  p.cut = core::best_partition_density_cut(p.ag.graph, p.result.edge_index,
+                                           p.result.dendrogram);
+  return p;
+}
+
+TEST(Pipeline, DeterministicEndToEnd) {
+  const Pipeline a = run_pipeline(31, 0.2);
+  const Pipeline b = run_pipeline(31, 0.2);
+  EXPECT_EQ(a.ag.graph.edge_count(), b.ag.graph.edge_count());
+  EXPECT_EQ(a.result.final_labels, b.result.final_labels);
+  EXPECT_EQ(a.cut.event_count, b.cut.event_count);
+  EXPECT_DOUBLE_EQ(a.cut.density, b.cut.density);
+}
+
+TEST(Pipeline, ProducesNonTrivialCommunities) {
+  const Pipeline p = run_pipeline(32, 0.2);
+  ASSERT_GT(p.ag.graph.edge_count(), 50u);
+  const eval::OverlapStats overlap =
+      eval::overlap_stats(p.ag.graph, p.result.edge_index, p.cut.labels);
+  EXPECT_GT(overlap.communities, 1u);
+  EXPECT_LT(overlap.communities, p.ag.graph.edge_count());
+  EXPECT_GT(p.cut.density, 0.0);
+}
+
+TEST(Pipeline, RecoversPlantedTopicsBetterThanChance) {
+  // Ground truth: the generator assigns word index i to topic i % num_topics.
+  // Derive a vertex labeling from the edge communities (majority community
+  // per vertex) and compare its NMI against a random labeling's.
+  const std::size_t num_topics = 8;
+  const Pipeline p = run_pipeline(33, 0.2);
+  ASSERT_GT(p.ag.graph.vertex_count(), 40u);
+
+  // Vertex -> largest incident edge community.
+  std::vector<std::uint32_t> predicted(p.ag.graph.vertex_count(), 0);
+  {
+    std::unordered_map<graph::VertexId, std::unordered_map<core::EdgeIdx, std::size_t>> votes;
+    for (std::size_t idx = 0; idx < p.cut.labels.size(); ++idx) {
+      const graph::Edge& e = p.ag.graph.edge(
+          p.result.edge_index.edge_at(static_cast<core::EdgeIdx>(idx)));
+      ++votes[e.u][p.cut.labels[idx]];
+      ++votes[e.v][p.cut.labels[idx]];
+    }
+    for (const auto& [vertex, counts] : votes) {
+      std::size_t best = 0;
+      for (const auto& [label, count] : counts) {
+        if (count > best) {
+          best = count;
+          predicted[vertex] = label;
+        }
+      }
+    }
+  }
+
+  // Ground-truth topic per vertex, recovered from the pseudo-word identity.
+  std::vector<std::uint32_t> truth(p.ag.graph.vertex_count(), 0);
+  {
+    std::unordered_map<std::string, std::uint32_t> topic_of;
+    for (std::size_t i = 0; i < 1200; ++i) {
+      // The tokenizer stems words, so map the *stemmed* form.
+      topic_of[text::porter_stem(text::synthetic_word(i))] =
+          static_cast<std::uint32_t>(i % num_topics);
+    }
+    for (std::size_t v = 0; v < p.ag.words.size(); ++v) {
+      const auto it = topic_of.find(p.ag.words[v]);
+      ASSERT_NE(it, topic_of.end()) << p.ag.words[v];
+      truth[v] = it->second;
+    }
+  }
+
+  const double nmi = eval::normalized_mutual_information(predicted, truth);
+  // Random baseline for calibration.
+  Rng rng(99);
+  std::vector<std::uint32_t> random_labels(truth.size());
+  for (auto& label : random_labels) {
+    label = static_cast<std::uint32_t>(rng.next_below(num_topics));
+  }
+  const double random_nmi = eval::normalized_mutual_information(random_labels, truth);
+  EXPECT_GT(nmi, random_nmi + 0.1)
+      << "recovered NMI " << nmi << " vs random " << random_nmi;
+}
+
+TEST(Pipeline, CoarseModeAgreesWithFineOnCommunityScale) {
+  // Coarse clustering with phi = fine's best-cut cluster count should land in
+  // the same order of magnitude of communities (identical results are not
+  // expected: levels are coarser).
+  const Pipeline fine = run_pipeline(34, 0.15);
+  const std::set<core::EdgeIdx> fine_clusters(fine.cut.labels.begin(),
+                                              fine.cut.labels.end());
+  core::LinkClusterer::Config config;
+  config.mode = core::ClusterMode::kCoarse;
+  config.coarse.phi = std::max<std::size_t>(2, fine_clusters.size());
+  const core::ClusterResult coarse = core::LinkClusterer(config).cluster(fine.ag.graph);
+  ASSERT_TRUE(coarse.coarse.has_value());
+  const std::set<core::EdgeIdx> coarse_clusters(coarse.final_labels.begin(),
+                                                coarse.final_labels.end());
+  EXPECT_GT(coarse_clusters.size(), 0u);
+  EXPECT_LE(coarse_clusters.size(), fine.ag.graph.edge_count());
+}
+
+}  // namespace
+}  // namespace lc

@@ -1,0 +1,88 @@
+#include "numeric/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lc::numeric {
+namespace {
+
+TEST(NormalizeUnit, SpansZeroToOne) {
+  const std::vector<double> v{2.0, 6.0, 4.0};
+  const std::vector<double> n = normalize_unit(v);
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_DOUBLE_EQ(n[0], 0.0);
+  EXPECT_DOUBLE_EQ(n[1], 1.0);
+  EXPECT_DOUBLE_EQ(n[2], 0.5);
+}
+
+TEST(NormalizeUnit, ConstantSeriesMapsToZeros) {
+  const std::vector<double> n = normalize_unit({3.0, 3.0, 3.0});
+  for (double v : n) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(NormalizeUnit, EmptyInput) { EXPECT_TRUE(normalize_unit({}).empty()); }
+
+TEST(NormalizedLogSeries, AppliesPaperTransform) {
+  Series s;
+  s.x = {1.0, 10.0, 100.0};
+  s.y = {100.0, 50.0, 0.0};
+  const Series out = normalized_log_series(s);
+  // log x = 0, ln10, 2 ln10 -> normalized 0, 0.5, 1.
+  EXPECT_NEAR(out.x[0], 0.0, 1e-12);
+  EXPECT_NEAR(out.x[1], 0.5, 1e-12);
+  EXPECT_NEAR(out.x[2], 1.0, 1e-12);
+  EXPECT_NEAR(out.y[0], 1.0, 1e-12);
+  EXPECT_NEAR(out.y[2], 0.0, 1e-12);
+}
+
+TEST(NormalizedLogSeriesDeathTest, RejectsNonPositiveX) {
+  Series s;
+  s.x = {0.0, 1.0};
+  s.y = {1.0, 2.0};
+  EXPECT_DEATH(normalized_log_series(s), "positive");
+}
+
+TEST(Downsample, KeepsEndpointsAndCount) {
+  Series s;
+  for (int i = 0; i < 1000; ++i) {
+    s.x.push_back(i);
+    s.y.push_back(2 * i);
+  }
+  const Series out = downsample(s, 11);
+  ASSERT_EQ(out.size(), 11u);
+  EXPECT_DOUBLE_EQ(out.x.front(), 0.0);
+  EXPECT_DOUBLE_EQ(out.x.back(), 999.0);
+}
+
+TEST(Downsample, NoOpWhenSmall) {
+  Series s;
+  s.x = {1, 2, 3};
+  s.y = {4, 5, 6};
+  const Series out = downsample(s, 10);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(MeanAbsDifference, Basics) {
+  EXPECT_DOUBLE_EQ(mean_abs_difference({1.0, 2.0}, {1.5, 1.0}), 0.75);
+  EXPECT_DOUBLE_EQ(mean_abs_difference({1.0}, {1.0}), 0.0);
+}
+
+TEST(Interpolate, LinearBetweenSamples) {
+  Series s;
+  s.x = {0.0, 1.0, 3.0};
+  s.y = {0.0, 10.0, 30.0};
+  EXPECT_DOUBLE_EQ(interpolate(s, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interpolate(s, 2.0), 20.0);
+}
+
+TEST(Interpolate, ClampsOutOfRange) {
+  Series s;
+  s.x = {1.0, 2.0};
+  s.y = {7.0, 9.0};
+  EXPECT_DOUBLE_EQ(interpolate(s, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(interpolate(s, 5.0), 9.0);
+}
+
+}  // namespace
+}  // namespace lc::numeric

@@ -1,0 +1,116 @@
+#include "numeric/sigmoid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lc::numeric {
+namespace {
+
+TEST(SigmoidEval, PaperParametersShape) {
+  // With the paper's parameters (a=-1, b=0.48, c=1, k=10), the curve starts
+  // near 1 for small x and falls toward 0 for large x — the normalized
+  // cluster-count shape of Fig. 2(2).
+  const SigmoidParams p{};  // defaults are the paper's values
+  EXPECT_NEAR(sigmoid_eval(p, 0.05), 1.0, 0.05);
+  EXPECT_NEAR(sigmoid_eval(p, 20.0), 0.0, 0.05);
+  // Midpoint: log x = b -> y = c + a/2 = 0.5.
+  EXPECT_NEAR(sigmoid_eval(p, std::exp(0.48)), 0.5, 1e-12);
+}
+
+TEST(SigmoidEval, MonotoneDecreasingForNegativeA) {
+  const SigmoidParams p{};
+  double prev = sigmoid_eval(p, 0.01);
+  for (double x = 0.02; x < 50.0; x *= 1.3) {
+    const double y = sigmoid_eval(p, x);
+    EXPECT_LE(y, prev + 1e-12);
+    prev = y;
+  }
+}
+
+TEST(SigmoidGradient, MatchesFiniteDifferences) {
+  const SigmoidParams p{-0.8, 0.3, 0.9, 6.0};
+  const double eps = 1e-6;
+  for (double x : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    const auto grad = sigmoid_gradient(p, x);
+    // a
+    {
+      SigmoidParams hi = p;
+      hi.a += eps;
+      SigmoidParams lo = p;
+      lo.a -= eps;
+      EXPECT_NEAR(grad[0], (sigmoid_eval(hi, x) - sigmoid_eval(lo, x)) / (2 * eps), 1e-5);
+    }
+    // b
+    {
+      SigmoidParams hi = p;
+      hi.b += eps;
+      SigmoidParams lo = p;
+      lo.b -= eps;
+      EXPECT_NEAR(grad[1], (sigmoid_eval(hi, x) - sigmoid_eval(lo, x)) / (2 * eps), 1e-5);
+    }
+    // c
+    {
+      SigmoidParams hi = p;
+      hi.c += eps;
+      SigmoidParams lo = p;
+      lo.c -= eps;
+      EXPECT_NEAR(grad[2], (sigmoid_eval(hi, x) - sigmoid_eval(lo, x)) / (2 * eps), 1e-5);
+    }
+    // k
+    {
+      SigmoidParams hi = p;
+      hi.k += eps;
+      SigmoidParams lo = p;
+      lo.k -= eps;
+      EXPECT_NEAR(grad[3], (sigmoid_eval(hi, x) - sigmoid_eval(lo, x)) / (2 * eps), 1e-5);
+    }
+  }
+}
+
+TEST(FitSigmoid, RecoversKnownParameters) {
+  const SigmoidParams truth{-1.0, 0.48, 1.0, 10.0};
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 1; i <= 200; ++i) {
+    const double xi = 0.02 * i;
+    x.push_back(xi);
+    y.push_back(sigmoid_eval(truth, xi));
+  }
+  const SigmoidFit fit = fit_sigmoid(x, y, SigmoidParams{-0.5, 0.2, 0.8, 5.0});
+  EXPECT_LT(fit.rmse, 1e-6);
+  EXPECT_NEAR(fit.params.a, truth.a, 1e-3);
+  EXPECT_NEAR(fit.params.b, truth.b, 1e-3);
+  EXPECT_NEAR(fit.params.c, truth.c, 1e-3);
+  EXPECT_NEAR(fit.params.k, truth.k, 1e-2);
+}
+
+TEST(FitSigmoid, HandlesNoise) {
+  const SigmoidParams truth{-1.0, 0.0, 1.0, 4.0};
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 1; i <= 100; ++i) {
+    const double xi = 0.05 * i;
+    const double noise = 0.005 * (((i * 131) % 17) / 8.5 - 1.0);
+    x.push_back(xi);
+    y.push_back(sigmoid_eval(truth, xi) + noise);
+  }
+  const SigmoidFit fit = fit_sigmoid(x, y);
+  EXPECT_LT(fit.rmse, 0.01);
+  EXPECT_NEAR(fit.params.k, 4.0, 0.5);
+}
+
+TEST(FitSigmoidDeathTest, RejectsNonPositiveX) {
+  std::vector<double> x{0.5, 1.0, -1.0, 2.0};
+  std::vector<double> y{1.0, 0.8, 0.5, 0.1};
+  EXPECT_DEATH(fit_sigmoid(x, y), "positive");
+}
+
+TEST(FitSigmoidDeathTest, RejectsTooFewSamples) {
+  std::vector<double> x{0.5, 1.0, 2.0};
+  std::vector<double> y{1.0, 0.8, 0.5};
+  EXPECT_DEATH(fit_sigmoid(x, y), "at least 4");
+}
+
+}  // namespace
+}  // namespace lc::numeric

@@ -1,0 +1,126 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace lc::parallel {
+namespace {
+
+TEST(ThreadPool, RunsAllTasksInBatch) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) tasks.push_back([&counter] { counter.fetch_add(1); });
+  pool.run_batch(tasks);
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, EmptyBatchIsNoOp) {
+  ThreadPool pool(2);
+  pool.run_batch({});
+}
+
+TEST(ThreadPool, SequentialBatchesReuseWorkers) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 10; ++i) tasks.push_back([&counter] { counter.fetch_add(1); });
+  for (int round = 0; round < 20; ++round) pool.run_batch(tasks);
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, SingleWorkerStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 17; ++i) tasks.push_back([&counter] { counter.fetch_add(1); });
+  pool.run_batch(tasks);
+  EXPECT_EQ(counter.load(), 17);
+}
+
+TEST(SplitRange, EvenSplit) {
+  const auto bounds = split_range(100, 4);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_EQ(bounds[0], 0u);
+  EXPECT_EQ(bounds[4], 100u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(bounds[static_cast<std::size_t>(i) + 1] - bounds[static_cast<std::size_t>(i)], 25u);
+}
+
+TEST(SplitRange, RemainderSpreadOverLeadingParts) {
+  const auto bounds = split_range(10, 3);
+  EXPECT_EQ(bounds[1] - bounds[0], 4u);
+  EXPECT_EQ(bounds[2] - bounds[1], 3u);
+  EXPECT_EQ(bounds[3] - bounds[2], 3u);
+}
+
+TEST(SplitRange, MorePartsThanItems) {
+  const auto bounds = split_range(2, 5);
+  EXPECT_EQ(bounds.back(), 2u);
+  std::size_t nonempty = 0;
+  for (std::size_t i = 0; i < 5; ++i) nonempty += (bounds[i + 1] > bounds[i]) ? 1 : 0;
+  EXPECT_EQ(nonempty, 2u);
+}
+
+TEST(ParallelForBlocks, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_blocks(pool, 1000, [&hits](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForBlocks, ZeroLengthRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for_blocks(pool, 0, [&called](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(TournamentReduce, SumsAllItemsIntoItemZero) {
+  for (std::size_t count : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 13u, 16u}) {
+    ThreadPool pool(4);
+    std::vector<std::int64_t> values(count);
+    std::iota(values.begin(), values.end(), 1);  // 1..count
+    tournament_reduce(pool, count, [&values](std::size_t dst, std::size_t src) {
+      values[dst] += values[src];
+      values[src] = 0;
+    });
+    const std::int64_t expected =
+        static_cast<std::int64_t>(count) * static_cast<std::int64_t>(count + 1) / 2;
+    EXPECT_EQ(values[0], expected) << "count=" << count;
+  }
+}
+
+TEST(TournamentReduce, RespectsFinalFanIn) {
+  // With final_fan_in = 1000 everything merges in the single sequential pass.
+  ThreadPool pool(2);
+  std::vector<int> values(6, 1);
+  int merges = 0;
+  tournament_reduce(
+      pool, 6,
+      [&values, &merges](std::size_t dst, std::size_t src) {
+        values[dst] += values[src];
+        ++merges;
+      },
+      1000);
+  EXPECT_EQ(values[0], 6);
+  EXPECT_EQ(merges, 5);
+}
+
+TEST(TournamentReduce, SingleItemNoMerge) {
+  ThreadPool pool(2);
+  bool merged = false;
+  tournament_reduce(pool, 1, [&merged](std::size_t, std::size_t) { merged = true; });
+  EXPECT_FALSE(merged);
+}
+
+TEST(ThreadPoolDeathTest, ZeroThreadsRejected) {
+  EXPECT_DEATH(ThreadPool pool(0), "at least one");
+}
+
+}  // namespace
+}  // namespace lc::parallel

@@ -1,0 +1,107 @@
+#include "text/association.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "text/corpus.hpp"
+#include "text/tokenizer.hpp"
+
+namespace lc::text {
+namespace {
+
+TEST(AssociationGraph, PositivePmiCreatesEdge) {
+  // a and b always co-occur (2 of 4 docs); c appears alone.
+  const std::vector<TokenizedDocument> docs = {
+      {"a", "b"}, {"a", "b"}, {"c"}, {"c"}};
+  const AssociationGraph ag = build_association_graph(docs, {"a", "b", "c"});
+  EXPECT_EQ(ag.graph.vertex_count(), 3u);
+  ASSERT_EQ(ag.graph.edge_count(), 1u);
+  // w_ab = p_ab log(p_ab / (p_a p_b)) = 0.5 * log(0.5 / 0.25) = 0.5 log 2.
+  EXPECT_NEAR(ag.graph.edges()[0].weight, 0.5 * std::log(2.0), 1e-12);
+  EXPECT_EQ(ag.graph.edges()[0].u, 0u);
+  EXPECT_EQ(ag.graph.edges()[0].v, 1u);
+}
+
+TEST(AssociationGraph, IndependentPairGetsNoEdge) {
+  // a and b co-occur exactly as often as independence predicts:
+  // p_a = p_b = 0.5, p_ab = 0.25 -> w = 0.25 * log(1) = 0.
+  const std::vector<TokenizedDocument> docs = {
+      {"a", "b"}, {"a"}, {"b"}, {}};
+  const AssociationGraph ag = build_association_graph(docs, {"a", "b"});
+  EXPECT_EQ(ag.graph.edge_count(), 0u);
+}
+
+TEST(AssociationGraph, NegativelyAssociatedPairGetsNoEdge) {
+  // a and b co-occur less than independence predicts: p_ab < p_a p_b gives a
+  // negative log -> weight < 0 -> no edge.
+  const std::vector<TokenizedDocument> docs = {
+      {"a", "b"}, {"a"}, {"a"}, {"a"}, {"b"}, {"b"}, {"b"}, {}};
+  const AssociationGraph ag = build_association_graph(docs, {"a", "b"});
+  EXPECT_EQ(ag.graph.edge_count(), 0u);
+}
+
+TEST(AssociationGraph, DuplicateWordsInDocCountOnce) {
+  // Indicator-variable semantics: "a a b" is one co-occurrence event.
+  const std::vector<TokenizedDocument> docs = {{"a", "a", "b"}, {"a", "b", "b"}, {"x"}};
+  const AssociationGraph ag = build_association_graph(docs, {"a", "b", "x"});
+  ASSERT_EQ(ag.graph.edge_count(), 1u);
+  // p_ab = 2/3, p_a = p_b = 2/3 -> w = (2/3) log((2/3)/(4/9)) = (2/3) log(1.5).
+  EXPECT_NEAR(ag.graph.edges()[0].weight, (2.0 / 3.0) * std::log(1.5), 1e-12);
+}
+
+TEST(AssociationGraph, WordsOutsideSelectionIgnored) {
+  const std::vector<TokenizedDocument> docs = {{"a", "b", "z"}, {"a", "b"}, {"q"}};
+  const AssociationGraph ag = build_association_graph(docs, {"a", "b"});
+  EXPECT_EQ(ag.graph.vertex_count(), 2u);
+  EXPECT_EQ(ag.graph.edge_count(), 1u);
+}
+
+TEST(AssociationGraph, VocabularyAlphaSelection) {
+  const std::vector<TokenizedDocument> docs = {
+      {"top", "mid"}, {"top", "mid"}, {"top", "rare"}, {"top"}};
+  const Vocabulary vocab = Vocabulary::build(docs);
+  const AssociationGraph ag = build_association_graph(docs, vocab, 0.5);  // top 2 words
+  EXPECT_EQ(ag.graph.vertex_count(), 2u);
+  EXPECT_EQ(ag.words[0], "top");
+  EXPECT_EQ(ag.words[1], "mid");
+}
+
+TEST(AssociationGraph, EmptyInputs) {
+  const AssociationGraph none = build_association_graph({}, std::vector<std::string>{});
+  EXPECT_EQ(none.graph.vertex_count(), 0u);
+  const AssociationGraph no_words =
+      build_association_graph({{"a", "b"}}, std::vector<std::string>{});
+  EXPECT_EQ(no_words.graph.vertex_count(), 0u);
+  EXPECT_EQ(no_words.graph.edge_count(), 0u);
+}
+
+TEST(AssociationGraph, DensityFallsAsAlphaGrows) {
+  // The workload property the substitution must preserve (DESIGN.md §2).
+  SyntheticCorpusOptions options;
+  options.num_documents = 4000;
+  options.vocab_size = 2000;
+  options.num_topics = 20;
+  options.seed = 11;
+  const Corpus corpus = generate_corpus(options);
+  std::vector<TokenizedDocument> docs;
+  docs.reserve(corpus.size());
+  for (const std::string& doc : corpus.documents) docs.push_back(tokenize(doc));
+  const Vocabulary vocab = Vocabulary::build(docs);
+
+  double previous_density = 1.1;
+  for (double alpha : {0.01, 0.05, 0.25}) {
+    const AssociationGraph ag = build_association_graph(docs, vocab, alpha);
+    ASSERT_GT(ag.graph.vertex_count(), 0u);
+    const double density = ag.graph.density();
+    EXPECT_LT(density, previous_density) << "alpha=" << alpha;
+    previous_density = density;
+  }
+  // Small top fractions must be near-complete, as in the paper (density 1.0
+  // at its smallest alpha).
+  const AssociationGraph dense = build_association_graph(docs, vocab, 0.005);
+  EXPECT_GT(dense.graph.density(), 0.8);
+}
+
+}  // namespace
+}  // namespace lc::text

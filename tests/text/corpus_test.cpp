@@ -1,0 +1,151 @@
+#include "text/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <unordered_map>
+
+#include "text/stopwords.hpp"
+#include "text/tokenizer.hpp"
+
+namespace lc::text {
+namespace {
+
+TEST(SyntheticWord, UniquePerIndex) {
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < 5000; ++i) {
+    const auto [it, inserted] = seen.insert(synthetic_word(i));
+    EXPECT_TRUE(inserted) << "collision at index " << i << ": " << *it;
+  }
+}
+
+TEST(SyntheticWord, MinimumLengthAndNeverStopWord) {
+  for (std::size_t i = 0; i < 2000; ++i) {
+    const std::string word = synthetic_word(i);
+    EXPECT_GE(word.size(), 4u);
+    EXPECT_FALSE(is_stop_word(word)) << word;
+  }
+}
+
+TEST(SyntheticWord, DeterministicAcrossCalls) {
+  EXPECT_EQ(synthetic_word(123), synthetic_word(123));
+  EXPECT_EQ(synthetic_word(0), synthetic_word(0));
+}
+
+TEST(GenerateCorpus, ProducesRequestedDocumentCount) {
+  SyntheticCorpusOptions options;
+  options.num_documents = 250;
+  options.vocab_size = 500;
+  options.num_topics = 10;
+  const Corpus corpus = generate_corpus(options);
+  EXPECT_EQ(corpus.size(), 250u);
+  for (const std::string& doc : corpus.documents) EXPECT_FALSE(doc.empty());
+}
+
+TEST(GenerateCorpus, DeterministicForSeed) {
+  SyntheticCorpusOptions options;
+  options.num_documents = 50;
+  options.vocab_size = 200;
+  options.num_topics = 5;
+  options.seed = 99;
+  const Corpus a = generate_corpus(options);
+  const Corpus b = generate_corpus(options);
+  EXPECT_EQ(a.documents, b.documents);
+}
+
+TEST(GenerateCorpus, SeedChangesOutput) {
+  SyntheticCorpusOptions options;
+  options.num_documents = 50;
+  options.vocab_size = 200;
+  options.num_topics = 5;
+  options.seed = 1;
+  const Corpus a = generate_corpus(options);
+  options.seed = 2;
+  const Corpus b = generate_corpus(options);
+  EXPECT_NE(a.documents, b.documents);
+}
+
+TEST(GenerateCorpus, ZipfSkewInTokenFrequencies) {
+  SyntheticCorpusOptions options;
+  options.num_documents = 2000;
+  options.vocab_size = 1000;
+  options.num_topics = 10;
+  options.seed = 7;
+  const Corpus corpus = generate_corpus(options);
+  std::unordered_map<std::string, std::size_t> counts;
+  std::size_t total = 0;
+  for (const std::string& doc : corpus.documents) {
+    for (const std::string& token : tokenize(doc)) {
+      ++counts[token];
+      ++total;
+    }
+  }
+  // The most frequent stemmed word should dominate: Zipf s=1 over 1000 words
+  // puts ~13% of global draws on rank 0; with topic mixing it is still by far
+  // the largest single mass.
+  std::size_t max_count = 0;
+  for (const auto& [token, count] : counts) max_count = std::max(max_count, count);
+  EXPECT_GT(max_count, total / 50);
+  EXPECT_GT(counts.size(), 300u);  // plenty of distinct words survive
+}
+
+TEST(GenerateCorpus, PipelineSurvivesNoiseTokens) {
+  // URLs/mentions/punctuation must all disappear after tokenization.
+  SyntheticCorpusOptions options;
+  options.num_documents = 300;
+  options.vocab_size = 100;
+  options.num_topics = 4;
+  options.url_rate = 1.0;
+  options.mention_rate = 1.0;
+  const Corpus corpus = generate_corpus(options);
+  for (const std::string& doc : corpus.documents) {
+    for (const std::string& token : tokenize(doc)) {
+      EXPECT_EQ(token.find("http"), std::string::npos);
+      EXPECT_EQ(token.find('@'), std::string::npos);
+      EXPECT_EQ(token.find('#'), std::string::npos);
+      EXPECT_FALSE(is_stop_word(token));
+    }
+  }
+}
+
+TEST(ReadCorpusFile, OneDocumentPerLine) {
+  const std::string path = testing::TempDir() + "/lc_corpus_test.txt";
+  {
+    std::ofstream out(path);
+    out << "first tweet here\n\nsecond tweet\n";
+  }
+  std::string error;
+  const auto corpus = read_corpus_file(path, &error);
+  ASSERT_TRUE(corpus.has_value()) << error;
+  ASSERT_EQ(corpus->size(), 2u);  // blank line skipped
+  EXPECT_EQ(corpus->documents[0], "first tweet here");
+  EXPECT_EQ(corpus->documents[1], "second tweet");
+  std::remove(path.c_str());
+}
+
+TEST(ReadCorpusFile, MissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(read_corpus_file("/no/such/corpus.txt", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ReadCorpusFile, EmptyFileGivesEmptyCorpus) {
+  const std::string path = testing::TempDir() + "/lc_corpus_empty.txt";
+  { std::ofstream out(path); }
+  const auto corpus = read_corpus_file(path);
+  ASSERT_TRUE(corpus.has_value());
+  EXPECT_EQ(corpus->size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(GenerateCorpusDeathTest, RejectsBadOptions) {
+  SyntheticCorpusOptions options;
+  options.vocab_size = 5;
+  options.num_topics = 10;
+  EXPECT_DEATH(generate_corpus(options), "one word per topic");
+}
+
+}  // namespace
+}  // namespace lc::text

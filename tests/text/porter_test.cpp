@@ -1,0 +1,151 @@
+#include "text/porter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lc::text {
+namespace {
+
+// Every example from the published algorithm description (Porter 1980),
+// organized by the step that drives it.
+TEST(PorterStep1a, PluralRules) {
+  EXPECT_EQ(porter_stem("caresses"), "caress");
+  EXPECT_EQ(porter_stem("ponies"), "poni");
+  EXPECT_EQ(porter_stem("ties"), "ti");
+  EXPECT_EQ(porter_stem("caress"), "caress");
+  EXPECT_EQ(porter_stem("cats"), "cat");
+}
+
+TEST(PorterStep1b, EedEdIng) {
+  EXPECT_EQ(porter_stem("feed"), "feed");
+  // "agreed" passes through step 1b as "agree" (the paper's example) and then
+  // step 5a removes the final e (canonical output vocabulary: "agre").
+  EXPECT_EQ(porter_stem("agreed"), "agre");
+  EXPECT_EQ(porter_stem("plastered"), "plaster");
+  EXPECT_EQ(porter_stem("bled"), "bled");
+  EXPECT_EQ(porter_stem("motoring"), "motor");
+  EXPECT_EQ(porter_stem("sing"), "sing");
+}
+
+TEST(PorterStep1b, CleanupRules) {
+  EXPECT_EQ(porter_stem("conflated"), "conflat");   // ate -> step4 (m>1) strips
+  EXPECT_EQ(porter_stem("troubled"), "troubl");     // ble -> step4
+  EXPECT_EQ(porter_stem("sized"), "size");
+  EXPECT_EQ(porter_stem("hopping"), "hop");
+  EXPECT_EQ(porter_stem("tanned"), "tan");
+  EXPECT_EQ(porter_stem("falling"), "fall");
+  EXPECT_EQ(porter_stem("hissing"), "hiss");
+  EXPECT_EQ(porter_stem("fizzed"), "fizz");
+  EXPECT_EQ(porter_stem("failing"), "fail");
+  EXPECT_EQ(porter_stem("filing"), "file");
+}
+
+TEST(PorterStep1c, YToI) {
+  EXPECT_EQ(porter_stem("happy"), "happi");
+  EXPECT_EQ(porter_stem("sky"), "sky");
+}
+
+TEST(PorterStep2, DoubleSuffixReduction) {
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"relational", "relat"},      // ational->ate then step4 ate->""
+      {"conditional", "condit"},    // tional->tion then step4 ion->"" (t before)
+      {"rational", "ration"},       // tional->tion (m("ra")=0 blocks ational)
+      {"valenci", "valenc"},        // enci->ence then step5a e dropped (m=2)
+      {"hesitanci", "hesit"},       // anci->ance then step4 ance->""
+      {"digitizer", "digit"},       // izer->ize then step4 ize->""
+      {"radicalli", "radic"},       // alli->al then step4 al->""
+      {"differentli", "differ"},    // entli->ent then step4 ent->""
+      {"vileli", "vile"},           // eli->e
+      {"analogousli", "analog"},    // ousli->ous then step4 ous->""
+      {"vietnamization", "vietnam"},// ization->ize then step4
+      {"predication", "predic"},    // ation->ate then step4
+      {"operator", "oper"},         // ator->ate then step4
+      {"feudalism", "feudal"},      // alism->al
+      {"decisiveness", "decis"},    // iveness->ive then step4
+      {"hopefulness", "hope"},      // fulness->ful then step3 ful->""
+      {"callousness", "callous"},   // ousness->ous
+      {"formaliti", "formal"},      // aliti->al
+      {"sensitiviti", "sensit"},    // iviti->ive then step4
+      {"sensibiliti", "sensibl"},   // biliti->ble then step5a
+  };
+  for (const auto& [input, expected] : cases) {
+    EXPECT_EQ(porter_stem(input), expected) << "input=" << input;
+  }
+}
+
+TEST(PorterStep3, SuffixReduction) {
+  EXPECT_EQ(porter_stem("triplicate"), "triplic");
+  EXPECT_EQ(porter_stem("formative"), "form");
+  EXPECT_EQ(porter_stem("formalize"), "formal");
+  EXPECT_EQ(porter_stem("electriciti"), "electr");   // iciti->ic then step4 ic->""
+  EXPECT_EQ(porter_stem("electrical"), "electr");
+  EXPECT_EQ(porter_stem("hopeful"), "hope");
+  EXPECT_EQ(porter_stem("goodness"), "good");
+}
+
+TEST(PorterStep4, SingleSuffixDeletion) {
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"revival", "reviv"},        {"allowance", "allow"},
+      {"inference", "infer"},      {"airliner", "airlin"},
+      {"gyroscopic", "gyroscop"},  {"adjustable", "adjust"},
+      {"defensible", "defens"},    {"irritant", "irrit"},
+      {"replacement", "replac"},   {"adjustment", "adjust"},
+      {"dependent", "depend"},     {"adoption", "adopt"},
+      {"homologou", "homolog"},    {"communism", "commun"},
+      {"activate", "activ"},       {"angulariti", "angular"},
+      {"homologous", "homolog"},   {"effective", "effect"},
+      {"bowdlerize", "bowdler"},
+  };
+  for (const auto& [input, expected] : cases) {
+    EXPECT_EQ(porter_stem(input), expected) << "input=" << input;
+  }
+}
+
+TEST(PorterStep5, FinalEAndDoubleL) {
+  EXPECT_EQ(porter_stem("probate"), "probat");
+  EXPECT_EQ(porter_stem("rate"), "rate");
+  EXPECT_EQ(porter_stem("cease"), "ceas");
+  EXPECT_EQ(porter_stem("controll"), "control");
+  EXPECT_EQ(porter_stem("roll"), "roll");
+}
+
+TEST(Porter, FullWordCascades) {
+  EXPECT_EQ(porter_stem("generalizations"), "gener");
+  EXPECT_EQ(porter_stem("oscillators"), "oscil");
+}
+
+TEST(Porter, ShortWordsUnchanged) {
+  EXPECT_EQ(porter_stem("a"), "a");
+  EXPECT_EQ(porter_stem("is"), "is");
+  EXPECT_EQ(porter_stem("by"), "by");
+}
+
+TEST(Porter, NonAlphabeticUnchanged) {
+  EXPECT_EQ(porter_stem("abc123"), "abc123");
+  EXPECT_EQ(porter_stem("don't"), "don't");
+  EXPECT_EQ(porter_stem(""), "");
+}
+
+TEST(Porter, IdempotentOnCommonWords) {
+  // Stemming a stem must be stable for these (not universally true of the
+  // algorithm, but holds for this set and guards regressions).
+  for (const char* word : {"run", "network", "cluster", "graph", "commun", "gener"}) {
+    const std::string once = porter_stem(word);
+    EXPECT_EQ(porter_stem(once), once) << word;
+  }
+}
+
+TEST(Porter, TweetishVocabulary) {
+  EXPECT_EQ(porter_stem("networks"), "network");
+  EXPECT_EQ(porter_stem("clustering"), "cluster");
+  EXPECT_EQ(porter_stem("communities"), "commun");
+  EXPECT_EQ(porter_stem("following"), "follow");
+  EXPECT_EQ(porter_stem("followers"), "follow");
+  EXPECT_EQ(porter_stem("tweeted"), "tweet");
+}
+
+}  // namespace
+}  // namespace lc::text

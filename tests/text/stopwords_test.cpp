@@ -1,0 +1,42 @@
+#include "text/stopwords.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lc::text {
+namespace {
+
+TEST(StopWords, CommonWordsPresent) {
+  for (const char* word : {"the", "a", "and", "is", "of", "to", "in", "it", "you"}) {
+    EXPECT_TRUE(is_stop_word(word)) << word;
+  }
+}
+
+TEST(StopWords, ContentWordsAbsent) {
+  for (const char* word : {"cat", "graph", "cluster", "network", "tweet"}) {
+    EXPECT_FALSE(is_stop_word(word)) << word;
+  }
+}
+
+TEST(StopWords, ApostropheFormsBothAccepted) {
+  EXPECT_TRUE(is_stop_word("don't"));
+  EXPECT_TRUE(is_stop_word("dont"));
+  EXPECT_TRUE(is_stop_word("won't"));
+  EXPECT_TRUE(is_stop_word("wont"));
+  EXPECT_TRUE(is_stop_word("she's"));
+  EXPECT_TRUE(is_stop_word("shes"));
+}
+
+TEST(StopWords, CaseSensitiveLowercaseContract) {
+  // The tokenizer lower-cases before the check; the set itself is lower-case.
+  EXPECT_FALSE(is_stop_word("The"));
+}
+
+TEST(StopWords, ListIsThePublishedSize) {
+  // The standard list has 174 entries.
+  EXPECT_EQ(stop_word_list().size(), 174u);
+}
+
+TEST(StopWords, EmptyStringNotAStopWord) { EXPECT_FALSE(is_stop_word("")); }
+
+}  // namespace
+}  // namespace lc::text

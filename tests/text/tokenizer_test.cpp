@@ -1,0 +1,113 @@
+#include "text/tokenizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lc::text {
+namespace {
+
+TEST(Tokenizer, LowercasesAndSplitsOnNonAlpha) {
+  const auto tokens = tokenize("Hello,World;GRAPH");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "graph");
+}
+
+TEST(Tokenizer, RemovesStopWords) {
+  const auto tokens = tokenize("the cat and the dog");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "cat");
+  EXPECT_EQ(tokens[1], "dog");
+}
+
+TEST(Tokenizer, StemsTokens) {
+  const auto tokens = tokenize("clustering networks");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "cluster");
+  EXPECT_EQ(tokens[1], "network");
+}
+
+TEST(Tokenizer, ApostrophesJoinWordParts) {
+  // "don't" -> "dont" which is treated as the stop word don't.
+  const auto tokens = tokenize("don't panic");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "panic");
+}
+
+TEST(Tokenizer, StripsUrls) {
+  const auto tokens = tokenize("read this https://t.co/abc123 now www.example.com later");
+  // "read this ... now ... later" -> read, now, later (this is a stop word)
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "read");
+  EXPECT_EQ(tokens[1], "now");
+  EXPECT_EQ(tokens[2], "later");
+}
+
+TEST(Tokenizer, StripsMentionsKeepsHashtagBody) {
+  const auto tokens = tokenize("@alice loves #Graphs");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "love");
+  EXPECT_EQ(tokens[1], "graph");
+}
+
+TEST(Tokenizer, HashtagDroppedWhenConfigured) {
+  TokenizerOptions options;
+  options.keep_hashtag_body = false;
+  const auto tokens = tokenize("plain #tagged", options);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "plain");
+}
+
+TEST(Tokenizer, MinLengthFilters) {
+  TokenizerOptions options;
+  options.min_length = 5;
+  options.stem = false;
+  options.remove_stop_words = false;
+  const auto tokens = tokenize("tiny cats survive longest", options);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "survive");
+  EXPECT_EQ(tokens[1], "longest");
+}
+
+TEST(Tokenizer, OptionsCanDisableStemmingAndStopwords) {
+  TokenizerOptions options;
+  options.stem = false;
+  options.remove_stop_words = false;
+  const auto tokens = tokenize("the clustering", options);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "the");
+  EXPECT_EQ(tokens[1], "clustering");
+}
+
+TEST(Tokenizer, EmptyAndWhitespaceInput) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("   \t\n ").empty());
+  EXPECT_TRUE(tokenize("!!! ??? ...").empty());
+}
+
+TEST(Tokenizer, NonAsciiBytesActAsSeparators) {
+  // UTF-8 multibyte sequences are not ASCII letters; the tokenizer must not
+  // crash or merge across them (the paper restricts to English tweets).
+  const auto tokens = tokenize("caf\xc3\xa9 r\xc3\xa9sum\xc3\xa9 plain");
+  // "café" splits to "caf" (+ dropped short pieces); "plain" survives whole.
+  EXPECT_FALSE(tokens.empty());
+  for (const auto& token : tokens) {
+    for (char c : token) {
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+      EXPECT_LT(static_cast<unsigned char>(c), 0x80u);
+    }
+  }
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "plain"), tokens.end());
+}
+
+TEST(Tokenizer, NumbersAreSeparators) {
+  const auto tokens = tokenize("abc123def");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "abc");
+  EXPECT_EQ(tokens[1], "def");
+}
+
+}  // namespace
+}  // namespace lc::text

@@ -1,0 +1,97 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lc {
+namespace {
+
+CliFlags make_flags() {
+  CliFlags flags;
+  flags.add_string("name", "default", "a string");
+  flags.add_int("count", 10, "an int");
+  flags.add_double("alpha", 0.5, "a double");
+  flags.add_bool("verbose", false, "a bool");
+  return flags;
+}
+
+TEST(CliFlags, DefaultsApply) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.parse(1, argv));
+  EXPECT_EQ(flags.get_string("name"), "default");
+  EXPECT_EQ(flags.get_int("count"), 10);
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha"), 0.5);
+  EXPECT_FALSE(flags.get_bool("verbose"));
+}
+
+TEST(CliFlags, EqualsSyntax) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--name=x", "--count=42", "--alpha=0.125", "--verbose=true"};
+  ASSERT_TRUE(flags.parse(5, argv));
+  EXPECT_EQ(flags.get_string("name"), "x");
+  EXPECT_EQ(flags.get_int("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha"), 0.125);
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(CliFlags, SpaceSyntax) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--count", "7", "--name", "hello"};
+  ASSERT_TRUE(flags.parse(5, argv));
+  EXPECT_EQ(flags.get_int("count"), 7);
+  EXPECT_EQ(flags.get_string("name"), "hello");
+}
+
+TEST(CliFlags, BareBooleanAndNegation) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(flags.parse(2, argv));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+
+  CliFlags flags2 = make_flags();
+  const char* argv2[] = {"prog", "--verbose", "--no-verbose"};
+  ASSERT_TRUE(flags2.parse(3, argv2));
+  EXPECT_FALSE(flags2.get_bool("verbose"));
+}
+
+TEST(CliFlags, UnknownFlagFails) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(CliFlags, MalformedNumberFails) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--count=notanumber"};
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(CliFlags, MissingValueFails) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(CliFlags, PositionalArgumentsCollected) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "input.txt", "--count=3", "more"};
+  ASSERT_TRUE(flags.parse(4, argv));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "more");
+}
+
+TEST(CliFlags, HelpReturnsFalse) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(CliFlags, BoolRejectsJunkValue) {
+  CliFlags flags = make_flags();
+  const char* argv[] = {"prog", "--verbose=maybe"};
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+}  // namespace
+}  // namespace lc

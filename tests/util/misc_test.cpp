@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/logging.hpp"
+#include "util/memory.hpp"
+#include "util/stopwatch.hpp"
+
+namespace lc {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = watch.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  EXPECT_NEAR(watch.millis(), watch.seconds() * 1e3, 50.0);
+}
+
+TEST(Stopwatch, LapRestartsTimer) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  const double first = watch.lap();
+  EXPECT_GE(first, 0.010);
+  const double second = watch.seconds();
+  EXPECT_LT(second, first);
+}
+
+TEST(Stopwatch, ResetZeroes) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  watch.reset();
+  EXPECT_LT(watch.seconds(), 0.01);
+}
+
+TEST(Memory, ProbeReturnsPlausibleValues) {
+  const MemoryUsage usage = read_memory_usage();
+  // On Linux these are positive; a running gtest binary uses at least 1 MB.
+  EXPECT_GT(usage.vm_size_kb, 1024u);
+  EXPECT_GE(usage.vm_peak_kb, usage.vm_size_kb);
+  EXPECT_GT(usage.rss_kb, 256u);
+  EXPECT_GE(usage.rss_peak_kb, usage.rss_kb);
+}
+
+TEST(Memory, GrowsAfterLargeAllocation) {
+  const MemoryUsage before = read_memory_usage();
+  std::vector<char> block(64 * 1024 * 1024, 1);  // 64 MB, touched
+  const MemoryUsage after = read_memory_usage();
+  EXPECT_GT(after.vm_size_kb, before.vm_size_kb + 32 * 1024);
+  EXPECT_GT(block[block.size() - 1], 0);
+}
+
+TEST(Logging, LevelFilterRoundTrip) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  LC_LOG(kInfo) << "this line must be filtered out";
+  set_log_level(original);
+}
+
+TEST(Logging, EmitsAtOrAboveLevel) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kDebug);
+  LC_LOG(kDebug) << "debug visible";
+  LC_LOG(kWarn) << "warn visible";
+  set_log_level(original);
+}
+
+}  // namespace
+}  // namespace lc

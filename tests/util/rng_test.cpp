@@ -1,0 +1,128 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <vector>
+
+namespace lc {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleRangeRespected) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double(-2.5, 4.0);
+    EXPECT_GE(d, -2.5);
+    EXPECT_LT(d, 4.0);
+  }
+}
+
+TEST(Rng, UniformityRoughCheck) {
+  // 10 buckets over [0,1): each should get ~1000 of 10000 draws.
+  Rng rng(17);
+  std::array<int, 10> buckets{};
+  for (int i = 0; i < 10000; ++i) {
+    ++buckets[static_cast<std::size_t>(rng.next_double() * 10.0)];
+  }
+  for (int count : buckets) {
+    EXPECT_GT(count, 800);
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent.next_u64() == child.next_u64()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Shuffle, IsAPermutation) {
+  Rng rng(31);
+  std::vector<int> values(100);
+  for (int i = 0; i < 100; ++i) values[static_cast<std::size_t>(i)] = i;
+  auto shuffled = values;
+  shuffle(shuffled.begin(), shuffled.end(), rng);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, values);
+}
+
+TEST(Shuffle, DeterministicForFixedSeed) {
+  std::vector<int> a{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> b = a;
+  Rng ra(5);
+  Rng rb(5);
+  shuffle(a.begin(), a.end(), ra);
+  shuffle(b.begin(), b.end(), rb);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Shuffle, HandlesTrivialSizes) {
+  Rng rng(1);
+  std::vector<int> empty;
+  shuffle(empty.begin(), empty.end(), rng);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  shuffle(one.begin(), one.end(), rng);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(SampleCumulative, RespectsWeights) {
+  // Weights 1, 3, 6 -> cumulative 1, 4, 10; expect ~10%/30%/60%.
+  const double cumulative[] = {1.0, 4.0, 10.0};
+  Rng rng(77);
+  std::map<std::size_t, int> counts;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) ++counts[sample_cumulative(cumulative, 3, rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(draws), 0.10, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(draws), 0.30, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(draws), 0.60, 0.02);
+}
+
+TEST(SampleCumulative, SingleBucket) {
+  const double cumulative[] = {2.5};
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sample_cumulative(cumulative, 1, rng), 0u);
+}
+
+}  // namespace
+}  // namespace lc

@@ -1,0 +1,87 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lc {
+namespace {
+
+TEST(Split, BasicDelimiter) {
+  const auto pieces = split("a,b,,c", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(pieces[3], "c");
+}
+
+TEST(Split, NoDelimiterYieldsWhole) {
+  const auto pieces = split("hello", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "hello");
+}
+
+TEST(Split, EmptyInput) {
+  const auto pieces = split("", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "");
+}
+
+TEST(SplitWhitespace, DropsEmptyRuns) {
+  const auto pieces = split_whitespace("  the\tquick \n brown  ");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "the");
+  EXPECT_EQ(pieces[1], "quick");
+  EXPECT_EQ(pieces[2], "brown");
+}
+
+TEST(SplitWhitespace, AllWhitespaceIsEmpty) {
+  EXPECT_TRUE(split_whitespace(" \t\n ").empty());
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("xy"), "xy");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("HeLLo123"), "hello123");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+  EXPECT_TRUE(ends_with("file.csv", ".csv"));
+  EXPECT_FALSE(ends_with("csv", ".csv"));
+}
+
+TEST(WithCommas, GroupsOfThree) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1628578), "1,628,578");
+  EXPECT_EQ(with_commas(1234567890123ull), "1,234,567,890,123");
+}
+
+TEST(FormatSeconds, ScalesUnits) {
+  EXPECT_EQ(format_seconds(0.0000005), "0.5 us");
+  EXPECT_EQ(format_seconds(0.0421), "42.1 ms");
+  EXPECT_EQ(format_seconds(13.2), "13.20 s");
+  EXPECT_EQ(format_seconds(1234.0), "1234 s");
+  EXPECT_EQ(format_seconds(-1.0), "-");
+}
+
+TEST(FormatKb, ScalesUnits) {
+  EXPECT_EQ(format_kb(512.0), "512.0 KB");
+  EXPECT_EQ(format_kb(881.2 * 1024.0), "881.2 MB");
+  EXPECT_EQ(format_kb(19.9 * 1024.0 * 1024.0), "19.90 GB");
+}
+
+TEST(Strprintf, FormatsLikePrintf) {
+  EXPECT_EQ(strprintf("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace lc

@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace lc {
+namespace {
+
+TEST(Table, TextAlignsColumns) {
+  Table table({"alpha", "n"});
+  table.add_row({"0.001", "3132"});
+  table.add_row({"0.01", "17"});
+  const std::string text = table.to_text();
+  // header, rule, two rows
+  std::istringstream stream(text);
+  std::string line;
+  int lines = 0;
+  while (std::getline(stream, line)) ++lines;
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table table({"k", "v"});
+  table.add_row({"a,b", "say \"hi\""});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripSimple) {
+  Table table({"x", "y"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, WriteCsvCreatesFile) {
+  Table table({"c"});
+  table.add_row({"v"});
+  const std::string path = testing::TempDir() + "/lc_table_test.csv";
+  ASSERT_TRUE(table.write_csv(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "c\nv\n");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvFailsOnBadPath) {
+  Table table({"c"});
+  EXPECT_FALSE(table.write_csv("/nonexistent_dir_zzz/x.csv"));
+}
+
+TEST(Table, RowCountTracksRows) {
+  Table table({"a"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TableDeathTest, MismatchedArityAborts) {
+  Table table({"a", "b"});
+  EXPECT_DEATH(table.add_row({"only-one"}), "arity");
+}
+
+}  // namespace
+}  // namespace lc

@@ -1,0 +1,9 @@
+// Thin entry point for the `linkcluster` command-line tool; all logic lives
+// in src/cli/commands.cpp so the test suite can exercise it directly.
+#include <iostream>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  return lc::cli::run_command(argc, argv, std::cout, std::cerr);
+}
