@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pairmap.dir/ablation_pairmap.cpp.o"
+  "CMakeFiles/ablation_pairmap.dir/ablation_pairmap.cpp.o.d"
+  "ablation_pairmap"
+  "ablation_pairmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pairmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unionfind.dir/ablation_unionfind.cpp.o"
+  "CMakeFiles/ablation_unionfind.dir/ablation_unionfind.cpp.o.d"
+  "ablation_unionfind"
+  "ablation_unionfind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unionfind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_complexity.dir/appendix_complexity.cpp.o"
+  "CMakeFiles/appendix_complexity.dir/appendix_complexity.cpp.o.d"
+  "appendix_complexity"
+  "appendix_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

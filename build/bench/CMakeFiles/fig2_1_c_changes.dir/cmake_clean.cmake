@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_1_c_changes.dir/fig2_1_c_changes.cpp.o"
+  "CMakeFiles/fig2_1_c_changes.dir/fig2_1_c_changes.cpp.o.d"
+  "fig2_1_c_changes"
+  "fig2_1_c_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_1_c_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

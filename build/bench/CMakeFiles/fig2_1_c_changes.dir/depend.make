@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_1_c_changes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_2_sigmoid.dir/fig2_2_sigmoid.cpp.o"
+  "CMakeFiles/fig2_2_sigmoid.dir/fig2_2_sigmoid.cpp.o.d"
+  "fig2_2_sigmoid"
+  "fig2_2_sigmoid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_2_sigmoid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_3_memory.dir/fig4_3_memory.cpp.o"
+  "CMakeFiles/fig4_3_memory.dir/fig4_3_memory.cpp.o.d"
+  "fig4_3_memory"
+  "fig4_3_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_3_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_1_epochs.dir/fig5_1_epochs.cpp.o"
+  "CMakeFiles/fig5_1_epochs.dir/fig5_1_epochs.cpp.o.d"
+  "fig5_1_epochs"
+  "fig5_1_epochs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_1_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

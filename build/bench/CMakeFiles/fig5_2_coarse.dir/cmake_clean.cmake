@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_2_coarse.dir/fig5_2_coarse.cpp.o"
+  "CMakeFiles/fig5_2_coarse.dir/fig5_2_coarse.cpp.o.d"
+  "fig5_2_coarse"
+  "fig5_2_coarse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_2_coarse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

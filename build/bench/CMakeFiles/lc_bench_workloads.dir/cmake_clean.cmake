@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_bench_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/lc_bench_workloads.dir/workloads.cpp.o.d"
+  "liblc_bench_workloads.a"
+  "liblc_bench_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_bench_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coarse_dendrogram.dir/coarse_dendrogram.cpp.o"
+  "CMakeFiles/coarse_dendrogram.dir/coarse_dendrogram.cpp.o.d"
+  "coarse_dendrogram"
+  "coarse_dendrogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coarse_dendrogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_communities.dir/word_communities.cpp.o"
+  "CMakeFiles/word_communities.dir/word_communities.cpp.o.d"
+  "word_communities"
+  "word_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/edge_similarity_matrix.cpp" "src/baseline/CMakeFiles/lc_baseline.dir/edge_similarity_matrix.cpp.o" "gcc" "src/baseline/CMakeFiles/lc_baseline.dir/edge_similarity_matrix.cpp.o.d"
+  "/root/repo/src/baseline/memory_model.cpp" "src/baseline/CMakeFiles/lc_baseline.dir/memory_model.cpp.o" "gcc" "src/baseline/CMakeFiles/lc_baseline.dir/memory_model.cpp.o.d"
+  "/root/repo/src/baseline/mst.cpp" "src/baseline/CMakeFiles/lc_baseline.dir/mst.cpp.o" "gcc" "src/baseline/CMakeFiles/lc_baseline.dir/mst.cpp.o.d"
+  "/root/repo/src/baseline/nbm.cpp" "src/baseline/CMakeFiles/lc_baseline.dir/nbm.cpp.o" "gcc" "src/baseline/CMakeFiles/lc_baseline.dir/nbm.cpp.o.d"
+  "/root/repo/src/baseline/slink.cpp" "src/baseline/CMakeFiles/lc_baseline.dir/slink.cpp.o" "gcc" "src/baseline/CMakeFiles/lc_baseline.dir/slink.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lc_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_baseline.dir/edge_similarity_matrix.cpp.o"
+  "CMakeFiles/lc_baseline.dir/edge_similarity_matrix.cpp.o.d"
+  "CMakeFiles/lc_baseline.dir/memory_model.cpp.o"
+  "CMakeFiles/lc_baseline.dir/memory_model.cpp.o.d"
+  "CMakeFiles/lc_baseline.dir/mst.cpp.o"
+  "CMakeFiles/lc_baseline.dir/mst.cpp.o.d"
+  "CMakeFiles/lc_baseline.dir/nbm.cpp.o"
+  "CMakeFiles/lc_baseline.dir/nbm.cpp.o.d"
+  "CMakeFiles/lc_baseline.dir/slink.cpp.o"
+  "CMakeFiles/lc_baseline.dir/slink.cpp.o.d"
+  "liblc_baseline.a"
+  "liblc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

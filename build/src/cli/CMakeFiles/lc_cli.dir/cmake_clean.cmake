@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_cli.dir/commands.cpp.o"
+  "CMakeFiles/lc_cli.dir/commands.cpp.o.d"
+  "liblc_cli.a"
+  "liblc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

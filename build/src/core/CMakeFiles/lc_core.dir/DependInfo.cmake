@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster_array.cpp" "src/core/CMakeFiles/lc_core.dir/cluster_array.cpp.o" "gcc" "src/core/CMakeFiles/lc_core.dir/cluster_array.cpp.o.d"
+  "/root/repo/src/core/coarse.cpp" "src/core/CMakeFiles/lc_core.dir/coarse.cpp.o" "gcc" "src/core/CMakeFiles/lc_core.dir/coarse.cpp.o.d"
+  "/root/repo/src/core/dendrogram.cpp" "src/core/CMakeFiles/lc_core.dir/dendrogram.cpp.o" "gcc" "src/core/CMakeFiles/lc_core.dir/dendrogram.cpp.o.d"
+  "/root/repo/src/core/dendrogram_io.cpp" "src/core/CMakeFiles/lc_core.dir/dendrogram_io.cpp.o" "gcc" "src/core/CMakeFiles/lc_core.dir/dendrogram_io.cpp.o.d"
+  "/root/repo/src/core/dsu.cpp" "src/core/CMakeFiles/lc_core.dir/dsu.cpp.o" "gcc" "src/core/CMakeFiles/lc_core.dir/dsu.cpp.o.d"
+  "/root/repo/src/core/edge_index.cpp" "src/core/CMakeFiles/lc_core.dir/edge_index.cpp.o" "gcc" "src/core/CMakeFiles/lc_core.dir/edge_index.cpp.o.d"
+  "/root/repo/src/core/hierarchy.cpp" "src/core/CMakeFiles/lc_core.dir/hierarchy.cpp.o" "gcc" "src/core/CMakeFiles/lc_core.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/core/link_clusterer.cpp" "src/core/CMakeFiles/lc_core.dir/link_clusterer.cpp.o" "gcc" "src/core/CMakeFiles/lc_core.dir/link_clusterer.cpp.o.d"
+  "/root/repo/src/core/partition_density.cpp" "src/core/CMakeFiles/lc_core.dir/partition_density.cpp.o" "gcc" "src/core/CMakeFiles/lc_core.dir/partition_density.cpp.o.d"
+  "/root/repo/src/core/similarity.cpp" "src/core/CMakeFiles/lc_core.dir/similarity.cpp.o" "gcc" "src/core/CMakeFiles/lc_core.dir/similarity.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/core/CMakeFiles/lc_core.dir/sweep.cpp.o" "gcc" "src/core/CMakeFiles/lc_core.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lc_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

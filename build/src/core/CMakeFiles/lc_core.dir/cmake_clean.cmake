@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_core.dir/cluster_array.cpp.o"
+  "CMakeFiles/lc_core.dir/cluster_array.cpp.o.d"
+  "CMakeFiles/lc_core.dir/coarse.cpp.o"
+  "CMakeFiles/lc_core.dir/coarse.cpp.o.d"
+  "CMakeFiles/lc_core.dir/dendrogram.cpp.o"
+  "CMakeFiles/lc_core.dir/dendrogram.cpp.o.d"
+  "CMakeFiles/lc_core.dir/dendrogram_io.cpp.o"
+  "CMakeFiles/lc_core.dir/dendrogram_io.cpp.o.d"
+  "CMakeFiles/lc_core.dir/dsu.cpp.o"
+  "CMakeFiles/lc_core.dir/dsu.cpp.o.d"
+  "CMakeFiles/lc_core.dir/edge_index.cpp.o"
+  "CMakeFiles/lc_core.dir/edge_index.cpp.o.d"
+  "CMakeFiles/lc_core.dir/hierarchy.cpp.o"
+  "CMakeFiles/lc_core.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/lc_core.dir/link_clusterer.cpp.o"
+  "CMakeFiles/lc_core.dir/link_clusterer.cpp.o.d"
+  "CMakeFiles/lc_core.dir/partition_density.cpp.o"
+  "CMakeFiles/lc_core.dir/partition_density.cpp.o.d"
+  "CMakeFiles/lc_core.dir/similarity.cpp.o"
+  "CMakeFiles/lc_core.dir/similarity.cpp.o.d"
+  "CMakeFiles/lc_core.dir/sweep.cpp.o"
+  "CMakeFiles/lc_core.dir/sweep.cpp.o.d"
+  "liblc_core.a"
+  "liblc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

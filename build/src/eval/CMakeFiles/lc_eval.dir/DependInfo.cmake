@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/clustering_metrics.cpp" "src/eval/CMakeFiles/lc_eval.dir/clustering_metrics.cpp.o" "gcc" "src/eval/CMakeFiles/lc_eval.dir/clustering_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lc_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

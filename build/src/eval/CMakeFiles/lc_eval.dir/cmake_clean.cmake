@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_eval.dir/clustering_metrics.cpp.o"
+  "CMakeFiles/lc_eval.dir/clustering_metrics.cpp.o.d"
+  "liblc_eval.a"
+  "liblc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

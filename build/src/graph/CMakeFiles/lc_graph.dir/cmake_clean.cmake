@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_graph.dir/components.cpp.o"
+  "CMakeFiles/lc_graph.dir/components.cpp.o.d"
+  "CMakeFiles/lc_graph.dir/generators.cpp.o"
+  "CMakeFiles/lc_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/lc_graph.dir/graph.cpp.o"
+  "CMakeFiles/lc_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/lc_graph.dir/io.cpp.o"
+  "CMakeFiles/lc_graph.dir/io.cpp.o.d"
+  "CMakeFiles/lc_graph.dir/stats.cpp.o"
+  "CMakeFiles/lc_graph.dir/stats.cpp.o.d"
+  "liblc_graph.a"
+  "liblc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

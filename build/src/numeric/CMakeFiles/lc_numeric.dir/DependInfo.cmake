@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/least_squares.cpp" "src/numeric/CMakeFiles/lc_numeric.dir/least_squares.cpp.o" "gcc" "src/numeric/CMakeFiles/lc_numeric.dir/least_squares.cpp.o.d"
+  "/root/repo/src/numeric/series.cpp" "src/numeric/CMakeFiles/lc_numeric.dir/series.cpp.o" "gcc" "src/numeric/CMakeFiles/lc_numeric.dir/series.cpp.o.d"
+  "/root/repo/src/numeric/sigmoid.cpp" "src/numeric/CMakeFiles/lc_numeric.dir/sigmoid.cpp.o" "gcc" "src/numeric/CMakeFiles/lc_numeric.dir/sigmoid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

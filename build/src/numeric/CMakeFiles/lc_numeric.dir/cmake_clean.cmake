@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_numeric.dir/least_squares.cpp.o"
+  "CMakeFiles/lc_numeric.dir/least_squares.cpp.o.d"
+  "CMakeFiles/lc_numeric.dir/series.cpp.o"
+  "CMakeFiles/lc_numeric.dir/series.cpp.o.d"
+  "CMakeFiles/lc_numeric.dir/sigmoid.cpp.o"
+  "CMakeFiles/lc_numeric.dir/sigmoid.cpp.o.d"
+  "liblc_numeric.a"
+  "liblc_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

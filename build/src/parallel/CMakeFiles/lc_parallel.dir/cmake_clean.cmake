@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/lc_parallel.dir/thread_pool.cpp.o.d"
+  "liblc_parallel.a"
+  "liblc_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

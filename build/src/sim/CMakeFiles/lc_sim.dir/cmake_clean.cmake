@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_sim.dir/work_ledger.cpp.o"
+  "CMakeFiles/lc_sim.dir/work_ledger.cpp.o.d"
+  "liblc_sim.a"
+  "liblc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/association.cpp" "src/text/CMakeFiles/lc_text.dir/association.cpp.o" "gcc" "src/text/CMakeFiles/lc_text.dir/association.cpp.o.d"
+  "/root/repo/src/text/corpus.cpp" "src/text/CMakeFiles/lc_text.dir/corpus.cpp.o" "gcc" "src/text/CMakeFiles/lc_text.dir/corpus.cpp.o.d"
+  "/root/repo/src/text/porter.cpp" "src/text/CMakeFiles/lc_text.dir/porter.cpp.o" "gcc" "src/text/CMakeFiles/lc_text.dir/porter.cpp.o.d"
+  "/root/repo/src/text/stopwords.cpp" "src/text/CMakeFiles/lc_text.dir/stopwords.cpp.o" "gcc" "src/text/CMakeFiles/lc_text.dir/stopwords.cpp.o.d"
+  "/root/repo/src/text/tokenizer.cpp" "src/text/CMakeFiles/lc_text.dir/tokenizer.cpp.o" "gcc" "src/text/CMakeFiles/lc_text.dir/tokenizer.cpp.o.d"
+  "/root/repo/src/text/vocabulary.cpp" "src/text/CMakeFiles/lc_text.dir/vocabulary.cpp.o" "gcc" "src/text/CMakeFiles/lc_text.dir/vocabulary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

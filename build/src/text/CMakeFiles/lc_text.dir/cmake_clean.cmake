@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_text.dir/association.cpp.o"
+  "CMakeFiles/lc_text.dir/association.cpp.o.d"
+  "CMakeFiles/lc_text.dir/corpus.cpp.o"
+  "CMakeFiles/lc_text.dir/corpus.cpp.o.d"
+  "CMakeFiles/lc_text.dir/porter.cpp.o"
+  "CMakeFiles/lc_text.dir/porter.cpp.o.d"
+  "CMakeFiles/lc_text.dir/stopwords.cpp.o"
+  "CMakeFiles/lc_text.dir/stopwords.cpp.o.d"
+  "CMakeFiles/lc_text.dir/tokenizer.cpp.o"
+  "CMakeFiles/lc_text.dir/tokenizer.cpp.o.d"
+  "CMakeFiles/lc_text.dir/vocabulary.cpp.o"
+  "CMakeFiles/lc_text.dir/vocabulary.cpp.o.d"
+  "liblc_text.a"
+  "liblc_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

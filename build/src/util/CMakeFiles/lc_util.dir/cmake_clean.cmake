@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lc_util.dir/cli.cpp.o"
+  "CMakeFiles/lc_util.dir/cli.cpp.o.d"
+  "CMakeFiles/lc_util.dir/logging.cpp.o"
+  "CMakeFiles/lc_util.dir/logging.cpp.o.d"
+  "CMakeFiles/lc_util.dir/memory.cpp.o"
+  "CMakeFiles/lc_util.dir/memory.cpp.o.d"
+  "CMakeFiles/lc_util.dir/rng.cpp.o"
+  "CMakeFiles/lc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/lc_util.dir/strings.cpp.o"
+  "CMakeFiles/lc_util.dir/strings.cpp.o.d"
+  "CMakeFiles/lc_util.dir/table.cpp.o"
+  "CMakeFiles/lc_util.dir/table.cpp.o.d"
+  "liblc_util.a"
+  "liblc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_memory_model_test.dir/baseline/memory_model_test.cpp.o"
+  "CMakeFiles/baseline_memory_model_test.dir/baseline/memory_model_test.cpp.o.d"
+  "baseline_memory_model_test"
+  "baseline_memory_model_test.pdb"
+  "baseline_memory_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_memory_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

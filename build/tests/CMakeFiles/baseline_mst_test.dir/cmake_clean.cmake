@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_mst_test.dir/baseline/mst_test.cpp.o"
+  "CMakeFiles/baseline_mst_test.dir/baseline/mst_test.cpp.o.d"
+  "baseline_mst_test"
+  "baseline_mst_test.pdb"
+  "baseline_mst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_mst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

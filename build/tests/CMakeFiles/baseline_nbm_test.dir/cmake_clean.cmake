@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_nbm_test.dir/baseline/nbm_test.cpp.o"
+  "CMakeFiles/baseline_nbm_test.dir/baseline/nbm_test.cpp.o.d"
+  "baseline_nbm_test"
+  "baseline_nbm_test.pdb"
+  "baseline_nbm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_nbm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

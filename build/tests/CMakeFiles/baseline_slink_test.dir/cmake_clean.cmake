@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_slink_test.dir/baseline/slink_test.cpp.o"
+  "CMakeFiles/baseline_slink_test.dir/baseline/slink_test.cpp.o.d"
+  "baseline_slink_test"
+  "baseline_slink_test.pdb"
+  "baseline_slink_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_slink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

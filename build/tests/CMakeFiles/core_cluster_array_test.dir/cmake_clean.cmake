@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cluster_array_test.dir/core/cluster_array_test.cpp.o"
+  "CMakeFiles/core_cluster_array_test.dir/core/cluster_array_test.cpp.o.d"
+  "core_cluster_array_test"
+  "core_cluster_array_test.pdb"
+  "core_cluster_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cluster_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

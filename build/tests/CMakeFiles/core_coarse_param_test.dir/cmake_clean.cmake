@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_coarse_param_test.dir/core/coarse_param_test.cpp.o"
+  "CMakeFiles/core_coarse_param_test.dir/core/coarse_param_test.cpp.o.d"
+  "core_coarse_param_test"
+  "core_coarse_param_test.pdb"
+  "core_coarse_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_coarse_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dendrogram_test.dir/core/dendrogram_test.cpp.o"
+  "CMakeFiles/core_dendrogram_test.dir/core/dendrogram_test.cpp.o.d"
+  "core_dendrogram_test"
+  "core_dendrogram_test.pdb"
+  "core_dendrogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dendrogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hierarchy_test.dir/core/hierarchy_test.cpp.o"
+  "CMakeFiles/core_hierarchy_test.dir/core/hierarchy_test.cpp.o.d"
+  "core_hierarchy_test"
+  "core_hierarchy_test.pdb"
+  "core_hierarchy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

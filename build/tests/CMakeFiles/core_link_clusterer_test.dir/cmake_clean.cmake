@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_link_clusterer_test.dir/core/link_clusterer_test.cpp.o"
+  "CMakeFiles/core_link_clusterer_test.dir/core/link_clusterer_test.cpp.o.d"
+  "core_link_clusterer_test"
+  "core_link_clusterer_test.pdb"
+  "core_link_clusterer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_link_clusterer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

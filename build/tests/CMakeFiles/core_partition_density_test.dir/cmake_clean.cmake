@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_partition_density_test.dir/core/partition_density_test.cpp.o"
+  "CMakeFiles/core_partition_density_test.dir/core/partition_density_test.cpp.o.d"
+  "core_partition_density_test"
+  "core_partition_density_test.pdb"
+  "core_partition_density_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_partition_density_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

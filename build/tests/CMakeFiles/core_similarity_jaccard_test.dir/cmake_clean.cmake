@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_similarity_jaccard_test.dir/core/similarity_jaccard_test.cpp.o"
+  "CMakeFiles/core_similarity_jaccard_test.dir/core/similarity_jaccard_test.cpp.o.d"
+  "core_similarity_jaccard_test"
+  "core_similarity_jaccard_test.pdb"
+  "core_similarity_jaccard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_similarity_jaccard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

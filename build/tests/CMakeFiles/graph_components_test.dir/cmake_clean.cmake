@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_components_test.dir/graph/components_test.cpp.o"
+  "CMakeFiles/graph_components_test.dir/graph/components_test.cpp.o.d"
+  "graph_components_test"
+  "graph_components_test.pdb"
+  "graph_components_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/stats_test.cpp" "tests/CMakeFiles/graph_stats_test.dir/graph/stats_test.cpp.o" "gcc" "tests/CMakeFiles/graph_stats_test.dir/graph/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/lc_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/lc_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/lc_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/lc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lc_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_equivalence_test.dir/integration/equivalence_test.cpp.o"
+  "CMakeFiles/integration_equivalence_test.dir/integration/equivalence_test.cpp.o.d"
+  "integration_equivalence_test"
+  "integration_equivalence_test.pdb"
+  "integration_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_least_squares_test.dir/numeric/least_squares_test.cpp.o"
+  "CMakeFiles/numeric_least_squares_test.dir/numeric/least_squares_test.cpp.o.d"
+  "numeric_least_squares_test"
+  "numeric_least_squares_test.pdb"
+  "numeric_least_squares_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_least_squares_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_series_test.dir/numeric/series_test.cpp.o"
+  "CMakeFiles/numeric_series_test.dir/numeric/series_test.cpp.o.d"
+  "numeric_series_test"
+  "numeric_series_test.pdb"
+  "numeric_series_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

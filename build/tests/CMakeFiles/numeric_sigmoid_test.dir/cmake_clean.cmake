@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_sigmoid_test.dir/numeric/sigmoid_test.cpp.o"
+  "CMakeFiles/numeric_sigmoid_test.dir/numeric/sigmoid_test.cpp.o.d"
+  "numeric_sigmoid_test"
+  "numeric_sigmoid_test.pdb"
+  "numeric_sigmoid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_sigmoid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

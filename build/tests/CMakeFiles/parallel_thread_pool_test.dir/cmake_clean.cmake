@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_thread_pool_test.dir/parallel/thread_pool_test.cpp.o"
+  "CMakeFiles/parallel_thread_pool_test.dir/parallel/thread_pool_test.cpp.o.d"
+  "parallel_thread_pool_test"
+  "parallel_thread_pool_test.pdb"
+  "parallel_thread_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_thread_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_work_ledger_test.dir/sim/work_ledger_test.cpp.o"
+  "CMakeFiles/sim_work_ledger_test.dir/sim/work_ledger_test.cpp.o.d"
+  "sim_work_ledger_test"
+  "sim_work_ledger_test.pdb"
+  "sim_work_ledger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_work_ledger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

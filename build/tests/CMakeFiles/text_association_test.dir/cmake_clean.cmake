@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_association_test.dir/text/association_test.cpp.o"
+  "CMakeFiles/text_association_test.dir/text/association_test.cpp.o.d"
+  "text_association_test"
+  "text_association_test.pdb"
+  "text_association_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_association_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_corpus_test.dir/text/corpus_test.cpp.o"
+  "CMakeFiles/text_corpus_test.dir/text/corpus_test.cpp.o.d"
+  "text_corpus_test"
+  "text_corpus_test.pdb"
+  "text_corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

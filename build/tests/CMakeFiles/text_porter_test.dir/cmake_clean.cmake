@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_porter_test.dir/text/porter_test.cpp.o"
+  "CMakeFiles/text_porter_test.dir/text/porter_test.cpp.o.d"
+  "text_porter_test"
+  "text_porter_test.pdb"
+  "text_porter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_porter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_vocabulary_test.dir/text/vocabulary_test.cpp.o"
+  "CMakeFiles/text_vocabulary_test.dir/text/vocabulary_test.cpp.o.d"
+  "text_vocabulary_test"
+  "text_vocabulary_test.pdb"
+  "text_vocabulary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_vocabulary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkcluster_cli.dir/linkcluster_main.cpp.o"
+  "CMakeFiles/linkcluster_cli.dir/linkcluster_main.cpp.o.d"
+  "linkcluster"
+  "linkcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkcluster_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
