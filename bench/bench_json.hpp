@@ -1,0 +1,44 @@
+// Minimal machine-readable bench output: BENCH_<name>.json files carrying a
+// workload description plus one record per measured configuration. The format
+// is deliberately tiny (fopen/fprintf, no dependency) — downstream tooling
+// diffs these files across commits to track the hot-path speedups.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lc::bench {
+
+struct BenchRun {
+  std::size_t threads = 1;
+  double wall_ms = 0.0;
+  std::uint64_t peak_bytes = 0;   ///< VmHWM at the end of the run (0 = unknown)
+  std::string extra;              ///< optional extra fields, raw JSON ("\"k\": v, ...")
+};
+
+/// Writes {"name", "workload", "runs": [{threads, wall_ms, peak_bytes, ...}]}.
+/// Returns false (with a message on stderr) if the file cannot be opened.
+inline bool write_bench_json(const std::string& path, const std::string& name,
+                             const std::string& workload, const std::vector<BenchRun>& runs) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(file, "{\n  \"name\": \"%s\",\n  \"workload\": \"%s\",\n  \"runs\": [\n",
+               name.c_str(), workload.c_str());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const BenchRun& run = runs[i];
+    std::fprintf(file, "    {\"threads\": %zu, \"wall_ms\": %.3f, \"peak_bytes\": %llu%s%s}%s\n",
+                 run.threads, run.wall_ms, static_cast<unsigned long long>(run.peak_bytes),
+                 run.extra.empty() ? "" : ", ", run.extra.c_str(),
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace lc::bench

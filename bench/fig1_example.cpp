@@ -25,7 +25,7 @@ int main() {
   lc::Table table({"vertex pair", "similarity", "shared neighbors"});
   for (const lc::core::SimilarityEntry& entry : map.entries) {
     std::string commons;
-    for (lc::graph::VertexId k : entry.common) {
+    for (lc::graph::VertexId k : map.common(entry)) {
       if (!commons.empty()) commons += ", ";
       commons += std::to_string(k);
     }

@@ -33,10 +33,8 @@ lc::numeric::Series cluster_curve(const lc::graph::WeightedGraph& graph,
   std::uint64_t next_boundary = per_chunk;
   std::size_t level = 1;
   for (const lc::core::SimilarityEntry& entry : map.entries) {
-    for (lc::graph::VertexId k : entry.common) {
-      const auto e1 = index.index_of(graph.find_edge(entry.u, k));
-      const auto e2 = index.index_of(graph.find_edge(entry.v, k));
-      clusters.merge(e1, e2);
+    for (const lc::core::EdgePairRef& pair : map.pairs(entry)) {
+      clusters.merge(index.index_of(pair.first), index.index_of(pair.second));
       ++processed;
       if (processed >= next_boundary) {
         series.x.push_back(static_cast<double>(level));

@@ -8,8 +8,10 @@
 
 #include "baseline/edge_similarity_matrix.hpp"
 #include "baseline/nbm.hpp"
+#include "bench_json.hpp"
 #include "core/similarity.hpp"
 #include "core/sweep.hpp"
+#include "util/memory.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -21,6 +23,7 @@ int main(int argc, char** argv) {
   flags.add_int("baseline-max-edges", 16000,
                 "run the standard algorithm only below this edge count");
   flags.add_string("csv", "", "also write the table to this CSV path");
+  flags.add_string("json", "", "also write per-alpha timings to this JSON path");
   if (!flags.parse(argc, argv)) return 1;
 
   const auto workloads = lc::bench::build_workloads(lc::bench::workload_options_from_flags(flags));
@@ -32,6 +35,7 @@ int main(int argc, char** argv) {
   double prev_speedup = 0.0;
   bool speedup_grows = true;
   bool baseline_dnf = false;
+  std::vector<lc::bench::BenchRun> json_runs;
 
   for (const auto& w : workloads) {
     lc::Stopwatch watch;
@@ -68,6 +72,15 @@ int main(int argc, char** argv) {
     table.add_row({lc::strprintf("%g", w.alpha), lc::with_commas(w.stats.edges),
                    lc::format_seconds(init_seconds), lc::format_seconds(sweep_seconds),
                    standard_text, speedup_text});
+
+    lc::bench::BenchRun run;  // serial figure: one record per alpha, threads = 1
+    run.threads = 1;
+    run.wall_ms = (init_seconds + sweep_seconds) * 1e3;
+    run.peak_bytes = lc::read_memory_usage().rss_peak_kb * 1024;
+    run.extra = lc::strprintf("\"alpha\": %g, \"edges\": %zu, \"init_ms\": %.3f, \"sweep_ms\": %.3f",
+                              w.alpha, w.graph.edge_count(), init_seconds * 1e3,
+                              sweep_seconds * 1e3);
+    json_runs.push_back(run);
   }
   table.print();
   std::printf("\nshape check: standard/sweeping speedup grows with graph size: %s\n",
@@ -77,5 +90,11 @@ int main(int argc, char** argv) {
 
   const std::string csv = flags.get_string("csv");
   if (!csv.empty() && !table.write_csv(csv)) return 1;
+  const std::string json = flags.get_string("json");
+  if (!json.empty() &&
+      !lc::bench::write_bench_json(json, "fig4_2_serial_time", "text-pipeline alpha sweep",
+                                   json_runs)) {
+    return 1;
+  }
   return 0;
 }

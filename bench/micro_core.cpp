@@ -1,16 +1,34 @@
 // Micro-benchmarks of the core kernels (google-benchmark): Algorithm-1
 // similarity construction, the MERGE procedure's chain traversal, the §VI-B
 // corrected array merge, and the text pipeline's stemmer/tokenizer.
+// With `--json <path>` the binary skips google-benchmark and instead times
+// the full build -> sort -> sweep hot path at 1/2/4/8 threads on a fixed
+// seeded graph, checks the dendrogram is identical across thread counts, and
+// writes a BENCH_micro_core.json record (workload, threads, wall_ms,
+// peak_bytes) for cross-commit comparison.
 #include <benchmark/benchmark.h>
 
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
 #include "core/cluster_array.hpp"
+#include "core/dendrogram.hpp"
 #include "core/similarity.hpp"
 #include "core/sweep.hpp"
 #include "graph/generators.hpp"
 #include "graph/stats.hpp"
+#include "parallel/thread_pool.hpp"
 #include "text/porter.hpp"
 #include "text/tokenizer.hpp"
+#include "util/memory.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
@@ -97,6 +115,82 @@ void BM_Tokenize(benchmark::State& state) {
 }
 BENCHMARK(BM_Tokenize);
 
+/// FNV-1a over the merge-event stream: any difference in merge order,
+/// partners, or heights across thread counts changes the digest.
+std::uint64_t dendrogram_digest(const lc::core::Dendrogram& dendrogram) {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (word >> (byte * 8)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const lc::core::MergeEvent& event : dendrogram.events()) {
+    mix((static_cast<std::uint64_t>(event.level) << 32) | event.from);
+    mix(event.into);
+    mix(std::bit_cast<std::uint64_t>(event.similarity));
+  }
+  return h;
+}
+
+/// The --json mode: end-to-end build + sort + sweep per thread count.
+int run_json_mode(const std::string& path) {
+  constexpr std::size_t kVertices = 3000;
+  constexpr double kEdgeProb = 0.01;
+  const auto graph =
+      lc::graph::erdos_renyi(kVertices, kEdgeProb, {7, lc::graph::WeightPolicy::kUniform});
+  const lc::core::EdgeIndex index(graph.edge_count(), lc::core::EdgeOrder::kShuffled, 42);
+  const std::string workload = lc::strprintf("erdos_renyi(n=%zu, p=%g, seed=7), %zu edges",
+                                             kVertices, kEdgeProb, graph.edge_count());
+  std::printf("== micro_core --json: build+sort+sweep on %s ==\n", workload.c_str());
+
+  std::vector<lc::bench::BenchRun> runs;
+  std::uint64_t reference_digest = 0;
+  bool digests_match = true;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    lc::parallel::ThreadPool pool(threads);
+    lc::Stopwatch watch;
+    lc::core::SimilarityMap map = lc::core::build_similarity_map_parallel(graph, pool);
+    const double build_ms = watch.lap() * 1e3;
+    map.sort_by_score(&pool);
+    const double sort_ms = watch.lap() * 1e3;
+    const lc::core::SweepResult result = lc::core::sweep(graph, map, index);
+    const double sweep_ms = watch.lap() * 1e3;
+
+    const std::uint64_t digest = dendrogram_digest(result.dendrogram);
+    if (runs.empty()) reference_digest = digest;
+    if (digest != reference_digest) digests_match = false;
+
+    lc::bench::BenchRun run;
+    run.threads = threads;
+    run.wall_ms = build_ms + sort_ms + sweep_ms;
+    run.peak_bytes = lc::read_memory_usage().rss_peak_kb * 1024;
+    run.extra = lc::strprintf(
+        "\"build_ms\": %.3f, \"sort_ms\": %.3f, \"sweep_ms\": %.3f, "
+        "\"merges\": %llu, \"dendrogram_fnv\": \"%016llx\"",
+        build_ms, sort_ms, sweep_ms,
+        static_cast<unsigned long long>(result.stats.merges_effective),
+        static_cast<unsigned long long>(digest));
+    runs.push_back(run);
+    std::printf("threads=%zu  total=%8.1fms  (build %.1f, sort %.1f, sweep %.1f)  fnv=%016llx\n",
+                threads, run.wall_ms, build_ms, sort_ms, sweep_ms,
+                static_cast<unsigned long long>(digest));
+  }
+  std::printf("dendrogram identical across thread counts: %s\n", digests_match ? "yes" : "NO");
+  if (!lc::bench::write_bench_json(path, "micro_core", workload, runs)) return 1;
+  std::printf("wrote %s\n", path.c_str());
+  return digests_match ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return run_json_mode(argv[i + 1]);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

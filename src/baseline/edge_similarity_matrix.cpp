@@ -16,11 +16,9 @@ std::optional<EdgeSimilarityMatrix> EdgeSimilarityMatrix::build(
   }
   EdgeSimilarityMatrix matrix(n);
   for (const core::SimilarityEntry& entry : map.entries) {
-    for (graph::VertexId k : entry.common) {
-      const graph::EdgeId e1 = graph.find_edge(entry.u, k);
-      const graph::EdgeId e2 = graph.find_edge(entry.v, k);
-      LC_DCHECK(e1 != graph::kInvalidEdge && e2 != graph::kInvalidEdge);
-      matrix.set(index.index_of(e1), index.index_of(e2), static_cast<float>(entry.score));
+    for (const core::EdgePairRef& pair : map.pairs(entry)) {
+      matrix.set(index.index_of(pair.first), index.index_of(pair.second),
+                 static_cast<float>(entry.score));
     }
   }
   return matrix;

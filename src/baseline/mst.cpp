@@ -24,12 +24,9 @@ MstResult mst_single_linkage(const graph::WeightedGraph& graph,
   // Kruskal: the map is already sorted by similarity, so scan in order and
   // keep every link that joins two different components.
   for (const core::SimilarityEntry& entry : map.entries) {
-    for (graph::VertexId k : entry.common) {
-      const graph::EdgeId e1 = graph.find_edge(entry.u, k);
-      const graph::EdgeId e2 = graph.find_edge(entry.v, k);
-      LC_DCHECK(e1 != graph::kInvalidEdge && e2 != graph::kInvalidEdge);
-      const core::EdgeIdx a = index.index_of(e1);
-      const core::EdgeIdx b = index.index_of(e2);
+    for (const core::EdgePairRef& pair : map.pairs(entry)) {
+      const core::EdgeIdx a = index.index_of(pair.first);
+      const core::EdgeIdx b = index.index_of(pair.second);
       const core::EdgeIdx ra = dsu.find(a);
       const core::EdgeIdx rb = dsu.find(b);
       if (ra == rb) continue;

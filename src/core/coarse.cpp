@@ -219,13 +219,11 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
     std::size_t entries_consumed = 0;
     while (p < entry_count) {
       const SimilarityEntry& entry = map.entries[p];
-      const std::uint64_t l = entry.common.size();
+      const std::uint64_t l = entry.count;
       if (entries_consumed > 0 && xi + l >= target_end) break;
-      for (graph::VertexId k : entry.common) {
-        const graph::EdgeId e1 = graph.find_edge(entry.u, k);
-        const graph::EdgeId e2 = graph.find_edge(entry.v, k);
-        LC_DCHECK(e1 != graph::kInvalidEdge && e2 != graph::kInvalidEdge);
-        chunk_pairs.push_back(ChunkPair{index.index_of(e1), index.index_of(e2)});
+      for (const EdgePairRef& pair : map.pairs(entry)) {
+        chunk_pairs.push_back(
+            ChunkPair{index.index_of(pair.first), index.index_of(pair.second)});
       }
       xi += l;
       ++p;

@@ -26,7 +26,7 @@ ClusterResult LinkClusterer::cluster(const graph::WeightedGraph& graph) const {
   } else {
     map = build_similarity_map(graph, map_options);
   }
-  map.sort_by_score();
+  map.sort_by_score(pool.get());  // pool-parallel merge sort when threads > 1
   result.timings.initialization_seconds = watch.lap();
   result.k1 = map.key_count();
   result.k2 = map.incident_pair_count();

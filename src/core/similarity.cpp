@@ -2,18 +2,191 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <utility>
 
 #include "util/check.hpp"
 
 namespace lc::core {
 namespace {
 
+using graph::EdgeId;
 using graph::VertexId;
 using graph::WeightedGraph;
 
+constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
 std::uint64_t pair_key(VertexId a, VertexId b) {
   return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+/// splitmix64 finalizer — mixes the packed key so linear probing does not
+/// degenerate on the strongly clustered (u, v) patterns of real graphs.
+std::uint64_t hash_key(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Open-addressing map from packed (u, v) key to a uint32 entry index.
+/// Key 0 marks an empty slot — safe because every real key has u < v, so the
+/// low word (v) is at least 1. Linear probing, power-of-two capacity, grows
+/// at ~65% load; reserve-sized by the caller so the common case never
+/// rehashes.
+class PairTable {
+ public:
+  explicit PairTable(std::size_t expected) { rehash(capacity_for(expected)); }
+
+  /// Returns (slot value pointer, inserted). On insertion the slot holds
+  /// `fresh`.
+  std::pair<std::uint32_t*, bool> insert(std::uint64_t key, std::uint32_t fresh) {
+    if ((size_ + 1) * 20 > keys_.size() * 13) rehash(keys_.size() * 2);
+    std::size_t slot = hash_key(key) & mask_;
+    while (true) {
+      if (keys_[slot] == 0) {
+        keys_[slot] = key;
+        values_[slot] = fresh;
+        ++size_;
+        return {&values_[slot], true};
+      }
+      if (keys_[slot] == key) return {&values_[slot], false};
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  [[nodiscard]] const std::uint32_t* find(std::uint64_t key) const {
+    std::size_t slot = hash_key(key) & mask_;
+    while (true) {
+      if (keys_[slot] == 0) return nullptr;
+      if (keys_[slot] == key) return &values_[slot];
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  void release() {
+    keys_ = {};
+    values_ = {};
+    rehash(16);
+    size_ = 0;
+  }
+
+ private:
+  static std::size_t capacity_for(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap * 13 < expected * 20) cap <<= 1;
+    return cap;
+  }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<std::uint32_t> old_values = std::move(values_);
+    keys_.assign(new_cap, 0);
+    values_.assign(new_cap, 0);
+    mask_ = new_cap - 1;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == 0) continue;
+      std::size_t slot = hash_key(old_keys[i]) & mask_;
+      while (keys_[slot] != 0) slot = (slot + 1) & mask_;
+      keys_[slot] = old_keys[i];
+      values_[slot] = old_values[i];
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> values_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// One pass-2 contribution: the product w_uk * w_vk plus the two incident
+/// edge ids, chained per entry through `prev` (newest first). Contributions
+/// for one entry within one pool arrive with ascending common vertex, so a
+/// backward chain walk recovers ascending order without sorting.
+struct Contrib {
+  double product = 0.0;
+  EdgeId e1 = 0;  ///< edge (u, common)
+  EdgeId e2 = 0;  ///< edge (v, common)
+  VertexId common = 0;
+  std::uint32_t prev = kNone;
+};
+
+/// A contiguous run of one entry's contributions inside one thread's pool.
+/// The §VI-A tournament merge concatenates per-thread runs by linking Seg
+/// nodes — O(#segments) per entry instead of copying the contributions
+/// through every merge round.
+struct Seg {
+  std::uint32_t pool = 0;  ///< which thread's contribution pool
+  std::uint32_t head = kNone;
+  std::uint32_t count = 0;
+  std::uint32_t next = kNone;  ///< next segment of the same entry
+};
+
+struct BuildEntry {
+  VertexId u = 0;
+  VertexId v = 0;
+  std::uint32_t seg_head = kNone;
+  std::uint32_t count = 0;
+  double pass3 = 0.0;  ///< the coordinate-u/v inner-product terms (pass 3)
+};
+
+/// Per-thread accumulation map for passes 2-3.
+struct BuildMap {
+  PairTable table;
+  std::vector<BuildEntry> entries;
+  std::vector<Seg> segs;
+  std::uint32_t pool_id = 0;
+
+  BuildMap(std::uint32_t pool, std::size_t expected_keys)
+      : table(expected_keys), pool_id(pool) {
+    entries.reserve(expected_keys);
+    segs.reserve(expected_keys);
+  }
+
+  void accumulate(VertexId u, VertexId v, double product, VertexId common, EdgeId e1,
+                  EdgeId e2, std::vector<Contrib>& contribs) {
+    const auto contrib_idx = static_cast<std::uint32_t>(contribs.size());
+    const auto [slot, inserted] =
+        table.insert(pair_key(u, v), static_cast<std::uint32_t>(entries.size()));
+    if (inserted) {
+      BuildEntry entry;
+      entry.u = u;
+      entry.v = v;
+      entry.seg_head = static_cast<std::uint32_t>(segs.size());
+      entry.count = 1;
+      segs.push_back(Seg{pool_id, contrib_idx, 1, kNone});
+      contribs.push_back(Contrib{product, e1, e2, common, kNone});
+      entries.push_back(entry);
+    } else {
+      BuildEntry& entry = entries[*slot];
+      // During pass 2 every entry has exactly one segment (its own thread's).
+      Seg& seg = segs[entry.seg_head];
+      contribs.push_back(Contrib{product, e1, e2, common, seg.head});
+      seg.head = contrib_idx;
+      ++seg.count;
+      ++entry.count;
+    }
+  }
+};
+
+/// K2 restricted to the strided vertex slice {start, start+stride, ...}.
+std::uint64_t count_pairs_slice(const WeightedGraph& graph, std::size_t start,
+                                std::size_t stride) {
+  std::uint64_t k2 = 0;
+  const std::size_t end = graph.vertex_count();
+  for (std::size_t v = start; v < end; v += stride) {
+    const std::uint64_t d = graph.degree(static_cast<VertexId>(v));
+    if (d > 1) k2 += d * (d - 1) / 2;
+  }
+  return k2;
+}
+
+/// Table reserve size: K1 is bounded by both K2 and the number of vertex
+/// pairs; cap the up-front reservation so dense graphs (K2 >> K1) do not
+/// over-allocate — the table grows on demand past the estimate.
+std::size_t expected_key_count(const WeightedGraph& graph, std::uint64_t k2) {
+  const std::uint64_t n = graph.vertex_count();
+  const std::uint64_t all_pairs = (n > 1) ? n * (n - 1) / 2 : 0;
+  return static_cast<std::size_t>(std::min({k2, all_pairs, std::uint64_t{1} << 22}));
 }
 
 /// Pass 1 (lines 1-5): H1 and H2 for vertices {start, start+stride, ...}.
@@ -39,117 +212,27 @@ void pass1_range(const WeightedGraph& graph, std::size_t start, std::size_t stri
   }
 }
 
-/// Accumulation map for passes 2-3: key -> index into entries.
-struct PartialMap {
-  std::unordered_map<std::uint64_t, std::uint32_t> index;
-  std::vector<SimilarityEntry> entries;
-
-  void accumulate(VertexId u, VertexId v, double product, VertexId common) {
-    const std::uint64_t key = pair_key(u, v);
-    const auto [it, inserted] =
-        index.try_emplace(key, static_cast<std::uint32_t>(entries.size()));
-    if (inserted) {
-      SimilarityEntry entry;
-      entry.u = u;
-      entry.v = v;
-      entry.score = product;  // holds the running sum until finalize
-      entry.common.push_back(common);
-      entries.push_back(std::move(entry));
-    } else {
-      SimilarityEntry& entry = entries[it->second];
-      entry.score += product;
-      entry.common.push_back(common);
-    }
-  }
-};
-
-/// Parallel-build accumulation entry: common neighbors are kept as
-/// *segments* (one vector per contributing thread-map) so the §VI-A
-/// hierarchical map merge splices lists in O(1) per entry instead of copying
-/// K2 elements through every merge round — that copy would serialize
-/// Theta(K2) work and cap initialization scaling at ~1x. Segments are
-/// flattened into SimilarityEntry::common by a final parallel pass.
-struct AccumEntry {
-  VertexId u = 0;
-  VertexId v = 0;
-  double sum = 0.0;
-  std::vector<std::vector<VertexId>> segments;
-};
-
-struct AccumMap {
-  std::unordered_map<std::uint64_t, std::uint32_t> index;
-  std::vector<AccumEntry> entries;
-
-  void accumulate(VertexId u, VertexId v, double product, VertexId common) {
-    const std::uint64_t key = pair_key(u, v);
-    const auto [it, inserted] =
-        index.try_emplace(key, static_cast<std::uint32_t>(entries.size()));
-    if (inserted) {
-      AccumEntry entry;
-      entry.u = u;
-      entry.v = v;
-      entry.sum = product;
-      entry.segments.emplace_back();
-      entry.segments.back().push_back(common);
-      entries.push_back(std::move(entry));
-    } else {
-      AccumEntry& entry = entries[it->second];
-      entry.sum += product;
-      entry.segments.front().push_back(common);
-    }
-  }
-};
-
-/// Pass 2 over a strided slice into an AccumMap (parallel build).
-std::uint64_t pass2_accum(const WeightedGraph& graph, std::size_t start, std::size_t stride,
-                          AccumMap& map) {
+/// Pass 2 (lines 6-20) over the strided vertex slice: for each neighbor pair
+/// (j, k) of i, accumulate w_ij * w_ik into M(j, k) together with the two
+/// incident edge ids — neighbor_edge_ids(i) is parallel to neighbors(i), so
+/// the pair (e_uk, e_vk) that the sweep will merge is available for free
+/// here, where find_edge would later have to binary-search for it. Returns
+/// work units.
+std::uint64_t pass2_build(const WeightedGraph& graph, std::size_t start, std::size_t stride,
+                          BuildMap& map, std::vector<Contrib>& contribs) {
   std::uint64_t work = 0;
   const std::size_t end = graph.vertex_count();
   for (std::size_t vi = start; vi < end; vi += stride) {
     const auto i = static_cast<VertexId>(vi);
     const std::span<const VertexId> adj = graph.neighbors(i);
     const std::span<const double> weights = graph.neighbor_weights(i);
-    const std::size_t d = adj.size();
-    for (std::size_t a = 0; a < d; ++a) {
-      for (std::size_t b = a + 1; b < d; ++b) {
-        map.accumulate(adj[a], adj[b], weights[a] * weights[b], i);
-        ++work;
-      }
-    }
-  }
-  return work;
-}
-
-/// Pass 3 over an AccumMap for edges owned by the round-robin slice.
-std::uint64_t pass3_accum(const WeightedGraph& graph, std::size_t start, std::size_t stride,
-                          const std::vector<double>& h1, AccumMap& map) {
-  std::uint64_t work = 0;
-  for (const graph::Edge& e : graph.edges()) {
-    if (e.u % stride != start) continue;
-    const auto it = map.index.find(pair_key(e.u, e.v));
-    if (it == map.index.end()) continue;
-    map.entries[it->second].sum += (h1[e.u] + h1[e.v]) * e.weight;
-    ++work;
-  }
-  return work;
-}
-
-/// Pass 2 (lines 6-20) over the strided vertex slice {start, start+stride,
-/// ...}: for each neighbor pair (j, k) of i, accumulate w_ij * w_ik into
-/// M(j, k). Returns work units.
-std::uint64_t pass2_range(const WeightedGraph& graph, std::size_t start, std::size_t stride,
-                          PartialMap& map) {
-  std::uint64_t work = 0;
-  const std::size_t end = graph.vertex_count();
-  for (std::size_t vi = start; vi < end; vi += stride) {
-    const auto i = static_cast<VertexId>(vi);
-    const std::span<const VertexId> adj = graph.neighbors(i);
-    const std::span<const double> weights = graph.neighbor_weights(i);
+    const std::span<const EdgeId> eids = graph.neighbor_edge_ids(i);
     const std::size_t d = adj.size();
     for (std::size_t a = 0; a < d; ++a) {
       for (std::size_t b = a + 1; b < d; ++b) {
         // Neighbors are sorted, so (adj[a], adj[b]) is already (min, max).
-        map.accumulate(adj[a], adj[b], weights[a] * weights[b], i);
+        map.accumulate(adj[a], adj[b], weights[a] * weights[b], i, eids[a], eids[b],
+                       contribs);
         ++work;
       }
     }
@@ -161,16 +244,62 @@ std::uint64_t pass2_range(const WeightedGraph& graph, std::size_t start, std::si
 /// first/smaller endpoint, round-robin): adds the coordinate-i/j
 /// inner-product terms for vertex pairs that are themselves edges. Returns
 /// edges handled.
-std::uint64_t pass3_range(const WeightedGraph& graph, std::size_t start, std::size_t stride,
-                          const std::vector<double>& h1, PartialMap& map) {
+std::uint64_t pass3_build(const WeightedGraph& graph, std::size_t start, std::size_t stride,
+                          const std::vector<double>& h1, BuildMap& map) {
   std::uint64_t work = 0;
   for (const graph::Edge& e : graph.edges()) {
     if (e.u % stride != start) continue;
-    const auto it = map.index.find(pair_key(e.u, e.v));
-    if (it == map.index.end()) continue;
-    map.entries[it->second].score += (h1[e.u] + h1[e.v]) * e.weight;
+    const std::uint32_t* slot = map.table.find(pair_key(e.u, e.v));
+    if (slot == nullptr) continue;
+    map.entries[*slot].pass3 += (h1[e.u] + h1[e.v]) * e.weight;
     ++work;
   }
+  return work;
+}
+
+/// Copies the segment chain starting at `head` from `from` into `to`,
+/// preserving order, with the copied tail linking to `tail_next`. Returns
+/// the new head.
+std::uint32_t copy_segs(std::uint32_t head, const std::vector<Seg>& from,
+                        std::vector<Seg>& to, std::uint32_t tail_next) {
+  std::uint32_t new_head = tail_next;
+  std::uint32_t prev = kNone;
+  for (std::uint32_t s = head; s != kNone; s = from[s].next) {
+    const auto idx = static_cast<std::uint32_t>(to.size());
+    to.push_back(from[s]);
+    to.back().next = tail_next;
+    if (prev == kNone) {
+      new_head = idx;
+    } else {
+      to[prev].next = idx;
+    }
+    prev = idx;
+  }
+  return new_head;
+}
+
+/// §VI-A map merge: src entries fold into dst; contribution data stays in
+/// the per-thread pools and only O(#segments) descriptors move per entry.
+std::uint64_t merge_build_maps(BuildMap& dst, BuildMap& src) {
+  std::uint64_t work = 0;
+  for (const BuildEntry& entry : src.entries) {
+    ++work;
+    const auto [slot, inserted] = dst.table.insert(
+        pair_key(entry.u, entry.v), static_cast<std::uint32_t>(dst.entries.size()));
+    if (inserted) {
+      BuildEntry moved = entry;
+      moved.seg_head = copy_segs(entry.seg_head, src.segs, dst.segs, kNone);
+      dst.entries.push_back(moved);
+    } else {
+      BuildEntry& target = dst.entries[*slot];
+      target.seg_head = copy_segs(entry.seg_head, src.segs, dst.segs, target.seg_head);
+      target.count += entry.count;
+      target.pass3 += entry.pass3;
+    }
+  }
+  src.entries.clear();
+  src.segs.clear();
+  src.table.release();
   return work;
 }
 
@@ -184,112 +313,364 @@ double jaccard_score(const WeightedGraph& graph, VertexId u, VertexId v,
   return both / total;
 }
 
-/// Final step (lines 26-28): convert accumulated inner products into
-/// similarity scores for entries [begin, end).
-void finalize_range(std::vector<SimilarityEntry>& entries, std::size_t begin, std::size_t end,
-                    const WeightedGraph& graph, const std::vector<double>& h2,
-                    SimilarityMeasure measure) {
-  for (std::size_t i = begin; i < end; ++i) {
-    SimilarityEntry& entry = entries[i];
-    if (measure == SimilarityMeasure::kJaccard) {
-      entry.score = jaccard_score(graph, entry.u, entry.v, entry.common.size());
-      continue;
+/// One contribution pulled out of the segment chains for canonical
+/// re-ordering (multi-segment entries only).
+struct GatherItem {
+  VertexId common = 0;
+  EdgeId e1 = 0;
+  EdgeId e2 = 0;
+  double product = 0.0;
+};
+
+/// Reusable per-worker scratch for assemble_map.
+struct FillScratch {
+  std::vector<double> products;
+  std::vector<GatherItem> gather;
+};
+
+/// Writes one entry's arena slice (commons ascending, pairs parallel) and its
+/// final score. Summation order is canonical — products by ascending common,
+/// then the pass-3 term — so every build path produces bitwise-equal scores.
+void fill_entry(const BuildEntry& be, std::uint64_t offset, const std::vector<Seg>& segs,
+                const std::vector<std::vector<Contrib>>& pools, const WeightedGraph& graph,
+                const std::vector<double>& h2, SimilarityMeasure measure,
+                FillScratch& scratch, SimilarityMap& out, SimilarityEntry& dst) {
+  dst.u = be.u;
+  dst.v = be.v;
+  dst.offset = offset;
+  dst.count = be.count;
+  const std::size_t count = be.count;
+  scratch.products.resize(count);
+  if (segs[be.seg_head].next == kNone) {
+    // Single segment: the chain is newest-first (descending common), so a
+    // backward fill lands ascending without a sort.
+    const Seg& seg = segs[be.seg_head];
+    const std::vector<Contrib>& pool = pools[seg.pool];
+    std::size_t idx = count;
+    for (std::uint32_t h = seg.head; h != kNone; h = pool[h].prev) {
+      --idx;
+      const Contrib& c = pool[h];
+      out.common_arena[offset + idx] = c.common;
+      out.pair_arena[offset + idx] = EdgePairRef{c.e1, c.e2};
+      scratch.products[idx] = c.product;
     }
-    const double p = entry.score;
-    const double denom = h2[entry.u] + h2[entry.v] - p;
-    LC_DCHECK(denom > 0.0);
-    entry.score = p / denom;
+    LC_DCHECK(idx == 0);
+  } else {
+    scratch.gather.clear();
+    for (std::uint32_t s = be.seg_head; s != kNone; s = segs[s].next) {
+      const Seg& seg = segs[s];
+      const std::vector<Contrib>& pool = pools[seg.pool];
+      for (std::uint32_t h = seg.head; h != kNone; h = pool[h].prev) {
+        const Contrib& c = pool[h];
+        scratch.gather.push_back(GatherItem{c.common, c.e1, c.e2, c.product});
+      }
+    }
+    LC_DCHECK(scratch.gather.size() == count);
+    // Commons are distinct per entry, so this is a strict total order and the
+    // result does not depend on segment arrival order (= thread count).
+    std::sort(scratch.gather.begin(), scratch.gather.end(),
+              [](const GatherItem& a, const GatherItem& b) { return a.common < b.common; });
+    for (std::size_t idx = 0; idx < count; ++idx) {
+      const GatherItem& g = scratch.gather[idx];
+      out.common_arena[offset + idx] = g.common;
+      out.pair_arena[offset + idx] = EdgePairRef{g.e1, g.e2};
+      scratch.products[idx] = g.product;
+    }
   }
+  if (measure == SimilarityMeasure::kJaccard) {
+    dst.score = jaccard_score(graph, be.u, be.v, count);
+    return;
+  }
+  double p = 0.0;
+  for (std::size_t idx = 0; idx < count; ++idx) p += scratch.products[idx];
+  p += be.pass3;
+  const double denom = h2[be.u] + h2[be.v] - p;
+  LC_DCHECK(denom > 0.0);
+  dst.score = p / denom;
 }
 
-SimilarityMap build_flat(const WeightedGraph& graph, const std::vector<double>& h1,
-                         const std::vector<double>& h2, SimilarityMeasure measure) {
-  // Flat strategy: materialize all K2 (key, common, product) tuples, sort by
-  // key, and aggregate runs. Trades memory traffic for hash-free build.
-  struct Tuple {
-    std::uint64_t key;
-    VertexId common;
-    double product;
-  };
-  std::vector<Tuple> tuples;
-  const std::size_t n = graph.vertex_count();
-  std::uint64_t k2 = 0;
-  for (VertexId v = 0; v < n; ++v) {
-    const std::uint64_t d = graph.degree(v);
-    k2 += d * (d - 1) / 2;
+/// Final step (lines 26-28): lays out the CSR arenas from the (key-sorted)
+/// build entries and finalizes the scores. Runs on the pool when given one;
+/// entry slices are disjoint, so workers write without synchronization.
+SimilarityMap assemble_map(const WeightedGraph& graph, std::vector<BuildEntry>& build_entries,
+                           const std::vector<Seg>& segs,
+                           const std::vector<std::vector<Contrib>>& pools,
+                           const std::vector<double>& h2, SimilarityMeasure measure,
+                           parallel::ThreadPool* pool, sim::WorkLedger* ledger) {
+  SimilarityMap out;
+  const std::size_t k1 = build_entries.size();
+  out.entries.resize(k1);
+  std::vector<std::uint64_t> offsets(k1);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < k1; ++i) {
+    offsets[i] = total;
+    total += build_entries[i].count;
   }
-  tuples.reserve(k2);
-  for (VertexId i = 0; i < n; ++i) {
+  out.common_arena.resize(total);
+  out.pair_arena.resize(total);
+
+  if (pool == nullptr) {
+    FillScratch scratch;
+    for (std::size_t i = 0; i < k1; ++i) {
+      fill_entry(build_entries[i], offsets[i], segs, pools, graph, h2, measure, scratch,
+                 out, out.entries[i]);
+    }
+  } else {
+    const std::size_t t_count = pool->thread_count();
+    if (ledger != nullptr) {
+      ledger->begin_phase("init.finalize");
+      ledger->begin_round(t_count);
+    }
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t t = 0; t < t_count; ++t) {
+      tasks.push_back([&, t] {
+        FillScratch scratch;
+        std::uint64_t work = 0;
+        for (std::size_t i = t; i < k1; i += t_count) {
+          fill_entry(build_entries[i], offsets[i], segs, pools, graph, h2, measure,
+                     scratch, out, out.entries[i]);
+          work += 1 + build_entries[i].count;
+        }
+        if (ledger != nullptr) ledger->add_work(t, work);
+      });
+    }
+    pool->run_batch(tasks);
+  }
+  out.set_keys_sorted(true);
+  return out;
+}
+
+bool by_pair_key(const BuildEntry& a, const BuildEntry& b) {
+  return pair_key(a.u, a.v) < pair_key(b.u, b.v);
+}
+
+/// Flat strategy tuple: one per incident pair, sorted by (key, common) so
+/// entry slices come out contiguous and already in canonical order.
+struct FlatTuple {
+  std::uint64_t key = 0;
+  double product = 0.0;
+  EdgeId e1 = 0;
+  EdgeId e2 = 0;
+  VertexId common = 0;
+};
+
+bool by_key_then_common(const FlatTuple& a, const FlatTuple& b) {
+  if (a.key != b.key) return a.key < b.key;
+  return a.common < b.common;
+}
+
+/// Emits the pass-2 tuples of one strided vertex slice into tuples[out..].
+std::uint64_t emit_tuples_slice(const WeightedGraph& graph, std::size_t start,
+                                std::size_t stride, std::vector<FlatTuple>& tuples,
+                                std::size_t out) {
+  std::uint64_t work = 0;
+  const std::size_t end = graph.vertex_count();
+  for (std::size_t vi = start; vi < end; vi += stride) {
+    const auto i = static_cast<VertexId>(vi);
     const std::span<const VertexId> adj = graph.neighbors(i);
     const std::span<const double> weights = graph.neighbor_weights(i);
+    const std::span<const EdgeId> eids = graph.neighbor_edge_ids(i);
     for (std::size_t a = 0; a < adj.size(); ++a) {
       for (std::size_t b = a + 1; b < adj.size(); ++b) {
-        tuples.push_back(Tuple{pair_key(adj[a], adj[b]), i, weights[a] * weights[b]});
+        tuples[out++] = FlatTuple{pair_key(adj[a], adj[b]), weights[a] * weights[b],
+                                  eids[a], eids[b], i};
+        ++work;
       }
     }
   }
-  std::sort(tuples.begin(), tuples.end(),
-            [](const Tuple& a, const Tuple& b) { return a.key < b.key; });
+  return work;
+}
 
+/// Sort-and-aggregate build (the kFlat ablation): materialize all K2 tuples,
+/// sort by (key, common), cut runs into CSR entries. Serial when pool is
+/// null; otherwise emission, the sort (parallel_sort), scoring and pass 3
+/// all run on the pool.
+SimilarityMap build_flat(const WeightedGraph& graph, const std::vector<double>& h1,
+                         const std::vector<double>& h2, SimilarityMeasure measure,
+                         parallel::ThreadPool* pool, sim::WorkLedger* ledger) {
+  const std::size_t t_count = (pool == nullptr) ? 1 : pool->thread_count();
+  std::vector<std::uint64_t> slice_sizes(t_count);
+  for (std::size_t t = 0; t < t_count; ++t) {
+    slice_sizes[t] = count_pairs_slice(graph, t, t_count);
+  }
+  std::vector<std::size_t> slice_offsets(t_count + 1, 0);
+  for (std::size_t t = 0; t < t_count; ++t) {
+    slice_offsets[t + 1] = slice_offsets[t] + static_cast<std::size_t>(slice_sizes[t]);
+  }
+  std::vector<FlatTuple> tuples(slice_offsets[t_count]);
+
+  // Emission: every slice's size is known exactly, so threads write disjoint
+  // contiguous ranges of the shared buffer.
+  if (pool == nullptr) {
+    emit_tuples_slice(graph, 0, 1, tuples, 0);
+  } else {
+    if (ledger != nullptr) {
+      ledger->begin_phase("init.pass2.build");
+      ledger->begin_round(t_count);
+    }
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t t = 0; t < t_count; ++t) {
+      tasks.push_back([&, t] {
+        const std::uint64_t work =
+            emit_tuples_slice(graph, t, t_count, tuples, slice_offsets[t]);
+        if (ledger != nullptr) ledger->add_work(t, work);
+      });
+    }
+    pool->run_batch(tasks);
+  }
+
+  if (pool == nullptr) {
+    std::sort(tuples.begin(), tuples.end(), by_key_then_common);
+  } else {
+    if (ledger != nullptr) {
+      ledger->begin_phase("init.pass2.merge");
+      ledger->begin_round(1);
+      ledger->add_work(0, tuples.size());
+    }
+    parallel::parallel_sort(*pool, tuples.begin(), tuples.end(), by_key_then_common);
+  }
+
+  // Cut runs into entries and project the arenas; slices inherit the sorted
+  // tuple order, which is ascending common within each key.
   SimilarityMap map;
+  map.common_arena.resize(tuples.size());
+  map.pair_arena.resize(tuples.size());
   for (std::size_t i = 0; i < tuples.size();) {
     std::size_t j = i;
+    while (j < tuples.size() && tuples[j].key == tuples[i].key) ++j;
     SimilarityEntry entry;
     entry.u = static_cast<VertexId>(tuples[i].key >> 32);
     entry.v = static_cast<VertexId>(tuples[i].key & 0xFFFFFFFFu);
-    double sum = 0.0;
-    while (j < tuples.size() && tuples[j].key == tuples[i].key) {
-      sum += tuples[j].product;
-      entry.common.push_back(tuples[j].common);
-      ++j;
-    }
-    entry.score = sum;
-    map.entries.push_back(std::move(entry));
+    entry.offset = i;
+    entry.count = static_cast<std::uint32_t>(j - i);
+    map.entries.push_back(entry);
     i = j;
   }
-  // Pass 3 equivalent: keys are sorted, so binary-search each edge's key.
-  for (const graph::Edge& e : graph.edges()) {
-    const std::uint64_t key = pair_key(e.u, e.v);
-    const auto it = std::lower_bound(
-        map.entries.begin(), map.entries.end(), key,
-        [](const SimilarityEntry& entry, std::uint64_t k) {
-          return pair_key(entry.u, entry.v) < k;
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    map.common_arena[i] = tuples[i].common;
+    map.pair_arena[i] = EdgePairRef{tuples[i].e1, tuples[i].e2};
+  }
+
+  // Score accumulation + pass 3 + finalize, strided over entries. Keys are
+  // sorted, so pass 3 binary-searches each edge's key.
+  auto sum_scores = [&](std::size_t start, std::size_t stride) {
+    for (std::size_t i = start; i < map.entries.size(); i += stride) {
+      SimilarityEntry& entry = map.entries[i];
+      double p = 0.0;
+      for (std::size_t k = 0; k < entry.count; ++k) p += tuples[entry.offset + k].product;
+      entry.score = p;
+    }
+  };
+  auto pass3_edges = [&](std::size_t start, std::size_t stride) -> std::uint64_t {
+    std::uint64_t work = 0;
+    for (const graph::Edge& e : graph.edges()) {
+      if (e.u % stride != start) continue;
+      const std::uint64_t key = pair_key(e.u, e.v);
+      const auto it = std::lower_bound(map.entries.begin(), map.entries.end(), key,
+                                       [](const SimilarityEntry& entry, std::uint64_t k) {
+                                         return pair_key(entry.u, entry.v) < k;
+                                       });
+      if (it != map.entries.end() && pair_key(it->u, it->v) == key) {
+        it->score += (h1[e.u] + h1[e.v]) * e.weight;
+        ++work;
+      }
+    }
+    return work;
+  };
+  auto finalize = [&](std::size_t start, std::size_t stride) {
+    for (std::size_t i = start; i < map.entries.size(); i += stride) {
+      SimilarityEntry& entry = map.entries[i];
+      if (measure == SimilarityMeasure::kJaccard) {
+        entry.score = jaccard_score(graph, entry.u, entry.v, entry.count);
+        continue;
+      }
+      const double p = entry.score;
+      const double denom = h2[entry.u] + h2[entry.v] - p;
+      LC_DCHECK(denom > 0.0);
+      entry.score = p / denom;
+    }
+  };
+
+  if (pool == nullptr) {
+    sum_scores(0, 1);
+    pass3_edges(0, 1);
+    finalize(0, 1);
+  } else {
+    // Two rounds: pass 3 looks entries up by key, so it may touch entries
+    // outside the summing thread's stride — a barrier keeps them disjoint.
+    {
+      std::vector<std::function<void()>> tasks;
+      for (std::size_t t = 0; t < t_count; ++t) {
+        tasks.push_back([&, t] { sum_scores(t, t_count); });
+      }
+      pool->run_batch(tasks);
+    }
+    if (ledger != nullptr) {
+      ledger->begin_phase("init.pass3");
+      ledger->begin_round(t_count);
+    }
+    {
+      std::vector<std::function<void()>> tasks;
+      for (std::size_t t = 0; t < t_count; ++t) {
+        tasks.push_back([&, t] {
+          const std::uint64_t work = pass3_edges(t, t_count) + graph.edge_count();
+          if (ledger != nullptr) ledger->add_work(t, work);
         });
-    if (it != map.entries.end() && pair_key(it->u, it->v) == key) {
-      it->score += (h1[e.u] + h1[e.v]) * e.weight;
+      }
+      pool->run_batch(tasks);
+    }
+    if (ledger != nullptr) {
+      ledger->begin_phase("init.finalize");
+      ledger->begin_round(t_count);
+    }
+    {
+      std::vector<std::function<void()>> tasks;
+      for (std::size_t t = 0; t < t_count; ++t) {
+        tasks.push_back([&, t] {
+          finalize(t, t_count);
+          if (ledger != nullptr) ledger->add_work(t, map.entries.size() / t_count + 1);
+        });
+      }
+      pool->run_batch(tasks);
     }
   }
-  finalize_range(map.entries, 0, map.entries.size(), graph, h2, measure);
+  map.set_keys_sorted(true);
   return map;
 }
 
 }  // namespace
 
-std::uint64_t SimilarityMap::incident_pair_count() const {
-  std::uint64_t total = 0;
-  for (const SimilarityEntry& entry : entries) total += entry.common.size();
-  return total;
-}
-
-void SimilarityMap::sort_by_score() {
-  std::sort(entries.begin(), entries.end(),
-            [](const SimilarityEntry& a, const SimilarityEntry& b) {
-              if (a.score != b.score) return a.score > b.score;
-              if (a.u != b.u) return a.u < b.u;
-              return a.v < b.v;
-            });
+void SimilarityMap::sort_by_score(parallel::ThreadPool* pool) {
+  const auto by_score = [](const SimilarityEntry& a, const SimilarityEntry& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  };
+  if (pool != nullptr && pool->thread_count() > 1) {
+    parallel::parallel_sort(*pool, entries.begin(), entries.end(), by_score);
+  } else {
+    std::sort(entries.begin(), entries.end(), by_score);
+  }
+  keys_sorted_ = false;
 }
 
 std::size_t SimilarityMap::memory_bytes() const {
-  std::size_t bytes = entries.capacity() * sizeof(SimilarityEntry);
-  for (const SimilarityEntry& entry : entries) {
-    bytes += entry.common.capacity() * sizeof(graph::VertexId);
-  }
-  return bytes;
+  return entries.capacity() * sizeof(SimilarityEntry) +
+         common_arena.capacity() * sizeof(graph::VertexId) +
+         pair_arena.capacity() * sizeof(EdgePairRef);
 }
 
 const SimilarityEntry* SimilarityMap::find(graph::VertexId u, graph::VertexId v) const {
   if (u > v) std::swap(u, v);
+  if (keys_sorted_) {
+    const std::uint64_t key = pair_key(u, v);
+    const auto it = std::lower_bound(entries.begin(), entries.end(), key,
+                                     [](const SimilarityEntry& entry, std::uint64_t k) {
+                                       return pair_key(entry.u, entry.v) < k;
+                                     });
+    if (it != entries.end() && it->u == u && it->v == v) return &*it;
+    return nullptr;
+  }
   for (const SimilarityEntry& entry : entries) {
     if (entry.u == u && entry.v == v) return &entry;
   }
@@ -304,17 +685,18 @@ SimilarityMap build_similarity_map(const graph::WeightedGraph& graph,
   pass1_range(graph, 0, 1, h1, h2);
 
   if (options.map_kind == PairMapKind::kFlat) {
-    return build_flat(graph, h1, h2, options.measure);
+    return build_flat(graph, h1, h2, options.measure, nullptr, nullptr);
   }
 
-  PartialMap map;
-  pass2_range(graph, 0, 1, map);
-  pass3_range(graph, 0, 1, h1, map);
-  finalize_range(map.entries, 0, map.entries.size(), graph, h2, options.measure);
-
-  SimilarityMap result;
-  result.entries = std::move(map.entries);
-  return result;
+  const std::uint64_t k2 = count_pairs_slice(graph, 0, 1);
+  BuildMap map(0, expected_key_count(graph, k2));
+  std::vector<std::vector<Contrib>> pools(1);
+  pools[0].reserve(static_cast<std::size_t>(k2));
+  pass2_build(graph, 0, 1, map, pools[0]);
+  pass3_build(graph, 0, 1, h1, map);
+  std::sort(map.entries.begin(), map.entries.end(), by_pair_key);
+  return assemble_map(graph, map.entries, map.segs, pools, h2, options.measure, nullptr,
+                      nullptr);
 }
 
 SimilarityMap build_similarity_map_parallel(const graph::WeightedGraph& graph,
@@ -346,8 +728,21 @@ SimilarityMap build_similarity_map_parallel(const graph::WeightedGraph& graph,
     pool.run_batch(tasks);
   }
 
+  if (options.map_kind == PairMapKind::kFlat) {
+    return build_flat(graph, h1, h2, options.measure, &pool, ledger);
+  }
+
   // Pass 2, step 1: per-thread maps over disjoint round-robin vertex slices.
-  std::vector<AccumMap> maps(t_count);
+  // Tables and contribution pools are reserve-sized from an exact per-slice
+  // pair count, so the hot loop almost never rehashes or reallocates.
+  std::vector<BuildMap> maps;
+  maps.reserve(t_count);
+  std::vector<std::vector<Contrib>> pools(t_count);
+  for (std::size_t t = 0; t < t_count; ++t) {
+    const std::uint64_t k2_t = count_pairs_slice(graph, t, t_count);
+    maps.emplace_back(static_cast<std::uint32_t>(t), expected_key_count(graph, k2_t));
+    pools[t].reserve(static_cast<std::size_t>(k2_t));
+  }
   if (ledger != nullptr) {
     ledger->begin_phase("init.pass2.build");
     ledger->begin_round(t_count);
@@ -356,7 +751,7 @@ SimilarityMap build_similarity_map_parallel(const graph::WeightedGraph& graph,
     std::vector<std::function<void()>> tasks;
     for (std::size_t t = 0; t < t_count; ++t) {
       tasks.push_back([&, t] {
-        const std::uint64_t work = pass2_accum(graph, t, t_count, maps[t]);
+        const std::uint64_t work = pass2_build(graph, t, t_count, maps[t], pools[t]);
         if (ledger != nullptr) ledger->add_work(t, work);
       });
     }
@@ -365,34 +760,10 @@ SimilarityMap build_similarity_map_parallel(const graph::WeightedGraph& graph,
 
   // Pass 2, step 2: hierarchical pairwise merge of the per-thread maps
   // (§VI-A: pairs merge concurrently per round; once at most three maps
-  // remain, one thread folds them together). Common lists are spliced as
-  // whole segments, so each entry costs O(1) regardless of its list length.
+  // remain, one thread folds them together). Contributions never move —
+  // only O(#segments) descriptors per entry.
   if (ledger != nullptr) ledger->begin_phase("init.pass2.merge");
   {
-    auto merge_into = [&maps](std::size_t dst, std::size_t src) -> std::uint64_t {
-      AccumMap& d = maps[dst];
-      AccumMap& s = maps[src];
-      std::uint64_t work = 0;
-      for (AccumEntry& entry : s.entries) {
-        ++work;
-        const std::uint64_t key = pair_key(entry.u, entry.v);
-        const auto [it, inserted] =
-            d.index.try_emplace(key, static_cast<std::uint32_t>(d.entries.size()));
-        if (inserted) {
-          d.entries.push_back(std::move(entry));
-        } else {
-          AccumEntry& target = d.entries[it->second];
-          target.sum += entry.sum;
-          for (auto& segment : entry.segments) {
-            target.segments.push_back(std::move(segment));
-          }
-        }
-      }
-      s.entries.clear();
-      s.index.clear();
-      return work;
-    };
-
     std::vector<std::size_t> active(t_count);
     for (std::size_t i = 0; i < t_count; ++i) active[i] = i;
     while (active.size() > 3) {
@@ -407,7 +778,7 @@ SimilarityMap build_similarity_map_parallel(const graph::WeightedGraph& graph,
         survivors.push_back(dst);
         const std::size_t this_slot = slot++;
         tasks.push_back([&, dst, src, this_slot] {
-          const std::uint64_t work = merge_into(dst, src);
+          const std::uint64_t work = merge_build_maps(maps[dst], maps[src]);
           if (ledger != nullptr) ledger->add_work(this_slot, work);
         });
       }
@@ -418,12 +789,14 @@ SimilarityMap build_similarity_map_parallel(const graph::WeightedGraph& graph,
     if (active.size() > 1) {
       if (ledger != nullptr) ledger->begin_round(1);
       std::uint64_t work = 0;
-      for (std::size_t i = 1; i < active.size(); ++i) work += merge_into(active[0], active[i]);
+      for (std::size_t i = 1; i < active.size(); ++i) {
+        work += merge_build_maps(maps[active[0]], maps[active[i]]);
+      }
       if (ledger != nullptr) ledger->add_work(0, work);
     }
     if (active[0] != 0) std::swap(maps[0], maps[active[0]]);
   }
-  AccumMap& merged = maps[0];
+  BuildMap& merged = maps[0];
 
   // Pass 3: partition the keys by first vertex (round-robin); every thread
   // scans the edge list and updates only the keys it owns, so writes are
@@ -437,54 +810,18 @@ SimilarityMap build_similarity_map_parallel(const graph::WeightedGraph& graph,
     for (std::size_t t = 0; t < t_count; ++t) {
       tasks.push_back([&, t] {
         const std::uint64_t work =
-            pass3_accum(graph, t, t_count, h1, merged) + graph.edge_count();
+            pass3_build(graph, t, t_count, h1, merged) + graph.edge_count();
         if (ledger != nullptr) ledger->add_work(t, work);
       });
     }
     pool.run_batch(tasks);
   }
 
-  // Flatten + finalize: convert segments into flat common lists and turn the
-  // accumulated inner products into Tanimoto scores, over disjoint entry
-  // ranges (entry sizes vary, so slices are strided for balance).
-  SimilarityMap result;
-  result.entries.resize(merged.entries.size());
-  if (ledger != nullptr) {
-    ledger->begin_phase("init.finalize");
-    ledger->begin_round(t_count);
-  }
-  {
-    std::vector<std::function<void()>> tasks;
-    for (std::size_t t = 0; t < t_count; ++t) {
-      tasks.push_back([&, t] {
-        std::uint64_t work = 0;
-        for (std::size_t i = t; i < merged.entries.size(); i += t_count) {
-          AccumEntry& source = merged.entries[i];
-          SimilarityEntry& entry = result.entries[i];
-          entry.u = source.u;
-          entry.v = source.v;
-          std::size_t total = 0;
-          for (const auto& segment : source.segments) total += segment.size();
-          entry.common.reserve(total);
-          for (const auto& segment : source.segments) {
-            entry.common.insert(entry.common.end(), segment.begin(), segment.end());
-          }
-          if (options.measure == SimilarityMeasure::kJaccard) {
-            entry.score = jaccard_score(graph, entry.u, entry.v, total);
-          } else {
-            const double p = source.sum;
-            const double denom = h2[entry.u] + h2[entry.v] - p;
-            LC_DCHECK(denom > 0.0);
-            entry.score = p / denom;
-          }
-          work += 1 + total;
-        }
-        if (ledger != nullptr) ledger->add_work(t, work);
-      });
-    }
-    pool.run_batch(tasks);
-  }
-  return result;
+  // Canonical key order (pool-parallel merge sort), then lay out the arenas
+  // and finalize over disjoint strided entry slices.
+  parallel::parallel_sort(pool, merged.entries.begin(), merged.entries.end(), by_pair_key);
+  return assemble_map(graph, merged.entries, merged.segs, pools, h2, options.measure,
+                      &pool, ledger);
 }
 
 double tanimoto_similarity_bruteforce(const graph::WeightedGraph& graph, graph::VertexId i,

@@ -16,12 +16,24 @@
 //           i and j.
 // Finalize: score = P / (H2[u] + H2[v] - P) where P = a_u · a_v.
 //
+// Storage is CSR-style: entries carry (offset, count) into two shared arenas
+// instead of owning per-key heap vectors. `common_arena` holds the shared
+// neighbors k; `pair_arena` holds, for each k, the pre-resolved edge-id pair
+// (e_uk, e_vk). Pass 2 sees both incident edge ids for free (they are
+// parallel to the adjacency slots being enumerated), so consumers of the map
+// — the sweep, the coarse mode machine, the baselines — never need to call
+// graph.find_edge() again. Within every entry the slice is ordered by common
+// neighbor ascending and the inner product is summed in that order, which
+// makes the serial build, the parallel build at any thread count, and the
+// flat (sort-and-aggregate) build produce bitwise-identical maps.
+//
 // build_similarity_map_parallel implements §VI-A: pass 1 as a parallel-for,
-// pass 2 with per-thread maps merged by a hierarchical (tournament)
-// reduction, pass 3 partitioned by the first vertex of each key.
+// pass 2 with per-thread open-addressing tables merged by a hierarchical
+// (tournament) reduction, pass 3 partitioned by the first vertex of each key.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -30,16 +42,24 @@
 
 namespace lc::core {
 
+/// One incident edge pair (e_uk, e_vk), resolved to edge ids during the
+/// build so the sweep merges clusters without any graph lookups.
+struct EdgePairRef {
+  graph::EdgeId first = 0;   ///< id of edge (u, k)
+  graph::EdgeId second = 0;  ///< id of edge (v, k)
+};
+
 struct SimilarityEntry {
   graph::VertexId u = 0;  ///< first vertex of the key (u < v)
   graph::VertexId v = 0;
   double score = 0.0;     ///< Tanimoto similarity of any incident pair keyed here
-  std::vector<graph::VertexId> common;  ///< shared neighbors (the k's)
+  std::uint64_t offset = 0;  ///< start of this key's slice in the shared arenas
+  std::uint32_t count = 0;   ///< number of common neighbors (slice length)
 };
 
 /// How map M is stored while being built (DESIGN.md ablation).
 enum class PairMapKind {
-  kHash,  ///< unordered_map keyed by packed (u, v) — the paper's O(1) map
+  kHash,  ///< open-addressing table keyed by packed (u, v) — the paper's O(1) map
   kFlat,  ///< sort-and-aggregate over a flat tuple buffer
 };
 
@@ -62,32 +82,60 @@ struct SimilarityMapOptions {
 class SimilarityMap {
  public:
   std::vector<SimilarityEntry> entries;
+  /// Shared CSR arenas: entry e owns [e.offset, e.offset + e.count) of both,
+  /// ordered by common neighbor ascending.
+  std::vector<graph::VertexId> common_arena;
+  std::vector<EdgePairRef> pair_arena;
 
-  /// Total incident edge pairs covered: sum over entries of |common| == K2.
-  [[nodiscard]] std::uint64_t incident_pair_count() const;
+  /// The common neighbors k of entry e (ascending).
+  [[nodiscard]] std::span<const graph::VertexId> common(const SimilarityEntry& e) const {
+    return {common_arena.data() + e.offset, e.count};
+  }
+
+  /// The pre-resolved incident edge pairs (e_uk, e_vk) of entry e, parallel
+  /// to common(e).
+  [[nodiscard]] std::span<const EdgePairRef> pairs(const SimilarityEntry& e) const {
+    return {pair_arena.data() + e.offset, e.count};
+  }
+
+  /// Total incident edge pairs covered == K2.
+  [[nodiscard]] std::uint64_t incident_pair_count() const { return common_arena.size(); }
 
   /// K1: the number of keys.
   [[nodiscard]] std::size_t key_count() const { return entries.size(); }
 
   /// Sorts entries by score non-increasing; ties break by (u, v) ascending so
-  /// the sweep is deterministic. This produces the paper's list L.
-  void sort_by_score();
+  /// the sweep is deterministic. This produces the paper's list L. With a
+  /// pool of more than one thread the sort runs as a pool-parallel merge
+  /// sort; the tie-break makes the order a strict total order, so the result
+  /// is identical for every thread count.
+  void sort_by_score(parallel::ThreadPool* pool = nullptr);
 
-  /// Approximate heap bytes held (entries + common lists).
+  /// Approximate heap bytes held (entries + arenas).
   [[nodiscard]] std::size_t memory_bytes() const;
 
-  /// Looks up the entry for pair (u, v); returns nullptr if absent.
-  /// Linear scan — intended for tests and small tools only.
+  /// Looks up the entry for pair (u, v); returns nullptr if absent. Binary
+  /// search while the builder's key order holds (see keys_sorted()); falls
+  /// back to a linear scan after sort_by_score() reorders the list.
   [[nodiscard]] const SimilarityEntry* find(graph::VertexId u, graph::VertexId v) const;
+
+  /// True while entries are ordered by packed key (u << 32 | v) ascending —
+  /// the order every builder produces. Cleared by sort_by_score().
+  [[nodiscard]] bool keys_sorted() const { return keys_sorted_; }
+  void set_keys_sorted(bool sorted) { keys_sorted_ = sorted; }
+
+ private:
+  bool keys_sorted_ = false;
 };
 
 /// Serial Algorithm 1.
 SimilarityMap build_similarity_map(const graph::WeightedGraph& graph,
                                    const SimilarityMapOptions& options = {});
 
-/// §VI-A multi-threaded Algorithm 1. Results match the serial build up to
-/// floating-point summation order. When `ledger` is non-null, per-round
-/// per-thread work units are recorded for simulated-scaling analysis.
+/// §VI-A multi-threaded Algorithm 1. Bitwise-identical to the serial build
+/// at every thread count (per-entry contributions are re-ordered canonically
+/// before summation). When `ledger` is non-null, per-round per-thread work
+/// units are recorded for simulated-scaling analysis.
 SimilarityMap build_similarity_map_parallel(const graph::WeightedGraph& graph,
                                             parallel::ThreadPool& pool,
                                             sim::WorkLedger* ledger = nullptr,

@@ -22,11 +22,11 @@ SweepResult sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
 
   for (const SimilarityEntry& entry : map.entries) {
     if (entry.score < min_similarity) break;  // entries are sorted: all done
-    for (graph::VertexId k : entry.common) {
-      const graph::EdgeId e1 = graph.find_edge(entry.u, k);
-      const graph::EdgeId e2 = graph.find_edge(entry.v, k);
-      LC_DCHECK(e1 != graph::kInvalidEdge && e2 != graph::kInvalidEdge);
-      const MergeOutcome outcome = clusters.merge(index.index_of(e1), index.index_of(e2));
+    // The build pre-resolved every incident pair (e_uk, e_vk) into the pair
+    // arena, so the hot loop is a flat scan: no graph lookups at all.
+    for (const EdgePairRef& pair : map.pairs(entry)) {
+      const MergeOutcome outcome =
+          clusters.merge(index.index_of(pair.first), index.index_of(pair.second));
       if (outcome.merged) {
         ++level;
         const EdgeIdx from = (outcome.c1 == outcome.target) ? outcome.c2 : outcome.c1;

@@ -109,7 +109,15 @@ const Edge& WeightedGraph::edge(EdgeId id) const {
   return edges_[id];
 }
 
+namespace {
+thread_local std::uint64_t find_edge_call_count = 0;
+}  // namespace
+
+std::uint64_t find_edge_calls() noexcept { return find_edge_call_count; }
+void reset_find_edge_calls() noexcept { find_edge_call_count = 0; }
+
 EdgeId WeightedGraph::find_edge(VertexId u, VertexId v) const {
+  ++find_edge_call_count;
   if (u >= vertex_count() || v >= vertex_count() || u == v) return kInvalidEdge;
   // Search the smaller adjacency list.
   if (degree(u) > degree(v)) std::swap(u, v);

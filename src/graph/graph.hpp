@@ -107,4 +107,11 @@ class WeightedGraph {
   std::vector<Edge> edges_;               // |E| canonical edges by id
 };
 
+/// Number of find_edge() calls made by the calling thread since the last
+/// reset_find_edge_calls(). Thread-local so WeightedGraph stays copyable and
+/// the counter is race-free; tests use it to assert that hot paths (sweep,
+/// coarse sweep) stay free of edge lookups.
+[[nodiscard]] std::uint64_t find_edge_calls() noexcept;
+void reset_find_edge_calls() noexcept;
+
 }  // namespace lc::graph

@@ -6,6 +6,7 @@
 // is the primitive every parallel pass uses (submit T tasks, wait for all).
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -68,5 +69,55 @@ void parallel_for_blocks(ThreadPool& pool, std::size_t n,
 void tournament_reduce(ThreadPool& pool, std::size_t item_count,
                        const std::function<void(std::size_t, std::size_t)>& merge_fn,
                        std::size_t final_fan_in = 3);
+
+/// Pool-parallel merge sort of [first, last): the range is cut into one block
+/// per worker, blocks are std::sort-ed concurrently via run_batch, then
+/// adjacent block pairs are joined with std::inplace_merge round by round.
+/// For a strict *total* order (no two elements compare equivalent, e.g. a
+/// comparator with a unique tie-break) the sorted result is unique, so the
+/// output is identical to a serial std::sort for every thread count. Small
+/// ranges and 1-thread pools fall back to serial std::sort. Not reentrant
+/// (uses run_batch, so it must not be called from inside a pool task).
+template <typename RandomIt, typename Compare>
+void parallel_sort(ThreadPool& pool, RandomIt first, RandomIt last, Compare comp) {
+  const auto n = static_cast<std::size_t>(last - first);
+  constexpr std::size_t kSerialCutoff = 4096;
+  if (pool.thread_count() <= 1 || n <= kSerialCutoff) {
+    std::sort(first, last, comp);
+    return;
+  }
+  const auto at = [first](std::size_t i) {
+    return first + static_cast<typename std::iterator_traits<RandomIt>::difference_type>(i);
+  };
+  std::vector<std::size_t> bounds = split_range(n, pool.thread_count());
+  {
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t t = 0; t + 1 < bounds.size(); ++t) {
+      const std::size_t lo = bounds[t];
+      const std::size_t hi = bounds[t + 1];
+      if (lo >= hi) continue;
+      tasks.push_back([at, lo, hi, comp] { std::sort(at(lo), at(hi), comp); });
+    }
+    pool.run_batch(tasks);
+  }
+  while (bounds.size() > 2) {
+    std::vector<std::size_t> next;
+    std::vector<std::function<void()>> tasks;
+    next.push_back(bounds.front());
+    std::size_t i = 0;
+    for (; i + 2 < bounds.size(); i += 2) {
+      const std::size_t lo = bounds[i];
+      const std::size_t mid = bounds[i + 1];
+      const std::size_t hi = bounds[i + 2];
+      tasks.push_back([at, lo, mid, hi, comp] {
+        std::inplace_merge(at(lo), at(mid), at(hi), comp);
+      });
+      next.push_back(hi);
+    }
+    if (i + 1 < bounds.size()) next.push_back(bounds.back());  // odd block out: carried
+    pool.run_batch(tasks);
+    bounds = std::move(next);
+  }
+}
 
 }  // namespace lc::parallel

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "graph/generators.hpp"
@@ -25,14 +26,14 @@ TEST(SimilarityMap, PaperFigure1Values) {
   const SimilarityEntry* hubs = map.find(0, 1);
   ASSERT_NE(hubs, nullptr);
   EXPECT_NEAR(hubs->score, 2.0 / 3.0, 1e-12);
-  EXPECT_EQ(hubs->common.size(), 4u);
+  EXPECT_EQ(hubs->count, 4u);
 
   for (VertexId a = 2; a < 6; ++a) {
     for (VertexId b = a + 1; b < 6; ++b) {
       const SimilarityEntry* leaves = map.find(a, b);
       ASSERT_NE(leaves, nullptr) << a << "," << b;
       EXPECT_NEAR(leaves->score, 0.5, 1e-12);
-      EXPECT_EQ(leaves->common.size(), 2u);
+      EXPECT_EQ(leaves->count, 2u);
     }
   }
 }
@@ -100,7 +101,7 @@ TEST_P(SimilarityProperty, MatchesBruteForceEquationOne) {
     const WeightedGraph graph = GetParam().make(seed);
     const SimilarityMap map = build_similarity_map(graph);
     for (const SimilarityEntry& entry : map.entries) {
-      for (VertexId k : entry.common) {
+      for (VertexId k : map.common(entry)) {
         const double expected = tanimoto_similarity_bruteforce(graph, entry.u, entry.v, k);
         ASSERT_NEAR(entry.score, expected, 1e-10)
             << GetParam().name << " seed=" << seed << " pair=(" << entry.u << ","
@@ -140,13 +141,12 @@ TEST_P(SimilarityProperty, FlatMapMatchesHashMap) {
   for (std::size_t i = 0; i < hash_map.entries.size(); ++i) {
     EXPECT_EQ(hash_map.entries[i].u, flat_map.entries[i].u);
     EXPECT_EQ(hash_map.entries[i].v, flat_map.entries[i].v);
-    EXPECT_NEAR(hash_map.entries[i].score, flat_map.entries[i].score, 1e-12);
-    // Common lists may be ordered differently; compare as sets.
-    auto hc = hash_map.entries[i].common;
-    auto fc = flat_map.entries[i].common;
-    std::sort(hc.begin(), hc.end());
-    std::sort(fc.begin(), fc.end());
-    EXPECT_EQ(hc, fc);
+    // Canonical per-entry summation order makes the two builds bitwise equal.
+    EXPECT_EQ(hash_map.entries[i].score, flat_map.entries[i].score);
+    const auto hc = hash_map.common(hash_map.entries[i]);
+    const auto fc = flat_map.common(flat_map.entries[i]);
+    ASSERT_EQ(hc.size(), fc.size());
+    EXPECT_TRUE(std::equal(hc.begin(), hc.end(), fc.begin()));
   }
 }
 
@@ -162,7 +162,7 @@ TEST_P(SimilarityProperty, ParallelMatchesSerial) {
     for (std::size_t i = 0; i < serial.entries.size(); ++i) {
       EXPECT_EQ(par.entries[i].u, serial.entries[i].u);
       EXPECT_EQ(par.entries[i].v, serial.entries[i].v);
-      EXPECT_NEAR(par.entries[i].score, serial.entries[i].score, 1e-9)
+      EXPECT_EQ(par.entries[i].score, serial.entries[i].score)
           << "T=" << threads << " i=" << i;
     }
   }

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <numeric>
+#include <random>
+#include <utility>
 #include <vector>
 
 namespace lc::parallel {
@@ -120,6 +124,71 @@ TEST(TournamentReduce, SingleItemNoMerge) {
 
 TEST(ThreadPoolDeathTest, ZeroThreadsRejected) {
   EXPECT_DEATH(ThreadPool pool(0), "at least one");
+}
+
+std::vector<std::uint64_t> random_values(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint64_t> values(n);
+  for (auto& v : values) v = rng() % 1000;  // plenty of duplicates
+  return values;
+}
+
+TEST(ParallelSort, MatchesSerialSortAcrossThreadCounts) {
+  // 20000 elements exceeds the serial cutoff, so pools > 1 thread take the
+  // block-sort + inplace_merge path.
+  const std::vector<std::uint64_t> input = random_values(20000, 11);
+  std::vector<std::uint64_t> expected = input;
+  std::sort(expected.begin(), expected.end());
+  for (std::size_t threads : {1u, 2u, 3u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> values = input;
+    parallel_sort(pool, values.begin(), values.end(), std::less<>{});
+    EXPECT_EQ(values, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelSort, StrictTotalOrderGivesIdenticalPermutation) {
+  // With a unique tie-break (the payload) the sorted order is unique, so the
+  // payloads land in the same slots for every thread count — the property
+  // sort_by_score relies on for deterministic L.
+  const std::size_t n = 10000;
+  std::mt19937_64 rng(5);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> input(n);
+  for (std::uint32_t i = 0; i < n; ++i) input[i] = {static_cast<std::uint32_t>(rng() % 50), i};
+  const auto by_key_then_payload = [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first < b.first : a.second < b.second;
+  };
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> expected = input;
+  std::sort(expected.begin(), expected.end(), by_key_then_payload);
+  for (std::size_t threads : {2u, 5u, 8u}) {
+    ThreadPool pool(threads);
+    auto values = input;
+    parallel_sort(pool, values.begin(), values.end(), by_key_then_payload);
+    EXPECT_EQ(values, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelSort, SmallAndEmptyRanges) {
+  ThreadPool pool(4);
+  std::vector<int> empty;
+  parallel_sort(pool, empty.begin(), empty.end(), std::less<>{});
+  EXPECT_TRUE(empty.empty());
+
+  std::vector<int> small{5, 3, 9, 1};  // below cutoff: serial fallback
+  parallel_sort(pool, small.begin(), small.end(), std::less<>{});
+  EXPECT_EQ(small, (std::vector<int>{1, 3, 5, 9}));
+}
+
+TEST(ParallelSort, MoreThreadsThanDistinctBlocks) {
+  // n just above the cutoff with 8 threads: split_range produces short (and
+  // possibly uneven) blocks; the merge rounds must still converge.
+  const std::vector<std::uint64_t> input = random_values(4099, 23);
+  std::vector<std::uint64_t> expected = input;
+  std::sort(expected.begin(), expected.end());
+  ThreadPool pool(8);
+  std::vector<std::uint64_t> values = input;
+  parallel_sort(pool, values.begin(), values.end(), std::less<>{});
+  EXPECT_EQ(values, expected);
 }
 
 }  // namespace
