@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace lc::bench {
@@ -18,8 +19,36 @@ struct BenchRun {
   std::string extra;              ///< optional extra fields, raw JSON ("\"k\": v, ...")
 };
 
-/// Writes {"name", "workload", "runs": [{threads, wall_ms, peak_bytes, ...}]}.
-/// Returns false (with a message on stderr) if the file cannot be opened.
+/// The hardware/toolchain context a bench file was produced under — numbers
+/// from different machines or build flags are not comparable, so the context
+/// rides along in the JSON for downstream diff tooling to check.
+inline std::string bench_context_json() {
+  std::string compiler;
+#if defined(__clang__)
+  compiler = "clang " + std::to_string(__clang_major__) + "." +
+             std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  compiler = "gcc " + std::to_string(__GNUC__) + "." + std::to_string(__GNUC_MINOR__);
+#else
+  compiler = "unknown";
+#endif
+  std::string flags;
+#if defined(NDEBUG)
+  flags = "NDEBUG";
+#else
+  flags = "assertions";
+#endif
+#if defined(__OPTIMIZE__)
+  flags += " -O";
+#endif
+  return "\"hardware_concurrency\": " +
+         std::to_string(std::thread::hardware_concurrency()) +
+         ", \"compiler\": \"" + compiler + "\", \"build\": \"" + flags + "\"";
+}
+
+/// Writes {"name", "workload", "context": {...}, "runs": [{threads, wall_ms,
+/// peak_bytes, ...}]}. Returns false (with a message on stderr) if the file
+/// cannot be opened.
 inline bool write_bench_json(const std::string& path, const std::string& name,
                              const std::string& workload, const std::vector<BenchRun>& runs) {
   std::FILE* file = std::fopen(path.c_str(), "w");
@@ -27,8 +56,8 @@ inline bool write_bench_json(const std::string& path, const std::string& name,
     std::fprintf(stderr, "bench_json: cannot open %s for writing\n", path.c_str());
     return false;
   }
-  std::fprintf(file, "{\n  \"name\": \"%s\",\n  \"workload\": \"%s\",\n  \"runs\": [\n",
-               name.c_str(), workload.c_str());
+  std::fprintf(file, "{\n  \"name\": \"%s\",\n  \"workload\": \"%s\",\n  \"context\": {%s},\n  \"runs\": [\n",
+               name.c_str(), workload.c_str(), bench_context_json().c_str());
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const BenchRun& run = runs[i];
     std::fprintf(file, "    {\"threads\": %zu, \"wall_ms\": %.3f, \"peak_bytes\": %llu%s%s}%s\n",

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate for the similarity-map build.
+
+Runs ``micro_core --json`` into a temp file (or takes a pre-generated file via
+``--fresh``) and checks it against the committed BENCH_micro_core.json:
+
+  1. The parallel build must actually help: at the widest measured thread
+     count, build_ms must be below the single-thread build_ms of the *same*
+     fresh run. (The seed regression this guards: T=8 was 1.7x slower than
+     T=1 because per-thread map replication plus the tournament merge scaled
+     work with T.)
+  2. The dendrogram digest at every thread count must match the committed
+     baseline — the sharded build and the radix sort are required to be
+     bitwise output-preserving.
+
+Exit code 0 = pass, 1 = regression, 2 = usage/environment error.
+
+Usage:
+  check_regression.py --bench-binary build/bench/micro_core \
+                      --baseline BENCH_micro_core.json
+  check_regression.py --fresh /tmp/fresh.json --baseline BENCH_micro_core.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def load_runs(path: Path) -> dict:
+    with path.open() as fh:
+        doc = json.load(fh)
+    runs = {int(r["threads"]): r for r in doc.get("runs", [])}
+    if not runs:
+        raise ValueError(f"{path}: no runs")
+    return runs
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="committed BENCH_micro_core.json")
+    parser.add_argument("--bench-binary", type=Path,
+                        help="micro_core binary to run with --json")
+    parser.add_argument("--fresh", type=Path,
+                        help="pre-generated fresh bench JSON (skips running the binary)")
+    parser.add_argument("--slack", type=float, default=1.0,
+                        help="multiplier on the T=1 build time the widest run must beat "
+                             "(default 1.0: strictly faster)")
+    args = parser.parse_args()
+
+    if args.fresh is None and args.bench_binary is None:
+        print("check_regression: need --fresh or --bench-binary", file=sys.stderr)
+        return 2
+
+    fresh_path = args.fresh
+    tmp = None
+    if fresh_path is None:
+        tmp = tempfile.NamedTemporaryFile(suffix=".json", delete=False)
+        tmp.close()
+        fresh_path = Path(tmp.name)
+        cmd = [str(args.bench_binary), "--json", str(fresh_path)]
+        print(f"check_regression: running {' '.join(cmd)}")
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        sys.stdout.write(proc.stdout)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            print(f"check_regression: bench exited {proc.returncode}", file=sys.stderr)
+            return 2
+
+    try:
+        fresh = load_runs(fresh_path)
+        baseline = load_runs(args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"check_regression: {exc}", file=sys.stderr)
+        return 2
+
+    failures = []
+
+    # Gate 1: widest thread count must beat T=1 on build time, same run.
+    if 1 not in fresh:
+        failures.append("fresh run has no threads=1 record")
+    else:
+        widest = max(fresh)
+        t1_build = float(fresh[1].get("build_ms", fresh[1]["wall_ms"]))
+        tw_build = float(fresh[widest].get("build_ms", fresh[widest]["wall_ms"]))
+        bound = t1_build * args.slack
+        verdict = "ok" if tw_build < bound else "REGRESSION"
+        print(f"build_ms: T=1 {t1_build:.1f}  T={widest} {tw_build:.1f} "
+              f"(bound {bound:.1f})  {verdict}")
+        if tw_build >= bound:
+            failures.append(
+                f"T={widest} build_ms {tw_build:.1f} >= {bound:.1f} "
+                f"({args.slack:.2f}x T=1 {t1_build:.1f}) — parallel build regressed")
+
+    # Gate 2: output digests must match the committed baseline everywhere.
+    base_digests = {t: r.get("dendrogram_fnv") for t, r in baseline.items()}
+    expected = {d for d in base_digests.values() if d}
+    if len(expected) != 1:
+        failures.append(f"baseline digests inconsistent: {sorted(expected)}")
+    else:
+        want = next(iter(expected))
+        for t in sorted(fresh):
+            got = fresh[t].get("dendrogram_fnv")
+            if got != want:
+                failures.append(
+                    f"threads={t}: dendrogram_fnv {got} != baseline {want} "
+                    f"— output changed")
+        if not any(f.startswith("threads=") for f in failures):
+            print(f"dendrogram_fnv: {want} at all thread counts  ok")
+
+    if failures:
+        for f in failures:
+            print(f"check_regression: FAIL: {f}", file=sys.stderr)
+        return 1
+    print("check_regression: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,9 @@
 #include "core/similarity.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "util/check.hpp"
@@ -20,7 +22,8 @@ std::uint64_t pair_key(VertexId a, VertexId b) {
 }
 
 /// splitmix64 finalizer — mixes the packed key so linear probing does not
-/// degenerate on the strongly clustered (u, v) patterns of real graphs.
+/// degenerate on the strongly clustered (u, v) patterns of real graphs, and
+/// so the shard partition of the key space is balanced.
 std::uint64_t hash_key(std::uint64_t x) {
   x += 0x9E3779B97F4A7C15ull;
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
@@ -28,14 +31,33 @@ std::uint64_t hash_key(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// Which of the `shard_count` key-space shards owns the packed key. A fixed
+/// function of the key alone, so every pass routes a key the same way.
+std::size_t shard_of(std::uint64_t key, std::size_t shard_count) {
+  return static_cast<std::size_t>(hash_key(key) % shard_count);
+}
+
 /// Open-addressing map from packed (u, v) key to a uint32 entry index.
 /// Key 0 marks an empty slot — safe because every real key has u < v, so the
 /// low word (v) is at least 1. Linear probing, power-of-two capacity, grows
 /// at ~65% load; reserve-sized by the caller so the common case never
-/// rehashes.
+/// rehashes. reset() reuses the allocation across shards.
 class PairTable {
  public:
   explicit PairTable(std::size_t expected) { rehash(capacity_for(expected)); }
+
+  /// Clears the table, keeping (or growing to) capacity for `expected` keys.
+  void reset(std::size_t expected) {
+    const std::size_t cap = capacity_for(expected);
+    if (cap > keys_.size()) {
+      keys_.assign(cap, 0);
+      values_.assign(cap, 0);
+      mask_ = cap - 1;
+    } else {
+      std::fill(keys_.begin(), keys_.end(), 0);
+    }
+    size_ = 0;
+  }
 
   /// Returns (slot value pointer, inserted). On insertion the slot holds
   /// `fresh`.
@@ -61,13 +83,6 @@ class PairTable {
       if (keys_[slot] == key) return &values_[slot];
       slot = (slot + 1) & mask_;
     }
-  }
-
-  void release() {
-    keys_ = {};
-    values_ = {};
-    rehash(16);
-    size_ = 0;
   }
 
  private:
@@ -98,10 +113,10 @@ class PairTable {
   std::size_t size_ = 0;
 };
 
-/// One pass-2 contribution: the product w_uk * w_vk plus the two incident
-/// edge ids, chained per entry through `prev` (newest first). Contributions
-/// for one entry within one pool arrive with ascending common vertex, so a
-/// backward chain walk recovers ascending order without sorting.
+/// One pass-2 contribution of the serial builder: the product w_uk * w_vk
+/// plus the two incident edge ids, chained per entry through `prev` (newest
+/// first). Contributions for one entry arrive with ascending common vertex,
+/// so a backward chain walk recovers ascending order without sorting.
 struct Contrib {
   double product = 0.0;
   EdgeId e1 = 0;  ///< edge (u, common)
@@ -110,36 +125,38 @@ struct Contrib {
   std::uint32_t prev = kNone;
 };
 
-/// A contiguous run of one entry's contributions inside one thread's pool.
-/// The §VI-A tournament merge concatenates per-thread runs by linking Seg
-/// nodes — O(#segments) per entry instead of copying the contributions
-/// through every merge round.
-struct Seg {
-  std::uint32_t pool = 0;  ///< which thread's contribution pool
-  std::uint32_t head = kNone;
-  std::uint32_t count = 0;
-  std::uint32_t next = kNone;  ///< next segment of the same entry
+/// One staged pass-2 tuple of the sharded parallel builder. Deliberately
+/// without default member initializers: the staging arena is allocated
+/// uninitialized (it is K2 tuples — zero-filling it would be a full extra
+/// memory pass) and every field is written before it is read: key..common by
+/// the fill pass, prev by the shard aggregation.
+struct ShardContrib {
+  std::uint64_t key;   ///< packed (u, v) — needed by the aggregation pass
+  double product;
+  EdgeId e1;
+  EdgeId e2;
+  VertexId common;
+  std::uint32_t prev;  ///< chain to the previous tuple of the same key
 };
 
+/// One map key under construction, shared by the serial and sharded builders:
+/// `head` starts a newest-first chain through the contribution store's `prev`
+/// links.
 struct BuildEntry {
   VertexId u = 0;
   VertexId v = 0;
-  std::uint32_t seg_head = kNone;
+  std::uint32_t head = kNone;
   std::uint32_t count = 0;
   double pass3 = 0.0;  ///< the coordinate-u/v inner-product terms (pass 3)
 };
 
-/// Per-thread accumulation map for passes 2-3.
+/// Serial accumulation map for passes 2-3.
 struct BuildMap {
   PairTable table;
   std::vector<BuildEntry> entries;
-  std::vector<Seg> segs;
-  std::uint32_t pool_id = 0;
 
-  BuildMap(std::uint32_t pool, std::size_t expected_keys)
-      : table(expected_keys), pool_id(pool) {
+  explicit BuildMap(std::size_t expected_keys) : table(expected_keys) {
     entries.reserve(expected_keys);
-    segs.reserve(expected_keys);
   }
 
   void accumulate(VertexId u, VertexId v, double product, VertexId common, EdgeId e1,
@@ -151,18 +168,14 @@ struct BuildMap {
       BuildEntry entry;
       entry.u = u;
       entry.v = v;
-      entry.seg_head = static_cast<std::uint32_t>(segs.size());
+      entry.head = contrib_idx;
       entry.count = 1;
-      segs.push_back(Seg{pool_id, contrib_idx, 1, kNone});
       contribs.push_back(Contrib{product, e1, e2, common, kNone});
       entries.push_back(entry);
     } else {
       BuildEntry& entry = entries[*slot];
-      // During pass 2 every entry has exactly one segment (its own thread's).
-      Seg& seg = segs[entry.seg_head];
-      contribs.push_back(Contrib{product, e1, e2, common, seg.head});
-      seg.head = contrib_idx;
-      ++seg.count;
+      contribs.push_back(Contrib{product, e1, e2, common, entry.head});
+      entry.head = contrib_idx;
       ++entry.count;
     }
   }
@@ -212,17 +225,14 @@ void pass1_range(const WeightedGraph& graph, std::size_t start, std::size_t stri
   }
 }
 
-/// Pass 2 (lines 6-20) over the strided vertex slice: for each neighbor pair
-/// (j, k) of i, accumulate w_ij * w_ik into M(j, k) together with the two
-/// incident edge ids — neighbor_edge_ids(i) is parallel to neighbors(i), so
-/// the pair (e_uk, e_vk) that the sweep will merge is available for free
-/// here, where find_edge would later have to binary-search for it. Returns
-/// work units.
-std::uint64_t pass2_build(const WeightedGraph& graph, std::size_t start, std::size_t stride,
-                          BuildMap& map, std::vector<Contrib>& contribs) {
-  std::uint64_t work = 0;
+/// Pass 2 (lines 6-20), serial: for each neighbor pair (j, k) of i,
+/// accumulate w_ij * w_ik into M(j, k) together with the two incident edge
+/// ids — neighbor_edge_ids(i) is parallel to neighbors(i), so the pair
+/// (e_uk, e_vk) that the sweep will merge is available for free here, where
+/// find_edge would later have to binary-search for it.
+void pass2_build(const WeightedGraph& graph, BuildMap& map, std::vector<Contrib>& contribs) {
   const std::size_t end = graph.vertex_count();
-  for (std::size_t vi = start; vi < end; vi += stride) {
+  for (std::size_t vi = 0; vi < end; ++vi) {
     const auto i = static_cast<VertexId>(vi);
     const std::span<const VertexId> adj = graph.neighbors(i);
     const std::span<const double> weights = graph.neighbor_weights(i);
@@ -233,74 +243,9 @@ std::uint64_t pass2_build(const WeightedGraph& graph, std::size_t start, std::si
         // Neighbors are sorted, so (adj[a], adj[b]) is already (min, max).
         map.accumulate(adj[a], adj[b], weights[a] * weights[b], i, eids[a], eids[b],
                        contribs);
-        ++work;
       }
     }
   }
-  return work;
-}
-
-/// Pass 3 (lines 21-25) for edges owned by slice `start` of `stride` (by
-/// first/smaller endpoint, round-robin): adds the coordinate-i/j
-/// inner-product terms for vertex pairs that are themselves edges. Returns
-/// edges handled.
-std::uint64_t pass3_build(const WeightedGraph& graph, std::size_t start, std::size_t stride,
-                          const std::vector<double>& h1, BuildMap& map) {
-  std::uint64_t work = 0;
-  for (const graph::Edge& e : graph.edges()) {
-    if (e.u % stride != start) continue;
-    const std::uint32_t* slot = map.table.find(pair_key(e.u, e.v));
-    if (slot == nullptr) continue;
-    map.entries[*slot].pass3 += (h1[e.u] + h1[e.v]) * e.weight;
-    ++work;
-  }
-  return work;
-}
-
-/// Copies the segment chain starting at `head` from `from` into `to`,
-/// preserving order, with the copied tail linking to `tail_next`. Returns
-/// the new head.
-std::uint32_t copy_segs(std::uint32_t head, const std::vector<Seg>& from,
-                        std::vector<Seg>& to, std::uint32_t tail_next) {
-  std::uint32_t new_head = tail_next;
-  std::uint32_t prev = kNone;
-  for (std::uint32_t s = head; s != kNone; s = from[s].next) {
-    const auto idx = static_cast<std::uint32_t>(to.size());
-    to.push_back(from[s]);
-    to.back().next = tail_next;
-    if (prev == kNone) {
-      new_head = idx;
-    } else {
-      to[prev].next = idx;
-    }
-    prev = idx;
-  }
-  return new_head;
-}
-
-/// §VI-A map merge: src entries fold into dst; contribution data stays in
-/// the per-thread pools and only O(#segments) descriptors move per entry.
-std::uint64_t merge_build_maps(BuildMap& dst, BuildMap& src) {
-  std::uint64_t work = 0;
-  for (const BuildEntry& entry : src.entries) {
-    ++work;
-    const auto [slot, inserted] = dst.table.insert(
-        pair_key(entry.u, entry.v), static_cast<std::uint32_t>(dst.entries.size()));
-    if (inserted) {
-      BuildEntry moved = entry;
-      moved.seg_head = copy_segs(entry.seg_head, src.segs, dst.segs, kNone);
-      dst.entries.push_back(moved);
-    } else {
-      BuildEntry& target = dst.entries[*slot];
-      target.seg_head = copy_segs(entry.seg_head, src.segs, dst.segs, target.seg_head);
-      target.count += entry.count;
-      target.pass3 += entry.pass3;
-    }
-  }
-  src.entries.clear();
-  src.segs.clear();
-  src.table.release();
-  return work;
 }
 
 /// Jaccard of inclusive neighborhoods from the entry's own statistics:
@@ -313,76 +258,38 @@ double jaccard_score(const WeightedGraph& graph, VertexId u, VertexId v,
   return both / total;
 }
 
-/// One contribution pulled out of the segment chains for canonical
-/// re-ordering (multi-segment entries only).
-struct GatherItem {
-  VertexId common = 0;
-  EdgeId e1 = 0;
-  EdgeId e2 = 0;
-  double product = 0.0;
-};
-
-/// Reusable per-worker scratch for assemble_map.
-struct FillScratch {
-  std::vector<double> products;
-  std::vector<GatherItem> gather;
-};
-
 /// Writes one entry's arena slice (commons ascending, pairs parallel) and its
-/// final score. Summation order is canonical — products by ascending common,
-/// then the pass-3 term — so every build path produces bitwise-equal scores.
-void fill_entry(const BuildEntry& be, std::uint64_t offset, const std::vector<Seg>& segs,
-                const std::vector<std::vector<Contrib>>& pools, const WeightedGraph& graph,
-                const std::vector<double>& h2, SimilarityMeasure measure,
-                FillScratch& scratch, SimilarityMap& out, SimilarityEntry& dst) {
+/// final score. The `prev` chain is newest-first and contributions arrive in
+/// ascending common order in every builder, so a backward fill lands
+/// ascending without a sort. Summation order is canonical — products by
+/// ascending common, then the pass-3 term — so every build path produces
+/// bitwise-equal scores.
+template <typename ContribT>
+void fill_entry(const BuildEntry& be, std::uint64_t offset, const ContribT* contribs,
+                const WeightedGraph& graph, const std::vector<double>& h2,
+                SimilarityMeasure measure, std::vector<double>& products,
+                SimilarityMap& out, SimilarityEntry& dst) {
   dst.u = be.u;
   dst.v = be.v;
   dst.offset = offset;
   dst.count = be.count;
   const std::size_t count = be.count;
-  scratch.products.resize(count);
-  if (segs[be.seg_head].next == kNone) {
-    // Single segment: the chain is newest-first (descending common), so a
-    // backward fill lands ascending without a sort.
-    const Seg& seg = segs[be.seg_head];
-    const std::vector<Contrib>& pool = pools[seg.pool];
-    std::size_t idx = count;
-    for (std::uint32_t h = seg.head; h != kNone; h = pool[h].prev) {
-      --idx;
-      const Contrib& c = pool[h];
-      out.common_arena[offset + idx] = c.common;
-      out.pair_arena[offset + idx] = EdgePairRef{c.e1, c.e2};
-      scratch.products[idx] = c.product;
-    }
-    LC_DCHECK(idx == 0);
-  } else {
-    scratch.gather.clear();
-    for (std::uint32_t s = be.seg_head; s != kNone; s = segs[s].next) {
-      const Seg& seg = segs[s];
-      const std::vector<Contrib>& pool = pools[seg.pool];
-      for (std::uint32_t h = seg.head; h != kNone; h = pool[h].prev) {
-        const Contrib& c = pool[h];
-        scratch.gather.push_back(GatherItem{c.common, c.e1, c.e2, c.product});
-      }
-    }
-    LC_DCHECK(scratch.gather.size() == count);
-    // Commons are distinct per entry, so this is a strict total order and the
-    // result does not depend on segment arrival order (= thread count).
-    std::sort(scratch.gather.begin(), scratch.gather.end(),
-              [](const GatherItem& a, const GatherItem& b) { return a.common < b.common; });
-    for (std::size_t idx = 0; idx < count; ++idx) {
-      const GatherItem& g = scratch.gather[idx];
-      out.common_arena[offset + idx] = g.common;
-      out.pair_arena[offset + idx] = EdgePairRef{g.e1, g.e2};
-      scratch.products[idx] = g.product;
-    }
+  products.resize(count);
+  std::size_t idx = count;
+  for (std::uint32_t h = be.head; h != kNone; h = contribs[h].prev) {
+    --idx;
+    const ContribT& c = contribs[h];
+    out.common_arena[offset + idx] = c.common;
+    out.pair_arena[offset + idx] = EdgePairRef{c.e1, c.e2};
+    products[idx] = c.product;
   }
+  LC_DCHECK(idx == 0);
   if (measure == SimilarityMeasure::kJaccard) {
     dst.score = jaccard_score(graph, be.u, be.v, count);
     return;
   }
   double p = 0.0;
-  for (std::size_t idx = 0; idx < count; ++idx) p += scratch.products[idx];
+  for (std::size_t k = 0; k < count; ++k) p += products[k];
   p += be.pass3;
   const double denom = h2[be.u] + h2[be.v] - p;
   LC_DCHECK(denom > 0.0);
@@ -392,11 +299,11 @@ void fill_entry(const BuildEntry& be, std::uint64_t offset, const std::vector<Se
 /// Final step (lines 26-28): lays out the CSR arenas from the (key-sorted)
 /// build entries and finalizes the scores. Runs on the pool when given one;
 /// entry slices are disjoint, so workers write without synchronization.
+template <typename ContribT>
 SimilarityMap assemble_map(const WeightedGraph& graph, std::vector<BuildEntry>& build_entries,
-                           const std::vector<Seg>& segs,
-                           const std::vector<std::vector<Contrib>>& pools,
-                           const std::vector<double>& h2, SimilarityMeasure measure,
-                           parallel::ThreadPool* pool, sim::WorkLedger* ledger) {
+                           const ContribT* contribs, const std::vector<double>& h2,
+                           SimilarityMeasure measure, parallel::ThreadPool* pool,
+                           sim::WorkLedger* ledger) {
   SimilarityMap out;
   const std::size_t k1 = build_entries.size();
   out.entries.resize(k1);
@@ -410,9 +317,9 @@ SimilarityMap assemble_map(const WeightedGraph& graph, std::vector<BuildEntry>& 
   out.pair_arena.resize(total);
 
   if (pool == nullptr) {
-    FillScratch scratch;
+    std::vector<double> products;
     for (std::size_t i = 0; i < k1; ++i) {
-      fill_entry(build_entries[i], offsets[i], segs, pools, graph, h2, measure, scratch,
+      fill_entry(build_entries[i], offsets[i], contribs, graph, h2, measure, products,
                  out, out.entries[i]);
     }
   } else {
@@ -424,11 +331,11 @@ SimilarityMap assemble_map(const WeightedGraph& graph, std::vector<BuildEntry>& 
     std::vector<std::function<void()>> tasks;
     for (std::size_t t = 0; t < t_count; ++t) {
       tasks.push_back([&, t] {
-        FillScratch scratch;
+        std::vector<double> products;
         std::uint64_t work = 0;
         for (std::size_t i = t; i < k1; i += t_count) {
-          fill_entry(build_entries[i], offsets[i], segs, pools, graph, h2, measure,
-                     scratch, out, out.entries[i]);
+          fill_entry(build_entries[i], offsets[i], contribs, graph, h2, measure,
+                     products, out, out.entries[i]);
           work += 1 + build_entries[i].count;
         }
         if (ledger != nullptr) ledger->add_work(t, work);
@@ -442,6 +349,299 @@ SimilarityMap assemble_map(const WeightedGraph& graph, std::vector<BuildEntry>& 
 
 bool by_pair_key(const BuildEntry& a, const BuildEntry& b) {
   return pair_key(a.u, a.v) < pair_key(b.u, b.v);
+}
+
+/// Pass 3 (lines 21-25) against *key-sorted* build entries: for edges owned
+/// by slice `start` of `stride` (by first/smaller endpoint, round-robin),
+/// binary-search the entry of (u, v) and add the coordinate-u/v inner-product
+/// terms. Each key has at most one edge, so writes are disjoint across
+/// slices even though a slice's hits land outside its own entry range.
+/// Returns edges matched.
+std::uint64_t pass3_sorted(const WeightedGraph& graph, std::size_t start, std::size_t stride,
+                           const std::vector<double>& h1,
+                           std::vector<BuildEntry>& entries) {
+  std::uint64_t work = 0;
+  for (const graph::Edge& e : graph.edges()) {
+    if (e.u % stride != start) continue;
+    const std::uint64_t key = pair_key(e.u, e.v);
+    const auto it = std::lower_bound(entries.begin(), entries.end(), key,
+                                     [](const BuildEntry& entry, std::uint64_t k) {
+                                       return pair_key(entry.u, entry.v) < k;
+                                     });
+    if (it != entries.end() && pair_key(it->u, it->v) == key) {
+      it->pass3 += (h1[e.u] + h1[e.v]) * e.weight;
+      ++work;
+    }
+  }
+  return work;
+}
+
+/// Cuts [0, n) into `parts` contiguous blocks balanced by `weight_of(i)`
+/// (monotone greedy against the prefix sum). Returns part boundaries like
+/// split_range.
+template <typename WeightFn>
+std::vector<std::size_t> balanced_blocks(std::size_t n, std::size_t parts,
+                                         WeightFn weight_of) {
+  std::vector<std::uint64_t> prefix(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + weight_of(i);
+  const std::uint64_t total = prefix[n];
+  std::vector<std::size_t> bounds(parts + 1, 0);
+  bounds[parts] = n;
+  for (std::size_t p = 1; p < parts; ++p) {
+    const std::uint64_t target = total / parts * p;
+    const auto it = std::lower_bound(prefix.begin(), prefix.end(), target);
+    std::size_t cut = static_cast<std::size_t>(it - prefix.begin());
+    cut = std::clamp(cut, bounds[p - 1], n);
+    bounds[p] = cut;
+  }
+  return bounds;
+}
+
+/// Auto shard count: a power of two targeting a few thousand staged tuples
+/// per shard (so each shard's table stays cache-resident during
+/// aggregation), floored at a multiple of the pool width for balance.
+std::size_t auto_shard_count(std::uint64_t k2, std::size_t t_count) {
+  std::size_t s = 1;
+  while (s < 4096 && s * 4096 < k2) s <<= 1;
+  return std::max(s, std::min<std::size_t>(4 * t_count, 4096));
+}
+
+/// The key-sharded parallel pass-2/3 build. The key space is partitioned
+/// into S shards by a fixed hash of the packed (u, v) word; every shard's
+/// tuples are staged contiguously (grouped by shard, ordered by emitting
+/// thread block, which makes them ascending in the common vertex because the
+/// vertex blocks are contiguous and ascending), then aggregated by exactly
+/// one thread through a small reusable open-addressing table. No state is
+/// replicated per thread and nothing is merged — the staging arena is K2
+/// tuples regardless of T.
+SimilarityMap build_sharded(const WeightedGraph& graph, const std::vector<double>& h1,
+                            const std::vector<double>& h2, SimilarityMeasure measure,
+                            parallel::ThreadPool& pool, sim::WorkLedger* ledger,
+                            std::size_t shard_count) {
+  const std::size_t n = graph.vertex_count();
+  const std::size_t t_count = pool.thread_count();
+  const std::uint64_t k2 = count_pairs_slice(graph, 0, 1);
+  LC_CHECK_MSG(k2 < kNone, "sharded build indexes staged tuples with uint32");
+  const std::size_t s_count =
+      shard_count > 0 ? shard_count : auto_shard_count(k2, t_count);
+
+  // Vertex blocks balanced by pair count: block boundaries depend on T, but
+  // blocks are contiguous and ascending, which is what the canonical
+  // common-ascending staging order relies on.
+  const std::vector<std::size_t> vertex_bounds =
+      balanced_blocks(n, t_count, [&graph](std::size_t v) {
+        const std::uint64_t d = graph.degree(static_cast<VertexId>(v));
+        return d > 1 ? d * (d - 1) / 2 : 0;
+      });
+
+  // Count pass: per-(thread, shard) tuple counts. The matrix doubles as the
+  // write cursors of the fill pass once converted to absolute offsets.
+  std::vector<std::vector<std::uint32_t>> cursors(t_count);
+  if (ledger != nullptr) {
+    ledger->begin_phase("init.pass2.count");
+    ledger->begin_round(t_count);
+  }
+  {
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t t = 0; t < t_count; ++t) {
+      tasks.push_back([&, t] {
+        std::vector<std::uint32_t>& counts = cursors[t];
+        counts.assign(s_count, 0);
+        std::uint64_t work = 0;
+        for (std::size_t vi = vertex_bounds[t]; vi < vertex_bounds[t + 1]; ++vi) {
+          const std::span<const VertexId> adj = graph.neighbors(static_cast<VertexId>(vi));
+          const std::size_t d = adj.size();
+          for (std::size_t a = 0; a < d; ++a) {
+            for (std::size_t b = a + 1; b < d; ++b) {
+              ++counts[shard_of(pair_key(adj[a], adj[b]), s_count)];
+              ++work;
+            }
+          }
+        }
+        if (ledger != nullptr) ledger->add_work(t, work);
+      });
+    }
+    pool.run_batch(tasks);
+  }
+
+  // Staging layout: shard-major, thread-minor. Within one shard the slices
+  // of thread 0, 1, ... follow each other, so a forward walk of the shard
+  // sees commons in globally ascending order.
+  std::vector<std::uint32_t> shard_start(s_count + 1, 0);
+  {
+    std::uint32_t offset = 0;
+    for (std::size_t s = 0; s < s_count; ++s) {
+      shard_start[s] = offset;
+      for (std::size_t t = 0; t < t_count; ++t) {
+        const std::uint32_t c = cursors[t][s];
+        cursors[t][s] = offset;
+        offset += c;
+      }
+    }
+    shard_start[s_count] = offset;
+    LC_DCHECK(offset == k2);
+  }
+  std::unique_ptr<ShardContrib[]> staging(new ShardContrib[static_cast<std::size_t>(k2)]);
+
+  // Fill pass: re-walk the same vertex blocks, emitting each tuple at its
+  // thread's shard cursor. Cursor ranges are disjoint by construction, so
+  // threads write the shared arena without synchronization.
+  if (ledger != nullptr) {
+    ledger->begin_phase("init.pass2.fill");
+    ledger->begin_round(t_count);
+  }
+  {
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t t = 0; t < t_count; ++t) {
+      tasks.push_back([&, t] {
+        std::vector<std::uint32_t>& cursor = cursors[t];
+        std::uint64_t work = 0;
+        for (std::size_t vi = vertex_bounds[t]; vi < vertex_bounds[t + 1]; ++vi) {
+          const auto i = static_cast<VertexId>(vi);
+          const std::span<const VertexId> adj = graph.neighbors(i);
+          const std::span<const double> weights = graph.neighbor_weights(i);
+          const std::span<const EdgeId> eids = graph.neighbor_edge_ids(i);
+          const std::size_t d = adj.size();
+          for (std::size_t a = 0; a < d; ++a) {
+            for (std::size_t b = a + 1; b < d; ++b) {
+              const std::uint64_t key = pair_key(adj[a], adj[b]);
+              ShardContrib& c = staging[cursor[shard_of(key, s_count)]++];
+              c.key = key;
+              c.product = weights[a] * weights[b];
+              c.e1 = eids[a];
+              c.e2 = eids[b];
+              c.common = i;
+              ++work;
+            }
+          }
+        }
+        if (ledger != nullptr) ledger->add_work(t, work);
+      });
+    }
+    pool.run_batch(tasks);
+  }
+
+  // Shard aggregation: contiguous shard groups balanced by tuple count, one
+  // group per thread — no two threads ever touch the same shard. Each shard
+  // is keyed through a small reusable table; tuples chain newest-first per
+  // key via `prev`, preserving the ascending-common arrival order for the
+  // backward fill.
+  const std::vector<std::size_t> shard_bounds =
+      balanced_blocks(s_count, t_count, [&shard_start](std::size_t s) {
+        return static_cast<std::uint64_t>(shard_start[s + 1] - shard_start[s]);
+      });
+  // The per-group entry lists and scratch tables are allocated *here*, on
+  // the calling thread, not inside the workers: glibc gives each worker
+  // thread its own malloc arena, and arena memory retained at a worker's
+  // allocation peak stays resident for the life of the process — across
+  // repeated builds (benches loop over thread counts in one process) that
+  // retention used to scale peak RSS with T. Reserving up front (bounded by
+  // the group's tuple count; pages are only touched as entries are written)
+  // keeps every worker allocation-free.
+  std::vector<std::vector<BuildEntry>> group_entries(t_count);
+  std::vector<PairTable> group_tables;
+  group_tables.reserve(t_count);
+  for (std::size_t t = 0; t < t_count; ++t) {
+    std::size_t max_shard = 0;
+    std::uint64_t group_tuples = 0;
+    for (std::size_t s = shard_bounds[t]; s < shard_bounds[t + 1]; ++s) {
+      const std::uint32_t len = shard_start[s + 1] - shard_start[s];
+      max_shard = std::max<std::size_t>(max_shard, len);
+      group_tuples += len;
+    }
+    group_entries[t].reserve(static_cast<std::size_t>(group_tuples));
+    group_tables.emplace_back(max_shard);
+  }
+  if (ledger != nullptr) {
+    ledger->begin_phase("init.pass2.shard");
+    ledger->begin_round(t_count);
+  }
+  {
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t t = 0; t < t_count; ++t) {
+      tasks.push_back([&, t] {
+        PairTable& table = group_tables[t];
+        std::vector<BuildEntry>& entries = group_entries[t];
+        std::uint64_t work = 0;
+        for (std::size_t s = shard_bounds[t]; s < shard_bounds[t + 1]; ++s) {
+          table.reset(shard_start[s + 1] - shard_start[s]);
+          for (std::uint32_t i = shard_start[s]; i < shard_start[s + 1]; ++i) {
+            ShardContrib& c = staging[i];
+            const auto [slot, inserted] =
+                table.insert(c.key, static_cast<std::uint32_t>(entries.size()));
+            if (inserted) {
+              BuildEntry entry;
+              entry.u = static_cast<VertexId>(c.key >> 32);
+              entry.v = static_cast<VertexId>(c.key & 0xFFFFFFFFu);
+              entry.head = i;
+              entry.count = 1;
+              c.prev = kNone;
+              entries.push_back(entry);
+            } else {
+              BuildEntry& entry = entries[*slot];
+              c.prev = entry.head;
+              entry.head = i;
+              ++entry.count;
+            }
+            ++work;
+          }
+        }
+        if (ledger != nullptr) ledger->add_work(t, work);
+      });
+    }
+    pool.run_batch(tasks);
+  }
+
+  // Concatenate the per-group entry lists (group order is shard order, but
+  // any order works — the radix sort below imposes the canonical key order),
+  // then sort by packed key: stable LSD radix, byte-identical across thread
+  // counts, with dead key bytes skipped.
+  std::vector<std::size_t> entry_offsets(t_count + 1, 0);
+  for (std::size_t t = 0; t < t_count; ++t) {
+    entry_offsets[t + 1] = entry_offsets[t] + group_entries[t].size();
+  }
+  std::vector<BuildEntry> entries(entry_offsets[t_count]);
+  {
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t t = 0; t < t_count; ++t) {
+      if (group_entries[t].empty()) continue;
+      tasks.push_back([&, t] {
+        std::copy(group_entries[t].begin(), group_entries[t].end(),
+                  entries.begin() +
+                      static_cast<std::ptrdiff_t>(entry_offsets[t]));
+      });
+    }
+    pool.run_batch(tasks);
+  }
+  if (ledger != nullptr) {
+    ledger->begin_phase("init.sort_keys");
+    ledger->begin_round(t_count);
+    for (std::size_t t = 0; t < t_count; ++t) {
+      ledger->add_work(t, entries.size() / t_count + 1);
+    }
+  }
+  parallel::parallel_radix_sort(pool, entries, [](const BuildEntry& e) {
+    return pair_key(e.u, e.v);
+  });
+
+  // Pass 3 against the key-sorted entries, partitioned by first vertex.
+  if (ledger != nullptr) {
+    ledger->begin_phase("init.pass3");
+    ledger->begin_round(t_count);
+  }
+  {
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t t = 0; t < t_count; ++t) {
+      tasks.push_back([&, t] {
+        const std::uint64_t work =
+            pass3_sorted(graph, t, t_count, h1, entries) + graph.edge_count();
+        if (ledger != nullptr) ledger->add_work(t, work);
+      });
+    }
+    pool.run_batch(tasks);
+  }
+
+  return assemble_map(graph, entries, staging.get(), h2, measure, &pool, ledger);
 }
 
 /// Flat strategy tuple: one per incident pair, sorted by (key, common) so
@@ -523,7 +723,7 @@ SimilarityMap build_flat(const WeightedGraph& graph, const std::vector<double>& 
     std::sort(tuples.begin(), tuples.end(), by_key_then_common);
   } else {
     if (ledger != nullptr) {
-      ledger->begin_phase("init.pass2.merge");
+      ledger->begin_phase("init.pass2.sort");
       ledger->begin_round(1);
       ledger->add_work(0, tuples.size());
     }
@@ -646,7 +846,17 @@ void SimilarityMap::sort_by_score(parallel::ThreadPool* pool) {
     if (a.u != b.u) return a.u < b.u;
     return a.v < b.v;
   };
-  if (pool != nullptr && pool->thread_count() > 1) {
+  if (pool != nullptr && pool->thread_count() > 1 && keys_sorted_) {
+    // Scores are non-negative, so the raw IEEE bits order like the values and
+    // the flipped bits order descending. The radix sort is stable and the
+    // entries arrive (u, v)-ascending from every builder, which realizes the
+    // comparator's tie-break — the result is the exact permutation the
+    // comparison path below produces, for every thread count.
+    parallel::parallel_radix_sort(*pool, entries, [](const SimilarityEntry& e) {
+      const double score = e.score == 0.0 ? 0.0 : e.score;  // collapse -0.0
+      return ~std::bit_cast<std::uint64_t>(score);
+    });
+  } else if (pool != nullptr && pool->thread_count() > 1) {
     parallel::parallel_sort(*pool, entries.begin(), entries.end(), by_score);
   } else {
     std::sort(entries.begin(), entries.end(), by_score);
@@ -689,13 +899,15 @@ SimilarityMap build_similarity_map(const graph::WeightedGraph& graph,
   }
 
   const std::uint64_t k2 = count_pairs_slice(graph, 0, 1);
-  BuildMap map(0, expected_key_count(graph, k2));
-  std::vector<std::vector<Contrib>> pools(1);
-  pools[0].reserve(static_cast<std::size_t>(k2));
-  pass2_build(graph, 0, 1, map, pools[0]);
-  pass3_build(graph, 0, 1, h1, map);
+  BuildMap map(expected_key_count(graph, k2));
+  std::vector<Contrib> contribs;
+  contribs.reserve(static_cast<std::size_t>(k2));
+  pass2_build(graph, map, contribs);
   std::sort(map.entries.begin(), map.entries.end(), by_pair_key);
-  return assemble_map(graph, map.entries, map.segs, pools, h2, options.measure, nullptr,
+  std::uint64_t matched = 0;
+  matched = pass3_sorted(graph, 0, 1, h1, map.entries);
+  (void)matched;
+  return assemble_map(graph, map.entries, contribs.data(), h2, options.measure, nullptr,
                       nullptr);
 }
 
@@ -731,97 +943,8 @@ SimilarityMap build_similarity_map_parallel(const graph::WeightedGraph& graph,
   if (options.map_kind == PairMapKind::kFlat) {
     return build_flat(graph, h1, h2, options.measure, &pool, ledger);
   }
-
-  // Pass 2, step 1: per-thread maps over disjoint round-robin vertex slices.
-  // Tables and contribution pools are reserve-sized from an exact per-slice
-  // pair count, so the hot loop almost never rehashes or reallocates.
-  std::vector<BuildMap> maps;
-  maps.reserve(t_count);
-  std::vector<std::vector<Contrib>> pools(t_count);
-  for (std::size_t t = 0; t < t_count; ++t) {
-    const std::uint64_t k2_t = count_pairs_slice(graph, t, t_count);
-    maps.emplace_back(static_cast<std::uint32_t>(t), expected_key_count(graph, k2_t));
-    pools[t].reserve(static_cast<std::size_t>(k2_t));
-  }
-  if (ledger != nullptr) {
-    ledger->begin_phase("init.pass2.build");
-    ledger->begin_round(t_count);
-  }
-  {
-    std::vector<std::function<void()>> tasks;
-    for (std::size_t t = 0; t < t_count; ++t) {
-      tasks.push_back([&, t] {
-        const std::uint64_t work = pass2_build(graph, t, t_count, maps[t], pools[t]);
-        if (ledger != nullptr) ledger->add_work(t, work);
-      });
-    }
-    pool.run_batch(tasks);
-  }
-
-  // Pass 2, step 2: hierarchical pairwise merge of the per-thread maps
-  // (§VI-A: pairs merge concurrently per round; once at most three maps
-  // remain, one thread folds them together). Contributions never move —
-  // only O(#segments) descriptors per entry.
-  if (ledger != nullptr) ledger->begin_phase("init.pass2.merge");
-  {
-    std::vector<std::size_t> active(t_count);
-    for (std::size_t i = 0; i < t_count; ++i) active[i] = i;
-    while (active.size() > 3) {
-      std::vector<std::function<void()>> tasks;
-      std::vector<std::size_t> survivors;
-      if (ledger != nullptr) ledger->begin_round(active.size() / 2);
-      std::size_t slot = 0;
-      std::size_t i = 0;
-      for (; i + 1 < active.size(); i += 2) {
-        const std::size_t dst = active[i];
-        const std::size_t src = active[i + 1];
-        survivors.push_back(dst);
-        const std::size_t this_slot = slot++;
-        tasks.push_back([&, dst, src, this_slot] {
-          const std::uint64_t work = merge_build_maps(maps[dst], maps[src]);
-          if (ledger != nullptr) ledger->add_work(this_slot, work);
-        });
-      }
-      if (i < active.size()) survivors.push_back(active[i]);
-      pool.run_batch(tasks);
-      active = std::move(survivors);
-    }
-    if (active.size() > 1) {
-      if (ledger != nullptr) ledger->begin_round(1);
-      std::uint64_t work = 0;
-      for (std::size_t i = 1; i < active.size(); ++i) {
-        work += merge_build_maps(maps[active[0]], maps[active[i]]);
-      }
-      if (ledger != nullptr) ledger->add_work(0, work);
-    }
-    if (active[0] != 0) std::swap(maps[0], maps[active[0]]);
-  }
-  BuildMap& merged = maps[0];
-
-  // Pass 3: partition the keys by first vertex (round-robin); every thread
-  // scans the edge list and updates only the keys it owns, so writes are
-  // disjoint.
-  if (ledger != nullptr) {
-    ledger->begin_phase("init.pass3");
-    ledger->begin_round(t_count);
-  }
-  {
-    std::vector<std::function<void()>> tasks;
-    for (std::size_t t = 0; t < t_count; ++t) {
-      tasks.push_back([&, t] {
-        const std::uint64_t work =
-            pass3_build(graph, t, t_count, h1, merged) + graph.edge_count();
-        if (ledger != nullptr) ledger->add_work(t, work);
-      });
-    }
-    pool.run_batch(tasks);
-  }
-
-  // Canonical key order (pool-parallel merge sort), then lay out the arenas
-  // and finalize over disjoint strided entry slices.
-  parallel::parallel_sort(pool, merged.entries.begin(), merged.entries.end(), by_pair_key);
-  return assemble_map(graph, merged.entries, merged.segs, pools, h2, options.measure,
-                      &pool, ledger);
+  return build_sharded(graph, h1, h2, options.measure, pool, ledger,
+                       options.shard_count);
 }
 
 double tanimoto_similarity_bruteforce(const graph::WeightedGraph& graph, graph::VertexId i,

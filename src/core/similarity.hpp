@@ -27,9 +27,17 @@
 // makes the serial build, the parallel build at any thread count, and the
 // flat (sort-and-aggregate) build produce bitwise-identical maps.
 //
-// build_similarity_map_parallel implements §VI-A: pass 1 as a parallel-for,
-// pass 2 with per-thread open-addressing tables merged by a hierarchical
-// (tournament) reduction, pass 3 partitioned by the first vertex of each key.
+// build_similarity_map_parallel replaces the paper's §VI-A replicated-map +
+// tournament-merge pass 2 with a *key-sharded* build: the packed (u, v) key
+// space is partitioned into S >> T shards by a fixed hash of the packed word,
+// every thread walks its (pair-count-balanced) vertex block twice — a count
+// pass sizing per-(thread, shard) staging slices, then a fill pass emitting
+// tuples into them — and each shard is then aggregated by exactly one thread
+// through a small cache-resident open-addressing table. No per-thread map
+// replication, no merge: peak memory is O(K2) independent of T. Entries are
+// radix-sorted by packed key and the shard chains are emitted straight into
+// the final CSR arenas; pass 3 is partitioned by the first vertex of each
+// edge against the key-sorted entries.
 #pragma once
 
 #include <cstdint>
@@ -77,6 +85,10 @@ enum class SimilarityMeasure {
 struct SimilarityMapOptions {
   PairMapKind map_kind = PairMapKind::kHash;
   SimilarityMeasure measure = SimilarityMeasure::kTanimoto;
+  /// Pass-2 shard count for the parallel kHash build (0 = auto-sized from K2
+  /// and the pool). Any value >= 1 produces byte-identical output — shards
+  /// only partition the work, never the result.
+  std::size_t shard_count = 0;
 };
 
 class SimilarityMap {
@@ -105,10 +117,14 @@ class SimilarityMap {
   [[nodiscard]] std::size_t key_count() const { return entries.size(); }
 
   /// Sorts entries by score non-increasing; ties break by (u, v) ascending so
-  /// the sweep is deterministic. This produces the paper's list L. With a
-  /// pool of more than one thread the sort runs as a pool-parallel merge
-  /// sort; the tie-break makes the order a strict total order, so the result
-  /// is identical for every thread count.
+  /// the sweep is deterministic. This produces the paper's list L. While the
+  /// builder's key order still holds (keys_sorted()), a pool of more than one
+  /// thread runs a stable pool-parallel radix sort on the flipped IEEE bits
+  /// of the score — stability over the key-ascending input supplies the
+  /// (u, v) tie-break for free, so the order is the same strict total order
+  /// the comparison path produces, identical for every thread count. The
+  /// comparison sort (std::sort / pool-parallel merge sort) is kept as the
+  /// fallback for serial calls and already-reordered maps.
   void sort_by_score(parallel::ThreadPool* pool = nullptr);
 
   /// Approximate heap bytes held (entries + arenas).
@@ -132,10 +148,12 @@ class SimilarityMap {
 SimilarityMap build_similarity_map(const graph::WeightedGraph& graph,
                                    const SimilarityMapOptions& options = {});
 
-/// §VI-A multi-threaded Algorithm 1. Bitwise-identical to the serial build
-/// at every thread count (per-entry contributions are re-ordered canonically
-/// before summation). When `ledger` is non-null, per-round per-thread work
-/// units are recorded for simulated-scaling analysis.
+/// Multi-threaded Algorithm 1 via the key-sharded build (see the header
+/// comment). Bitwise-identical to the serial build — entries, scores, and
+/// arena layout — at every thread and shard count: contributions reach each
+/// key in ascending common-neighbor order by construction and are summed in
+/// that canonical order. When `ledger` is non-null, per-round per-thread
+/// work units are recorded for simulated-scaling analysis.
 SimilarityMap build_similarity_map_parallel(const graph::WeightedGraph& graph,
                                             parallel::ThreadPool& pool,
                                             sim::WorkLedger* ledger = nullptr,

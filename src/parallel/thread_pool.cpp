@@ -4,11 +4,11 @@
 
 namespace lc::parallel {
 
-ThreadPool::ThreadPool(std::size_t thread_count) {
+ThreadPool::ThreadPool(std::size_t thread_count) : count_(thread_count) {
   LC_CHECK_MSG(thread_count >= 1, "a thread pool needs at least one worker");
   workers_.reserve(thread_count);
   for (std::size_t i = 0; i < thread_count; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -24,29 +24,42 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::run_batch(const std::vector<std::function<void()>>& tasks) {
   if (tasks.empty()) return;
   std::unique_lock<std::mutex> lock(mutex_);
-  LC_CHECK_MSG(batch_.tasks == nullptr, "run_batch is not reentrant");
-  batch_.tasks = &tasks;
-  batch_.next_index = 0;
-  batch_.remaining = tasks.size();
+  LC_CHECK_MSG(tasks_ == nullptr, "run_batch is not reentrant");
+  tasks_ = &tasks;
+  remaining_ = tasks.size();
+  ++batch_id_;
   work_ready_.notify_all();
-  batch_done_.wait(lock, [this] { return batch_.remaining == 0; });
-  batch_.tasks = nullptr;
+  batch_done_.wait(lock, [this] { return remaining_ == 0; });
+  tasks_ = nullptr;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_id) {
   std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t seen_batch = 0;
   while (true) {
-    work_ready_.wait(lock, [this] {
-      return shutdown_ || (batch_.tasks != nullptr && batch_.next_index < batch_.tasks->size());
+    work_ready_.wait(lock, [this, seen_batch] {
+      return shutdown_ || batch_id_ != seen_batch;
     });
     if (shutdown_) return;
-    while (batch_.tasks != nullptr && batch_.next_index < batch_.tasks->size()) {
-      const std::size_t index = batch_.next_index++;
-      const std::function<void()>& task = (*batch_.tasks)[index];
-      lock.unlock();
-      task();
-      lock.lock();
-      if (--batch_.remaining == 0) batch_done_.notify_all();
+    seen_batch = batch_id_;
+    // A worker that had no tasks in the previous batch can observe the id
+    // bump only after that batch fully completed and was torn down.
+    if (tasks_ == nullptr) continue;
+    const std::vector<std::function<void()>>* tasks = tasks_;
+    const std::size_t size = tasks->size();
+    lock.unlock();
+    // Static assignment: this worker owns indices worker_id, worker_id + W,
+    // ... — no per-task lock traffic, and run_batch cannot return (so
+    // `tasks` stays alive) until every owned index has run.
+    std::size_t done = 0;
+    for (std::size_t i = worker_id; i < size; i += count_) {
+      (*tasks)[i]();
+      ++done;
+    }
+    lock.lock();
+    if (done > 0) {
+      remaining_ -= done;
+      if (remaining_ == 0) batch_done_.notify_all();
     }
   }
 }
@@ -64,11 +77,14 @@ std::vector<std::size_t> split_range(std::size_t n, std::size_t parts) {
 }
 
 void parallel_for_blocks(ThreadPool& pool, std::size_t n,
-                         const std::function<void(std::size_t, std::size_t)>& fn) {
-  const std::vector<std::size_t> bounds = split_range(n, pool.thread_count());
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         std::size_t min_grain) {
+  std::size_t parts = pool.thread_count();
+  if (min_grain > 0) parts = std::clamp(n / min_grain, std::size_t{1}, parts);
+  const std::vector<std::size_t> bounds = split_range(n, parts);
   std::vector<std::function<void()>> tasks;
-  tasks.reserve(pool.thread_count());
-  for (std::size_t t = 0; t < pool.thread_count(); ++t) {
+  tasks.reserve(parts);
+  for (std::size_t t = 0; t < parts; ++t) {
     const std::size_t begin = bounds[t];
     const std::size_t end = bounds[t + 1];
     if (begin == end) continue;

@@ -4,12 +4,20 @@
 // them; we keep a persistent pool so the benches don't pay thread start-up in
 // every measured region. Tasks are plain std::function<void()>; run_batch()
 // is the primitive every parallel pass uses (submit T tasks, wait for all).
+//
+// Task assignment is static: worker w runs tasks w, w + W, w + 2W, ... of the
+// batch, so a batch costs each worker one wake-up/completion lock round
+// instead of a mutex acquisition per task. Parallel passes submit
+// near-uniform tasks (one per worker), so dynamic stealing would buy nothing
+// and the shared-queue contention it needs is exactly what the profile showed
+// dominating small batches.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -26,27 +34,27 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+  [[nodiscard]] std::size_t thread_count() const { return count_; }
 
   /// Runs all tasks on the pool and blocks until every one has finished.
-  /// Exceptions escaping a task terminate (tasks are required to be noexcept
-  /// in spirit; the library's parallel passes never throw).
+  /// Worker w executes tasks w, w + W, ... in index order. Exceptions
+  /// escaping a task terminate (tasks are required to be noexcept in spirit;
+  /// the library's parallel passes never throw).
   void run_batch(const std::vector<std::function<void()>>& tasks);
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_id);
 
-  struct Batch {
-    const std::vector<std::function<void()>>* tasks = nullptr;
-    std::size_t next_index = 0;
-    std::size_t remaining = 0;
-  };
-
+  std::size_t count_ = 0;
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable batch_done_;
-  Batch batch_;
+  // All batch state is guarded by mutex_; workers only take the lock twice
+  // per batch (once to observe it, once to report completion).
+  const std::vector<std::function<void()>>* tasks_ = nullptr;
+  std::uint64_t batch_id_ = 0;
+  std::size_t remaining_ = 0;
   bool shutdown_ = false;
 };
 
@@ -56,16 +64,21 @@ class ThreadPool {
 std::vector<std::size_t> split_range(std::size_t n, std::size_t parts);
 
 /// parallel_for: applies fn(begin, end) over a static block partition of
-/// [0, n) using the pool (the caller's thread is not used).
+/// [0, n) using the pool (the caller's thread is not used). `min_grain > 0`
+/// caps the number of blocks at n / min_grain so tiny ranges don't pay a
+/// wake-up per worker for a handful of items each.
 void parallel_for_blocks(ThreadPool& pool, std::size_t n,
-                         const std::function<void(std::size_t, std::size_t)>& fn);
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         std::size_t min_grain = 0);
 
-/// Tournament (hierarchical pairwise) reduction driver, the paper's §VI-A
-/// pass-2 / §VI-B merge structure: in each round, pairs (0,1), (2,3), ... are
-/// merged concurrently via merge_fn(dst_index, src_index) — src is merged
-/// into dst and drops out. When at most `final_fan_in` items remain, a single
-/// thread merges the rest sequentially into item 0 (the paper uses
-/// final_fan_in = 3). `item_count` is the initial number of items.
+/// Tournament (hierarchical pairwise) reduction driver, the paper's §VI-B
+/// sweep merge structure: in each round, pairs (0,1), (2,3), ... are merged
+/// concurrently via merge_fn(dst_index, src_index) — src is merged into dst
+/// and drops out. When at most `final_fan_in` items remain, a single thread
+/// merges the rest sequentially into item 0 (the paper uses
+/// final_fan_in = 3). `item_count` is the initial number of items. (The
+/// similarity build no longer uses this — pass 2 is key-sharded, see
+/// core/similarity.cpp — but the §VI-B parallel sweep still does.)
 void tournament_reduce(ThreadPool& pool, std::size_t item_count,
                        const std::function<void(std::size_t, std::size_t)>& merge_fn,
                        std::size_t final_fan_in = 3);
@@ -117,6 +130,78 @@ void parallel_sort(ThreadPool& pool, RandomIt first, RandomIt last, Compare comp
     if (i + 1 < bounds.size()) next.push_back(bounds.back());  // odd block out: carried
     pool.run_batch(tasks);
     bounds = std::move(next);
+  }
+}
+
+/// Pool-parallel *stable* LSD radix sort of `items` ascending by the 64-bit
+/// key `key_fn(item)`. Each 8-bit digit is one parallel counting-sort pass:
+/// per-block histograms, a serial (digit, block)-major exclusive scan, then
+/// an in-order scatter into a double buffer — blocks write disjoint slices,
+/// and block order + in-block order preserve stability. Digits on which every
+/// key agrees are skipped entirely (packed keys with dead bytes — vertex ids,
+/// quantized scores — typically sort in 3-5 passes instead of 8).
+///
+/// Stability makes the output the unique stable ascending order, so the
+/// result is byte-identical for every thread count, and identical to
+/// std::stable_sort with `key_fn(a) < key_fn(b)` — which is exactly the
+/// fallback taken for 1-thread pools and small inputs. Not reentrant.
+template <typename T, typename KeyFn>
+void parallel_radix_sort(ThreadPool& pool, std::vector<T>& items, KeyFn key_fn) {
+  const std::size_t n = items.size();
+  constexpr std::size_t kSerialCutoff = 4096;
+  if (pool.thread_count() <= 1 || n <= kSerialCutoff) {
+    std::stable_sort(items.begin(), items.end(),
+                     [&key_fn](const T& a, const T& b) { return key_fn(a) < key_fn(b); });
+    return;
+  }
+  const std::size_t parts = pool.thread_count();
+  const std::vector<std::size_t> bounds = split_range(n, parts);
+  std::vector<T> buffer(n);
+  std::vector<std::array<std::size_t, 256>> counts(parts);
+
+  for (unsigned pass = 0; pass < 8; ++pass) {
+    const unsigned shift = pass * 8;
+    {
+      std::vector<std::function<void()>> tasks;
+      for (std::size_t b = 0; b < parts; ++b) {
+        tasks.push_back([&, b, shift] {
+          std::array<std::size_t, 256>& h = counts[b];
+          h.fill(0);
+          for (std::size_t i = bounds[b]; i < bounds[b + 1]; ++i) {
+            ++h[(key_fn(items[i]) >> shift) & 0xFFu];
+          }
+        });
+      }
+      pool.run_batch(tasks);
+    }
+    // Exclusive scan in (digit, block) order; skip passes where every key
+    // shares the digit (one bucket holds all n items).
+    bool trivial = false;
+    std::size_t running = 0;
+    for (std::size_t d = 0; d < 256 && !trivial; ++d) {
+      std::size_t digit_total = 0;
+      for (std::size_t b = 0; b < parts; ++b) digit_total += counts[b][d];
+      if (digit_total == n) trivial = true;
+      for (std::size_t b = 0; b < parts; ++b) {
+        const std::size_t c = counts[b][d];
+        counts[b][d] = running;
+        running += c;
+      }
+    }
+    if (trivial) continue;
+    {
+      std::vector<std::function<void()>> tasks;
+      for (std::size_t b = 0; b < parts; ++b) {
+        tasks.push_back([&, b, shift] {
+          std::array<std::size_t, 256>& offsets = counts[b];
+          for (std::size_t i = bounds[b]; i < bounds[b + 1]; ++i) {
+            buffer[offsets[(key_fn(items[i]) >> shift) & 0xFFu]++] = std::move(items[i]);
+          }
+        });
+      }
+      pool.run_batch(tasks);
+    }
+    items.swap(buffer);
   }
 }
 

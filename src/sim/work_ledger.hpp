@@ -35,8 +35,8 @@ struct Phase {
 
 class WorkLedger {
  public:
-  /// Starts a named phase (e.g. "init.pass1", "sweep.chunk"). Subsequent
-  /// rounds belong to it.
+  /// Starts a named phase (e.g. "init.pass1", "init.pass2.fill",
+  /// "sweep.chunk"). Subsequent rounds belong to it.
   void begin_phase(std::string name);
 
   /// Starts a parallel round with `width` slots, all zero work.

@@ -91,6 +91,62 @@ INSTANTIATE_TEST_SUITE_P(MapKinds, SimilarityDeterminism,
                            return param_info.param == PairMapKind::kHash ? "hash" : "flat";
                          });
 
+// The shard count partitions pass-2 work but must never leak into the output:
+// entries, scores and raw arena contents must be byte-identical to the serial
+// builder for every (shard, thread) combination, including S=1 (everything in
+// one shard), a prime S, and S well above the pool width.
+TEST(SimilarityDeterminismSharded, ShardCountNeverChangesOutput) {
+  for (const WeightedGraph& graph : {er_graph(), barbell_graph()}) {
+    const SimilarityMap serial = build_similarity_map(graph);
+    const std::vector<std::uint64_t> expected = serialize(serial);
+    ASSERT_FALSE(expected.empty());
+    for (std::size_t shards : {1u, 7u, 64u}) {
+      for (std::size_t threads : {1u, 2u, 8u}) {
+        parallel::ThreadPool pool(threads);
+        SimilarityMapOptions options;
+        options.shard_count = shards;
+        const SimilarityMap map =
+            build_similarity_map_parallel(graph, pool, nullptr, options);
+        EXPECT_EQ(serialize(map), expected)
+            << "shards=" << shards << " threads=" << threads;
+        // The CSR arenas themselves must also lay out identically: the same
+        // slices at the same offsets, not just equal per-entry views.
+        ASSERT_EQ(map.entries.size(), serial.entries.size());
+        for (std::size_t i = 0; i < serial.entries.size(); ++i) {
+          EXPECT_EQ(map.entries[i].offset, serial.entries[i].offset);
+        }
+        EXPECT_EQ(map.common_arena, serial.common_arena);
+        ASSERT_EQ(map.pair_arena.size(), serial.pair_arena.size());
+        for (std::size_t i = 0; i < serial.pair_arena.size(); ++i) {
+          EXPECT_EQ(map.pair_arena[i].first, serial.pair_arena[i].first);
+          EXPECT_EQ(map.pair_arena[i].second, serial.pair_arena[i].second);
+        }
+      }
+    }
+  }
+}
+
+// sort_by_score's radix path (taken for keys_sorted maps on pools > 1 thread)
+// must produce the exact permutation of the comparison path. ER(300, 0.1)
+// yields well over the 4096-entry serial cutoff, so the radix passes really
+// run; heavy score ties come from the graph's many structurally equivalent
+// pairs.
+TEST(SimilaritySortByScore, RadixPathMatchesComparisonPath) {
+  const WeightedGraph graph =
+      graph::erdos_renyi(300, 0.1, {17, graph::WeightPolicy::kUniform});
+  SimilarityMap reference = build_similarity_map(graph);
+  ASSERT_GT(reference.key_count(), 4096u);
+  reference.sort_by_score();  // serial comparison sort
+  const std::vector<std::uint64_t> expected = serialize(reference);
+  for (std::size_t threads : {2u, 8u}) {
+    parallel::ThreadPool pool(threads);
+    SimilarityMap map = build_similarity_map_parallel(graph, pool);
+    ASSERT_TRUE(map.keys_sorted());
+    map.sort_by_score(&pool);  // radix path
+    EXPECT_EQ(serialize(map), expected) << "threads=" << threads;
+  }
+}
+
 TEST(SimilarityArena, ParallelEntriesMatchSerialReferenceExactly) {
   const WeightedGraph graph = er_graph();
   const SimilarityMap serial = build_similarity_map(graph);

@@ -191,5 +191,130 @@ TEST(ParallelSort, MoreThreadsThanDistinctBlocks) {
   EXPECT_EQ(values, expected);
 }
 
+TEST(ParallelForBlocks, MinGrainCapsBlockCount) {
+  ThreadPool pool(8);
+  std::atomic<int> blocks{0};
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for_blocks(
+      pool, 100,
+      [&](std::size_t begin, std::size_t end) {
+        blocks.fetch_add(1);
+        for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      },
+      /*min_grain=*/50);
+  // 100 items / grain 50 = at most 2 blocks instead of 8, full coverage kept.
+  EXPECT_LE(blocks.load(), 2);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForBlocks, MinGrainLargerThanRangeStillRuns) {
+  ThreadPool pool(4);
+  std::atomic<int> blocks{0};
+  std::atomic<int> covered{0};
+  parallel_for_blocks(
+      pool, 10,
+      [&](std::size_t begin, std::size_t end) {
+        blocks.fetch_add(1);
+        covered.fetch_add(static_cast<int>(end - begin));
+      },
+      /*min_grain=*/1000);
+  EXPECT_EQ(blocks.load(), 1);
+  EXPECT_EQ(covered.load(), 10);
+}
+
+// A payload the radix sort must carry along with its key, with enough
+// adversarial structure to catch stability bugs: many duplicate keys whose
+// payloads record the original position.
+struct KeyedItem {
+  std::uint64_t key = 0;
+  std::uint32_t tag = 0;
+  bool operator==(const KeyedItem&) const = default;
+};
+
+std::vector<KeyedItem> stable_sorted(std::vector<KeyedItem> items) {
+  std::stable_sort(items.begin(), items.end(),
+                   [](const KeyedItem& a, const KeyedItem& b) { return a.key < b.key; });
+  return items;
+}
+
+TEST(ParallelRadixSort, MatchesStableSortOnRandomKeys) {
+  std::mt19937_64 rng(31);
+  std::vector<KeyedItem> input(20000);
+  for (std::uint32_t i = 0; i < input.size(); ++i) {
+    input[i] = {rng(), i};  // full 64-bit keys: all 8 passes are non-trivial
+  }
+  const std::vector<KeyedItem> expected = stable_sorted(input);
+  for (std::size_t threads : {1u, 2u, 3u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<KeyedItem> items = input;
+    parallel_radix_sort(pool, items, [](const KeyedItem& it) { return it.key; });
+    EXPECT_EQ(items, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelRadixSort, AllEqualKeysPreserveInputOrder) {
+  // Every pass is trivial (one bucket holds everything): the sort must be the
+  // identity permutation, not merely *a* valid order.
+  std::vector<KeyedItem> input(10000);
+  for (std::uint32_t i = 0; i < input.size(); ++i) input[i] = {42, i};
+  const std::vector<KeyedItem> expected = input;
+  ThreadPool pool(8);
+  std::vector<KeyedItem> items = input;
+  parallel_radix_sort(pool, items, [](const KeyedItem& it) { return it.key; });
+  EXPECT_EQ(items, expected);
+}
+
+TEST(ParallelRadixSort, AdversarialTiesMatchStableSort) {
+  // Keys collide heavily in every byte: long runs of one key, interleaved
+  // pairs differing only in the top byte, and keys equal to block boundaries
+  // of the 8-way split.
+  std::vector<KeyedItem> input;
+  std::uint32_t tag = 0;
+  for (int run = 0; run < 40; ++run) {
+    const std::uint64_t base = static_cast<std::uint64_t>(run % 3)
+                              << (8 * static_cast<unsigned>(run % 8));
+    for (int i = 0; i < 300; ++i) input.push_back({base, tag++});
+  }
+  std::mt19937_64 rng(77);
+  std::shuffle(input.begin(), input.end(), rng);
+  for (std::uint32_t i = 0; i < input.size(); ++i) input[i].tag = i;  // re-tag post-shuffle
+  const std::vector<KeyedItem> expected = stable_sorted(input);
+  for (std::size_t threads : {2u, 5u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<KeyedItem> items = input;
+    parallel_radix_sort(pool, items, [](const KeyedItem& it) { return it.key; });
+    EXPECT_EQ(items, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelRadixSort, IdenticalOutputAcrossThreadCounts) {
+  std::mt19937_64 rng(13);
+  std::vector<KeyedItem> input(15000);
+  for (std::uint32_t i = 0; i < input.size(); ++i) {
+    input[i] = {rng() % 512, i};  // narrow key range: 7 of 8 passes trivial
+  }
+  ThreadPool pool1(1);
+  std::vector<KeyedItem> reference = input;
+  parallel_radix_sort(pool1, reference, [](const KeyedItem& it) { return it.key; });
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<KeyedItem> items = input;
+    parallel_radix_sort(pool, items, [](const KeyedItem& it) { return it.key; });
+    EXPECT_EQ(items, reference) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelRadixSort, SmallInputFallsBackToSerial) {
+  ThreadPool pool(4);
+  std::vector<KeyedItem> items{{9, 0}, {1, 1}, {9, 2}, {0, 3}};
+  parallel_radix_sort(pool, items, [](const KeyedItem& it) { return it.key; });
+  const std::vector<KeyedItem> expected{{0, 3}, {1, 1}, {9, 0}, {9, 2}};
+  EXPECT_EQ(items, expected);
+
+  std::vector<KeyedItem> empty;
+  parallel_radix_sort(pool, empty, [](const KeyedItem& it) { return it.key; });
+  EXPECT_TRUE(empty.empty());
+}
+
 }  // namespace
 }  // namespace lc::parallel
