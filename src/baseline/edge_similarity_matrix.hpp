@@ -18,17 +18,23 @@
 #include "core/similarity.hpp"
 #include "graph/graph.hpp"
 
+namespace lc {
+class RunContext;  // util/run_context.hpp
+}
+
 namespace lc::baseline {
 
 class EdgeSimilarityMatrix {
  public:
   /// Builds the matrix from the similarity map (incident pairs get their
   /// Tanimoto score; everything else stays 0). Returns nullopt when
-  /// |E| > max_edges.
+  /// |E| > max_edges. `ctx` (optional) is charged for the 4|E|^2-byte matrix
+  /// and polled during the fill; a pending stop unwinds via lc::StoppedError.
   static std::optional<EdgeSimilarityMatrix> build(const graph::WeightedGraph& graph,
                                                    const core::SimilarityMap& map,
                                                    const core::EdgeIndex& index,
-                                                   std::size_t max_edges = 12000);
+                                                   std::size_t max_edges = 12000,
+                                                   lc::RunContext* ctx = nullptr);
 
   [[nodiscard]] std::size_t size() const { return n_; }
 

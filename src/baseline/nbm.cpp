@@ -4,6 +4,8 @@
 
 #include "core/dsu.hpp"
 #include "util/check.hpp"
+#include "util/fault_inject.hpp"
+#include "util/run_context.hpp"
 
 namespace lc::baseline {
 
@@ -17,7 +19,11 @@ NbmResult nbm_cluster(const EdgeSimilarityMatrix& matrix, const NbmOptions& opti
     return result;
   }
 
-  // Working copy of the matrix rows (mutated by max-merging).
+  // Working copy of the matrix rows (mutated by max-merging); released when
+  // clustering finishes.
+  LC_FAULT_POINT("baseline.nbm");
+  MemoryCharge copy_charge(options.ctx, EdgeSimilarityMatrix::predicted_bytes(n),
+                           "baseline.nbm_copy");
   EdgeSimilarityMatrix sim = matrix;
 
   std::vector<bool> active(n, true);
@@ -45,6 +51,9 @@ NbmResult nbm_cluster(const EdgeSimilarityMatrix& matrix, const NbmOptions& opti
 
   std::uint32_t level = 0;
   for (std::size_t step = 0; step + 1 < n; ++step) {
+    // Each step is already an O(|E|) chunk of work: poll once per step so a
+    // stop lands within one row scan.
+    check_stop(options.ctx);
     // Find the globally best pair via the NBM array (O(n)).
     std::size_t i = n;
     float best_sim = -1.0f;

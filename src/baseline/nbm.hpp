@@ -13,6 +13,10 @@
 #include "baseline/edge_similarity_matrix.hpp"
 #include "core/dendrogram.hpp"
 
+namespace lc {
+class RunContext;  // util/run_context.hpp
+}
+
 namespace lc::baseline {
 
 struct NbmOptions {
@@ -20,6 +24,10 @@ struct NbmOptions {
   /// link communities). The paper's baseline builds the full dendrogram; the
   /// sweep algorithm never produces the zero merges, so tests set this.
   bool stop_at_zero = false;
+  /// Optional cooperative run control (not owned): polled once per merge
+  /// step (each step is an O(|E|) scan) and charged for the working matrix
+  /// copy; a pending stop unwinds via lc::StoppedError.
+  lc::RunContext* ctx = nullptr;
 };
 
 struct NbmResult {

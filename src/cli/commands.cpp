@@ -1,10 +1,12 @@
 #include "cli/commands.hpp"
 
+#include <chrono>
 #include <fstream>
 #include <map>
 #include <ostream>
 #include <set>
 #include <string>
+#include <utility>
 
 #include "core/dendrogram_io.hpp"
 #include "core/link_clusterer.hpp"
@@ -17,6 +19,8 @@
 #include "text/corpus.hpp"
 #include "text/tokenizer.hpp"
 #include "util/cli.hpp"
+#include "util/run_context.hpp"
+#include "util/status.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -70,6 +74,8 @@ int cmd_cluster(int argc, const char* const* argv, std::ostream& out, std::ostre
   flags.add_int("seed", 42, "edge enumeration seed");
   flags.add_string("newick", "", "write the dendrogram as Newick to this path");
   flags.add_string("merges", "", "write the merge list to this path");
+  flags.add_int("deadline-ms", 0, "abort the run after this many milliseconds (0 = off)");
+  flags.add_int("max-memory-mb", 0, "major-allocation budget in MiB (0 = off)");
   if (!flags.parse(argc, argv) || flags.get_string("input").empty()) {
     err << "usage: linkcluster cluster --input graph.edges [--mode fine|coarse] ...\n";
     return 1;
@@ -89,7 +95,29 @@ int cmd_cluster(int argc, const char* const* argv, std::ostream& out, std::ostre
   config.coarse.gamma = flags.get_double("gamma");
   config.coarse.phi = static_cast<std::size_t>(flags.get_int("phi"));
   config.coarse.delta0 = static_cast<std::uint64_t>(std::max<std::int64_t>(1, flags.get_int("delta0")));
-  const core::ClusterResult result = core::LinkClusterer(config).cluster(*graph);
+
+  RunContext ctx;
+  const std::int64_t deadline_ms = flags.get_int("deadline-ms");
+  const std::int64_t max_memory_mb = flags.get_int("max-memory-mb");
+  if (deadline_ms > 0) ctx.set_deadline_after(std::chrono::milliseconds(deadline_ms));
+  if (max_memory_mb > 0) {
+    ctx.set_memory_budget(static_cast<std::uint64_t>(max_memory_mb) * 1024 * 1024);
+  }
+  if (deadline_ms > 0 || max_memory_mb > 0) config.ctx = &ctx;
+
+  StatusOr<core::ClusterResult> run = core::LinkClusterer(config).run(*graph);
+  if (!run.ok()) {
+    err << "error: " << run.status().to_string() << "\n";
+    switch (run.status().code()) {
+      case StatusCode::kCancelled:
+      case StatusCode::kDeadlineExceeded:
+      case StatusCode::kResourceExhausted:
+        return 3;  // the run was stopped, not broken
+      default:
+        return 2;
+    }
+  }
+  const core::ClusterResult result = std::move(run).value();
 
   out << "edges clustered: " << graph->edge_count() << "\n";
   out << "K1 = " << with_commas(result.k1) << ", K2 = " << with_commas(result.k2) << "\n";

@@ -5,6 +5,7 @@
 //   linkcluster cluster     --input graph.edges [--mode fine|coarse]
 //                           [--threads N] [--gamma G --phi P --delta0 D]
 //                           [--newick tree.nwk] [--merges merges.txt]
+//                           [--deadline-ms MS] [--max-memory-mb MB]
 //   linkcluster communities --input graph.edges [--top N]
 //   linkcluster generate    --type er|ba|ws|complete|regular [--n N] [--p P]
 //                           [--k K] [--attach A] [--seed S] --output graph.edges
@@ -17,8 +18,9 @@
 namespace lc::cli {
 
 /// Dispatches argv[1] as the subcommand. Returns a process exit code
-/// (0 success, 1 usage error, 2 runtime failure). All human output goes to
-/// `out`, errors to `err`.
+/// (0 success, 1 usage error, 2 runtime failure, 3 run stopped by
+/// cancellation / deadline / memory budget). All human output goes to `out`,
+/// errors to `err`.
 int run_command(int argc, const char* const* argv, std::ostream& out, std::ostream& err);
 
 /// Prints the top-level usage text.

@@ -5,6 +5,8 @@
 
 #include "core/cluster_array.hpp"
 #include "util/check.hpp"
+#include "util/fault_inject.hpp"
+#include "util/run_context.hpp"
 
 namespace lc::core {
 namespace {
@@ -72,7 +74,8 @@ double rollback_estimate(std::uint64_t xi_prev2, std::size_t beta_prev2, bool ha
 
 CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
                           const EdgeIndex& index, const CoarseOptions& options,
-                          parallel::ThreadPool* pool, sim::WorkLedger* ledger) {
+                          parallel::ThreadPool* pool, sim::WorkLedger* ledger,
+                          lc::RunContext* ctx) {
   LC_CHECK_MSG(index.size() == graph.edge_count(), "edge index must match the graph");
   LC_CHECK_MSG(options.gamma >= 1.0, "gamma must be >= 1");
   LC_CHECK_MSG(options.delta0 >= 1, "initial chunk size must be positive");
@@ -110,13 +113,35 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
   std::vector<ChunkPair> chunk_pairs;
   std::vector<ClusterArray> copies;
 
+  // Every saved rollback state owns one |E|-sized C snapshot; the budget is
+  // charged on push and released on evict / reuse / return.
+  const std::uint64_t snapshot_bytes =
+      static_cast<std::uint64_t>(edge_count) * sizeof(EdgeIdx);
+  std::size_t snapshots_charged = 0;
+  auto charge_snapshot = [&] {
+    if (ctx != nullptr) {
+      LC_FAULT_POINT("coarse.snapshot");
+      ctx->charge_memory(snapshot_bytes, "coarse.rollback_snapshot");
+      ++snapshots_charged;
+    }
+  };
+  auto release_snapshot = [&] {
+    if (ctx != nullptr && snapshots_charged > 0) {
+      ctx->release_memory(snapshot_bytes);
+      --snapshots_charged;
+    }
+  };
+
   if (ledger != nullptr) ledger->begin_phase("sweep.coarse");
 
   // Applies the collected chunk to `clusters`, serial or §VI-B parallel.
   auto apply_chunk = [&](const std::vector<ChunkPair>& pairs) {
     if (pool == nullptr || threads == 1 || pairs.size() < 2 * threads) {
+      LC_FAULT_POINT("coarse.apply");
+      PollTicker ticker(ctx);
       std::uint64_t work = 0;
       for (const ChunkPair& pair : pairs) {
+        ticker.checkpoint();
         work += clusters.merge(pair.a, pair.b).visited;
       }
       result.stats.pairs_processed += pairs.size();
@@ -124,6 +149,11 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
       return;
     }
     // T private copies of C; each thread merges one partition of the chunk.
+    // The copies dominate the parallel chunk's transient footprint; released
+    // when the chunk finishes (the backing capacity is reused but the
+    // high-water model charges each chunk afresh).
+    MemoryCharge copies_charge(
+        ctx, static_cast<std::uint64_t>(threads) * snapshot_bytes, "coarse.copies");
     copies.clear();
     copies.reserve(threads);
     const std::vector<EdgeIdx> base = clusters.snapshot();
@@ -137,8 +167,11 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
       std::vector<std::function<void()>> tasks;
       for (std::size_t t = 0; t < threads; ++t) {
         tasks.push_back([&, t] {
+          LC_FAULT_POINT("coarse.apply");
+          PollTicker ticker(ctx);
           std::uint64_t work = 0;
           for (std::size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
+            ticker.checkpoint();
             work += copies[t].merge(pairs[i].a, pairs[i].b).visited;
           }
           if (ledger != nullptr) ledger->add_work(t, work);
@@ -209,6 +242,8 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
   };
 
   while (p < entry_count && beta > options.phi) {
+    check_stop(ctx);
+    LC_FAULT_POINT("coarse.chunk");
     // ---- Collect and process one chunk. At least one entry always enters
     // the chunk so the sweep makes progress even when delta < |l|.
     const std::uint64_t target_end =
@@ -217,10 +252,12 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
     double last_score = map.entries[p].score;
     chunk_pairs.clear();
     std::size_t entries_consumed = 0;
+    PollTicker collect_ticker(ctx);
     while (p < entry_count) {
       const SimilarityEntry& entry = map.entries[p];
       const std::uint64_t l = entry.count;
       if (entries_consumed > 0 && xi + l >= target_end) break;
+      collect_ticker.checkpoint(1 + l);
       for (const EdgePairRef& pair : map.pairs(entry)) {
         chunk_pairs.push_back(
             ChunkPair{index.index_of(pair.first), index.index_of(pair.second)});
@@ -248,7 +285,9 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
       if (options.rollback_capacity > 0) {
         if (rollback_list.size() >= options.rollback_capacity) {
           rollback_list.erase(rollback_list.begin());  // evict the oldest
+          release_snapshot();
         }
+        charge_snapshot();
         rollback_list.push_back(Snapshot{clusters.snapshot(), beta_new, xi, p});
       }
       result.epochs.push_back(
@@ -291,6 +330,7 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
       Snapshot jump = std::move(rollback_list[best]);
       rollback_list.erase(rollback_list.begin() +
                           static_cast<std::ptrdiff_t>(best));
+      release_snapshot();
       clusters.restore(jump.c);
       const std::uint64_t chunk_jump = jump.xi - xi;
       xi = jump.xi;
@@ -343,6 +383,8 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
       // else: keep the current delta (no decreasing trend to extrapolate).
     }
   }
+
+  while (snapshots_charged > 0) release_snapshot();
 
   result.final_labels = clusters.root_labels();
   result.stats.c_accesses = clusters.accesses();

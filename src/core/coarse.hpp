@@ -46,6 +46,10 @@
 #include "parallel/thread_pool.hpp"
 #include "sim/work_ledger.hpp"
 
+namespace lc {
+class RunContext;  // util/run_context.hpp
+}
+
 namespace lc::core {
 
 struct CoarseOptions {
@@ -96,10 +100,13 @@ struct CoarseResult {
 /// Runs coarse-grained sweeping. `map` must be sorted. With a non-null
 /// `pool`, chunks are processed with pool->thread_count() threads (§VI-B);
 /// `ledger` (optional, requires pool) records per-round work for simulated
-/// scaling.
+/// scaling. `ctx` (optional, not owned) is polled at chunk granularity and
+/// charged for the per-thread C copies and rollback snapshots; a pending
+/// stop unwinds via lc::StoppedError. Null has zero effect on the result.
 CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
                           const EdgeIndex& index, const CoarseOptions& options = {},
                           parallel::ThreadPool* pool = nullptr,
-                          sim::WorkLedger* ledger = nullptr);
+                          sim::WorkLedger* ledger = nullptr,
+                          lc::RunContext* ctx = nullptr);
 
 }  // namespace lc::core

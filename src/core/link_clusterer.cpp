@@ -1,6 +1,10 @@
 #include "core/link_clusterer.hpp"
 
+#include <limits>
+#include <new>
+
 #include "util/check.hpp"
+#include "util/run_context.hpp"
 #include "util/stopwatch.hpp"
 
 namespace lc::core {
@@ -20,26 +24,32 @@ ClusterResult LinkClusterer::cluster(const graph::WeightedGraph& graph) const {
 
   Stopwatch watch;
   SimilarityMap map;
-  const SimilarityMapOptions map_options{config_.map_kind, config_.measure};
+  SimilarityMapOptions map_options{config_.map_kind, config_.measure};
+  map_options.ctx = config_.ctx;
   if (pool != nullptr) {
     map = build_similarity_map_parallel(graph, *pool, config_.ledger, map_options);
   } else {
     map = build_similarity_map(graph, map_options);
   }
+  check_stop(config_.ctx);
   map.sort_by_score(pool.get());  // pool-parallel merge sort when threads > 1
   result.timings.initialization_seconds = watch.lap();
   result.k1 = map.key_count();
   result.k2 = map.incident_pair_count();
 
+  check_stop(config_.ctx);
   if (config_.mode == ClusterMode::kFine) {
-    SweepResult sweep_result = sweep(graph, map, result.edge_index);
+    SweepResult sweep_result =
+        sweep(graph, map, result.edge_index, {},
+              -std::numeric_limits<double>::infinity(), config_.ctx);
     result.timings.sweeping_seconds = watch.lap();
     result.dendrogram = std::move(sweep_result.dendrogram);
     result.final_labels = std::move(sweep_result.final_labels);
     result.stats = sweep_result.stats;
   } else {
-    CoarseResult coarse_result = coarse_sweep(graph, map, result.edge_index,
-                                              config_.coarse, pool.get(), config_.ledger);
+    CoarseResult coarse_result =
+        coarse_sweep(graph, map, result.edge_index, config_.coarse, pool.get(),
+                     config_.ledger, config_.ctx);
     result.timings.sweeping_seconds = watch.lap();
     result.dendrogram = coarse_result.dendrogram;  // copy; full detail kept below
     result.final_labels = coarse_result.final_labels;
@@ -47,6 +57,18 @@ ClusterResult LinkClusterer::cluster(const graph::WeightedGraph& graph) const {
     result.coarse = std::move(coarse_result);
   }
   return result;
+}
+
+StatusOr<ClusterResult> LinkClusterer::run(const graph::WeightedGraph& graph) const {
+  try {
+    return cluster(graph);
+  } catch (const StoppedError& stopped) {
+    return stopped.status();
+  } catch (const std::bad_alloc&) {
+    return Status::resource_exhausted("allocation failed");
+  } catch (const std::exception& error) {
+    return Status::internal(error.what());
+  }
 }
 
 }  // namespace lc::core

@@ -21,6 +21,11 @@
 #include "core/sweep.hpp"
 #include "graph/graph.hpp"
 #include "sim/work_ledger.hpp"
+#include "util/status.hpp"
+
+namespace lc {
+class RunContext;  // util/run_context.hpp
+}
 
 namespace lc::core {
 
@@ -59,13 +64,25 @@ class LinkClusterer {
     PairMapKind map_kind = PairMapKind::kHash;
     SimilarityMeasure measure = SimilarityMeasure::kTanimoto;
     sim::WorkLedger* ledger = nullptr;  ///< optional work accounting (not owned)
+    /// Optional cooperative run control (not owned): cancellation, deadline,
+    /// and memory budget (see util/run_context.hpp). Checked at chunk
+    /// granularity in both phases; null = uncontrolled.
+    lc::RunContext* ctx = nullptr;
   };
 
   LinkClusterer();
   explicit LinkClusterer(Config config);
 
-  /// Clusters the edges of `graph`.
+  /// Clusters the edges of `graph`. A pending stop on Config::ctx unwinds as
+  /// lc::StoppedError; prefer run() unless the caller owns the try/catch.
   [[nodiscard]] ClusterResult cluster(const graph::WeightedGraph& graph) const;
+
+  /// cluster() behind the run boundary: every recoverable failure — a cancel
+  /// request, a missed deadline, an exceeded memory budget, an allocation
+  /// failure, or an exception escaping a worker task — comes back as a
+  /// non-OK Status instead of unwinding into the caller. Programming errors
+  /// still abort via LC_CHECK.
+  [[nodiscard]] StatusOr<ClusterResult> run(const graph::WeightedGraph& graph) const;
 
   [[nodiscard]] const Config& config() const { return config_; }
 

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/fault_inject.hpp"
+#include "util/run_context.hpp"
 
 namespace lc::core {
 namespace {
@@ -207,9 +209,12 @@ std::size_t expected_key_count(const WeightedGraph& graph, std::uint64_t k2) {
 /// is that round-robin assignment balances the heavily skewed per-vertex
 /// costs of the word graphs (hub vertices cluster at low ids).
 void pass1_range(const WeightedGraph& graph, std::size_t start, std::size_t stride,
-                 std::vector<double>& h1, std::vector<double>& h2) {
+                 std::vector<double>& h1, std::vector<double>& h2, RunContext* ctx) {
+  LC_FAULT_POINT("sim.pass1");
+  PollTicker ticker(ctx);
   const std::size_t end = graph.vertex_count();
   for (std::size_t i = start; i < end; i += stride) {
+    ticker.checkpoint();
     const auto v = static_cast<VertexId>(i);
     const std::span<const double> weights = graph.neighbor_weights(v);
     if (weights.empty()) continue;  // isolated vertex: H1 = H2 = 0
@@ -230,11 +235,15 @@ void pass1_range(const WeightedGraph& graph, std::size_t start, std::size_t stri
 /// ids — neighbor_edge_ids(i) is parallel to neighbors(i), so the pair
 /// (e_uk, e_vk) that the sweep will merge is available for free here, where
 /// find_edge would later have to binary-search for it.
-void pass2_build(const WeightedGraph& graph, BuildMap& map, std::vector<Contrib>& contribs) {
+void pass2_build(const WeightedGraph& graph, BuildMap& map, std::vector<Contrib>& contribs,
+                 RunContext* ctx) {
+  LC_FAULT_POINT("sim.pass2.serial");
+  PollTicker ticker(ctx);
   const std::size_t end = graph.vertex_count();
   for (std::size_t vi = 0; vi < end; ++vi) {
     const auto i = static_cast<VertexId>(vi);
     const std::span<const VertexId> adj = graph.neighbors(i);
+    ticker.checkpoint(1 + adj.size());
     const std::span<const double> weights = graph.neighbor_weights(i);
     const std::span<const EdgeId> eids = graph.neighbor_edge_ids(i);
     const std::size_t d = adj.size();
@@ -303,7 +312,7 @@ template <typename ContribT>
 SimilarityMap assemble_map(const WeightedGraph& graph, std::vector<BuildEntry>& build_entries,
                            const ContribT* contribs, const std::vector<double>& h2,
                            SimilarityMeasure measure, parallel::ThreadPool* pool,
-                           sim::WorkLedger* ledger) {
+                           sim::WorkLedger* ledger, RunContext* ctx) {
   SimilarityMap out;
   const std::size_t k1 = build_entries.size();
   out.entries.resize(k1);
@@ -313,12 +322,22 @@ SimilarityMap assemble_map(const WeightedGraph& graph, std::vector<BuildEntry>& 
     offsets[i] = total;
     total += build_entries[i].count;
   }
+  // The CSR arenas live on in the result: their charge is committed (never
+  // released by this function) so a budget covers the run's output too.
+  MemoryCharge arena_charge(
+      ctx,
+      k1 * sizeof(SimilarityEntry) +
+          total * (sizeof(graph::VertexId) + sizeof(EdgePairRef)),
+      "sim.arenas");
+  arena_charge.commit();
   out.common_arena.resize(total);
   out.pair_arena.resize(total);
 
   if (pool == nullptr) {
+    PollTicker ticker(ctx);
     std::vector<double> products;
     for (std::size_t i = 0; i < k1; ++i) {
+      ticker.checkpoint(1 + build_entries[i].count);
       fill_entry(build_entries[i], offsets[i], contribs, graph, h2, measure, products,
                  out, out.entries[i]);
     }
@@ -331,9 +350,12 @@ SimilarityMap assemble_map(const WeightedGraph& graph, std::vector<BuildEntry>& 
     std::vector<std::function<void()>> tasks;
     for (std::size_t t = 0; t < t_count; ++t) {
       tasks.push_back([&, t] {
+        LC_FAULT_POINT("sim.assemble");
+        PollTicker ticker(ctx);
         std::vector<double> products;
         std::uint64_t work = 0;
         for (std::size_t i = t; i < k1; i += t_count) {
+          ticker.checkpoint(1 + build_entries[i].count);
           fill_entry(build_entries[i], offsets[i], contribs, graph, h2, measure,
                      products, out, out.entries[i]);
           work += 1 + build_entries[i].count;
@@ -359,9 +381,12 @@ bool by_pair_key(const BuildEntry& a, const BuildEntry& b) {
 /// Returns edges matched.
 std::uint64_t pass3_sorted(const WeightedGraph& graph, std::size_t start, std::size_t stride,
                            const std::vector<double>& h1,
-                           std::vector<BuildEntry>& entries) {
+                           std::vector<BuildEntry>& entries, RunContext* ctx) {
+  LC_FAULT_POINT("sim.pass3");
+  PollTicker ticker(ctx);
   std::uint64_t work = 0;
   for (const graph::Edge& e : graph.edges()) {
+    ticker.checkpoint();
     if (e.u % stride != start) continue;
     const std::uint64_t key = pair_key(e.u, e.v);
     const auto it = std::lower_bound(entries.begin(), entries.end(), key,
@@ -417,7 +442,7 @@ std::size_t auto_shard_count(std::uint64_t k2, std::size_t t_count) {
 SimilarityMap build_sharded(const WeightedGraph& graph, const std::vector<double>& h1,
                             const std::vector<double>& h2, SimilarityMeasure measure,
                             parallel::ThreadPool& pool, sim::WorkLedger* ledger,
-                            std::size_t shard_count) {
+                            std::size_t shard_count, RunContext* ctx) {
   const std::size_t n = graph.vertex_count();
   const std::size_t t_count = pool.thread_count();
   const std::uint64_t k2 = count_pairs_slice(graph, 0, 1);
@@ -445,12 +470,15 @@ SimilarityMap build_sharded(const WeightedGraph& graph, const std::vector<double
     std::vector<std::function<void()>> tasks;
     for (std::size_t t = 0; t < t_count; ++t) {
       tasks.push_back([&, t] {
+        LC_FAULT_POINT("sim.pass2.count");
+        PollTicker ticker(ctx);
         std::vector<std::uint32_t>& counts = cursors[t];
         counts.assign(s_count, 0);
         std::uint64_t work = 0;
         for (std::size_t vi = vertex_bounds[t]; vi < vertex_bounds[t + 1]; ++vi) {
           const std::span<const VertexId> adj = graph.neighbors(static_cast<VertexId>(vi));
           const std::size_t d = adj.size();
+          ticker.checkpoint(1 + d);
           for (std::size_t a = 0; a < d; ++a) {
             for (std::size_t b = a + 1; b < d; ++b) {
               ++counts[shard_of(pair_key(adj[a], adj[b]), s_count)];
@@ -481,6 +509,12 @@ SimilarityMap build_sharded(const WeightedGraph& graph, const std::vector<double
     shard_start[s_count] = offset;
     LC_DCHECK(offset == k2);
   }
+  // The staging arena is the build's dominant transient allocation (K2
+  // tuples); its charge is released when this function returns and the arena
+  // dies.
+  LC_FAULT_POINT("sim.staging.alloc");
+  MemoryCharge staging_charge(ctx, static_cast<std::uint64_t>(k2) * sizeof(ShardContrib),
+                              "sim.staging");
   std::unique_ptr<ShardContrib[]> staging(new ShardContrib[static_cast<std::size_t>(k2)]);
 
   // Fill pass: re-walk the same vertex blocks, emitting each tuple at its
@@ -494,6 +528,8 @@ SimilarityMap build_sharded(const WeightedGraph& graph, const std::vector<double
     std::vector<std::function<void()>> tasks;
     for (std::size_t t = 0; t < t_count; ++t) {
       tasks.push_back([&, t] {
+        LC_FAULT_POINT("sim.pass2.fill");
+        PollTicker ticker(ctx);
         std::vector<std::uint32_t>& cursor = cursors[t];
         std::uint64_t work = 0;
         for (std::size_t vi = vertex_bounds[t]; vi < vertex_bounds[t + 1]; ++vi) {
@@ -502,6 +538,7 @@ SimilarityMap build_sharded(const WeightedGraph& graph, const std::vector<double
           const std::span<const double> weights = graph.neighbor_weights(i);
           const std::span<const EdgeId> eids = graph.neighbor_edge_ids(i);
           const std::size_t d = adj.size();
+          ticker.checkpoint(1 + d);
           for (std::size_t a = 0; a < d; ++a) {
             for (std::size_t b = a + 1; b < d; ++b) {
               const std::uint64_t key = pair_key(adj[a], adj[b]);
@@ -560,10 +597,13 @@ SimilarityMap build_sharded(const WeightedGraph& graph, const std::vector<double
     std::vector<std::function<void()>> tasks;
     for (std::size_t t = 0; t < t_count; ++t) {
       tasks.push_back([&, t] {
+        LC_FAULT_POINT("sim.pass2.shard");
+        PollTicker ticker(ctx);
         PairTable& table = group_tables[t];
         std::vector<BuildEntry>& entries = group_entries[t];
         std::uint64_t work = 0;
         for (std::size_t s = shard_bounds[t]; s < shard_bounds[t + 1]; ++s) {
+          ticker.checkpoint(1 + (shard_start[s + 1] - shard_start[s]));
           table.reset(shard_start[s + 1] - shard_start[s]);
           for (std::uint32_t i = shard_start[s]; i < shard_start[s + 1]; ++i) {
             ShardContrib& c = staging[i];
@@ -634,14 +674,14 @@ SimilarityMap build_sharded(const WeightedGraph& graph, const std::vector<double
     for (std::size_t t = 0; t < t_count; ++t) {
       tasks.push_back([&, t] {
         const std::uint64_t work =
-            pass3_sorted(graph, t, t_count, h1, entries) + graph.edge_count();
+            pass3_sorted(graph, t, t_count, h1, entries, ctx) + graph.edge_count();
         if (ledger != nullptr) ledger->add_work(t, work);
       });
     }
     pool.run_batch(tasks);
   }
 
-  return assemble_map(graph, entries, staging.get(), h2, measure, &pool, ledger);
+  return assemble_map(graph, entries, staging.get(), h2, measure, &pool, ledger, ctx);
 }
 
 /// Flat strategy tuple: one per incident pair, sorted by (key, common) so
@@ -662,10 +702,13 @@ bool by_key_then_common(const FlatTuple& a, const FlatTuple& b) {
 /// Emits the pass-2 tuples of one strided vertex slice into tuples[out..].
 std::uint64_t emit_tuples_slice(const WeightedGraph& graph, std::size_t start,
                                 std::size_t stride, std::vector<FlatTuple>& tuples,
-                                std::size_t out) {
+                                std::size_t out, RunContext* ctx) {
+  LC_FAULT_POINT("sim.flat.emit");
+  PollTicker ticker(ctx);
   std::uint64_t work = 0;
   const std::size_t end = graph.vertex_count();
   for (std::size_t vi = start; vi < end; vi += stride) {
+    ticker.checkpoint(1 + graph.degree(static_cast<VertexId>(vi)));
     const auto i = static_cast<VertexId>(vi);
     const std::span<const VertexId> adj = graph.neighbors(i);
     const std::span<const double> weights = graph.neighbor_weights(i);
@@ -687,7 +730,8 @@ std::uint64_t emit_tuples_slice(const WeightedGraph& graph, std::size_t start,
 /// all run on the pool.
 SimilarityMap build_flat(const WeightedGraph& graph, const std::vector<double>& h1,
                          const std::vector<double>& h2, SimilarityMeasure measure,
-                         parallel::ThreadPool* pool, sim::WorkLedger* ledger) {
+                         parallel::ThreadPool* pool, sim::WorkLedger* ledger,
+                         RunContext* ctx) {
   const std::size_t t_count = (pool == nullptr) ? 1 : pool->thread_count();
   std::vector<std::uint64_t> slice_sizes(t_count);
   for (std::size_t t = 0; t < t_count; ++t) {
@@ -697,12 +741,18 @@ SimilarityMap build_flat(const WeightedGraph& graph, const std::vector<double>& 
   for (std::size_t t = 0; t < t_count; ++t) {
     slice_offsets[t + 1] = slice_offsets[t] + static_cast<std::size_t>(slice_sizes[t]);
   }
+  // The tuple buffer (and its sort double-buffer, charged by parallel_sort's
+  // caller here as part of the same figure) dominates the flat build's
+  // transient footprint; released when this function returns.
+  MemoryCharge tuple_charge(
+      ctx, static_cast<std::uint64_t>(slice_offsets[t_count]) * sizeof(FlatTuple),
+      "sim.flat.tuples");
   std::vector<FlatTuple> tuples(slice_offsets[t_count]);
 
   // Emission: every slice's size is known exactly, so threads write disjoint
   // contiguous ranges of the shared buffer.
   if (pool == nullptr) {
-    emit_tuples_slice(graph, 0, 1, tuples, 0);
+    emit_tuples_slice(graph, 0, 1, tuples, 0, ctx);
   } else {
     if (ledger != nullptr) {
       ledger->begin_phase("init.pass2.build");
@@ -712,13 +762,14 @@ SimilarityMap build_flat(const WeightedGraph& graph, const std::vector<double>& 
     for (std::size_t t = 0; t < t_count; ++t) {
       tasks.push_back([&, t] {
         const std::uint64_t work =
-            emit_tuples_slice(graph, t, t_count, tuples, slice_offsets[t]);
+            emit_tuples_slice(graph, t, t_count, tuples, slice_offsets[t], ctx);
         if (ledger != nullptr) ledger->add_work(t, work);
       });
     }
     pool->run_batch(tasks);
   }
 
+  check_stop(ctx);
   if (pool == nullptr) {
     std::sort(tuples.begin(), tuples.end(), by_key_then_common);
   } else {
@@ -731,11 +782,21 @@ SimilarityMap build_flat(const WeightedGraph& graph, const std::vector<double>& 
   }
 
   // Cut runs into entries and project the arenas; slices inherit the sorted
-  // tuple order, which is ascending common within each key.
+  // tuple order, which is ascending common within each key. The arenas live
+  // on in the result, so their charge is committed.
+  check_stop(ctx);
   SimilarityMap map;
+  MemoryCharge arena_charge(
+      ctx,
+      static_cast<std::uint64_t>(tuples.size()) *
+          (sizeof(graph::VertexId) + sizeof(EdgePairRef)),
+      "sim.arenas");
+  arena_charge.commit();
   map.common_arena.resize(tuples.size());
   map.pair_arena.resize(tuples.size());
+  PollTicker cut_ticker(ctx);
   for (std::size_t i = 0; i < tuples.size();) {
+    cut_ticker.checkpoint();
     std::size_t j = i;
     while (j < tuples.size() && tuples[j].key == tuples[i].key) ++j;
     SimilarityEntry entry;
@@ -754,7 +815,9 @@ SimilarityMap build_flat(const WeightedGraph& graph, const std::vector<double>& 
   // Score accumulation + pass 3 + finalize, strided over entries. Keys are
   // sorted, so pass 3 binary-searches each edge's key.
   auto sum_scores = [&](std::size_t start, std::size_t stride) {
+    PollTicker ticker(ctx);
     for (std::size_t i = start; i < map.entries.size(); i += stride) {
+      ticker.checkpoint(1 + map.entries[i].count);
       SimilarityEntry& entry = map.entries[i];
       double p = 0.0;
       for (std::size_t k = 0; k < entry.count; ++k) p += tuples[entry.offset + k].product;
@@ -762,8 +825,11 @@ SimilarityMap build_flat(const WeightedGraph& graph, const std::vector<double>& 
     }
   };
   auto pass3_edges = [&](std::size_t start, std::size_t stride) -> std::uint64_t {
+    LC_FAULT_POINT("sim.pass3");
+    PollTicker ticker(ctx);
     std::uint64_t work = 0;
     for (const graph::Edge& e : graph.edges()) {
+      ticker.checkpoint();
       if (e.u % stride != start) continue;
       const std::uint64_t key = pair_key(e.u, e.v);
       const auto it = std::lower_bound(map.entries.begin(), map.entries.end(), key,
@@ -778,7 +844,9 @@ SimilarityMap build_flat(const WeightedGraph& graph, const std::vector<double>& 
     return work;
   };
   auto finalize = [&](std::size_t start, std::size_t stride) {
+    PollTicker ticker(ctx);
     for (std::size_t i = start; i < map.entries.size(); i += stride) {
+      ticker.checkpoint();
       SimilarityEntry& entry = map.entries[i];
       if (measure == SimilarityMeasure::kJaccard) {
         entry.score = jaccard_score(graph, entry.u, entry.v, entry.count);
@@ -890,25 +958,31 @@ const SimilarityEntry* SimilarityMap::find(graph::VertexId u, graph::VertexId v)
 SimilarityMap build_similarity_map(const graph::WeightedGraph& graph,
                                    const SimilarityMapOptions& options) {
   const std::size_t n = graph.vertex_count();
+  RunContext* ctx = options.ctx;
+  check_stop(ctx);
   std::vector<double> h1(n, 0.0);
   std::vector<double> h2(n, 0.0);
-  pass1_range(graph, 0, 1, h1, h2);
+  pass1_range(graph, 0, 1, h1, h2, ctx);
 
   if (options.map_kind == PairMapKind::kFlat) {
-    return build_flat(graph, h1, h2, options.measure, nullptr, nullptr);
+    return build_flat(graph, h1, h2, options.measure, nullptr, nullptr, ctx);
   }
 
   const std::uint64_t k2 = count_pairs_slice(graph, 0, 1);
+  // The contribution store is the serial build's dominant transient
+  // allocation; released when this function returns.
+  MemoryCharge contrib_charge(ctx, k2 * sizeof(Contrib), "sim.contribs");
   BuildMap map(expected_key_count(graph, k2));
   std::vector<Contrib> contribs;
   contribs.reserve(static_cast<std::size_t>(k2));
-  pass2_build(graph, map, contribs);
+  pass2_build(graph, map, contribs, ctx);
+  check_stop(ctx);
   std::sort(map.entries.begin(), map.entries.end(), by_pair_key);
   std::uint64_t matched = 0;
-  matched = pass3_sorted(graph, 0, 1, h1, map.entries);
+  matched = pass3_sorted(graph, 0, 1, h1, map.entries, ctx);
   (void)matched;
   return assemble_map(graph, map.entries, contribs.data(), h2, options.measure, nullptr,
-                      nullptr);
+                      nullptr, ctx);
 }
 
 SimilarityMap build_similarity_map_parallel(const graph::WeightedGraph& graph,
@@ -917,6 +991,8 @@ SimilarityMap build_similarity_map_parallel(const graph::WeightedGraph& graph,
                                             const SimilarityMapOptions& options) {
   const std::size_t n = graph.vertex_count();
   const std::size_t t_count = pool.thread_count();
+  RunContext* ctx = options.ctx;
+  check_stop(ctx);
   std::vector<double> h1(n, 0.0);
   std::vector<double> h2(n, 0.0);
 
@@ -933,18 +1009,19 @@ SimilarityMap build_similarity_map_parallel(const graph::WeightedGraph& graph,
         for (std::size_t v = t; v < n; v += t_count) {
           work += graph.degree(static_cast<VertexId>(v)) + 1;
         }
-        pass1_range(graph, t, t_count, h1, h2);
+        pass1_range(graph, t, t_count, h1, h2, ctx);
         if (ledger != nullptr) ledger->add_work(t, work);
       });
     }
     pool.run_batch(tasks);
   }
 
+  check_stop(ctx);
   if (options.map_kind == PairMapKind::kFlat) {
-    return build_flat(graph, h1, h2, options.measure, &pool, ledger);
+    return build_flat(graph, h1, h2, options.measure, &pool, ledger, ctx);
   }
   return build_sharded(graph, h1, h2, options.measure, pool, ledger,
-                       options.shard_count);
+                       options.shard_count, ctx);
 }
 
 double tanimoto_similarity_bruteforce(const graph::WeightedGraph& graph, graph::VertexId i,

@@ -48,6 +48,10 @@
 #include "parallel/thread_pool.hpp"
 #include "sim/work_ledger.hpp"
 
+namespace lc {
+class RunContext;  // util/run_context.hpp
+}
+
 namespace lc::core {
 
 /// One incident edge pair (e_uk, e_vk), resolved to edge ids during the
@@ -89,6 +93,12 @@ struct SimilarityMapOptions {
   /// and the pool). Any value >= 1 produces byte-identical output — shards
   /// only partition the work, never the result.
   std::size_t shard_count = 0;
+  /// Optional cooperative run control (not owned): cancellation, deadline,
+  /// and memory budget are checked at chunk granularity inside every build
+  /// pass; a pending stop unwinds the build by throwing lc::StoppedError
+  /// (rethrown from worker tasks by the pool). Null = uncontrolled, and the
+  /// build is bitwise-identical to one with an idle context.
+  lc::RunContext* ctx = nullptr;
 };
 
 class SimilarityMap {

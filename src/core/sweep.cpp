@@ -2,12 +2,14 @@
 
 #include "core/cluster_array.hpp"
 #include "util/check.hpp"
+#include "util/fault_inject.hpp"
+#include "util/run_context.hpp"
 
 namespace lc::core {
 
 SweepResult sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
                   const EdgeIndex& index, const PairObserver& observer,
-                  double min_similarity) {
+                  double min_similarity, lc::RunContext* ctx) {
   LC_CHECK_MSG(index.size() == graph.edge_count(), "edge index must match the graph");
   for (std::size_t i = 1; i < map.entries.size(); ++i) {
     LC_CHECK_MSG(map.entries[i - 1].score >= map.entries[i].score,
@@ -20,8 +22,11 @@ SweepResult sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
   std::uint32_t level = 0;
   std::uint64_t ordinal = 0;
 
+  PollTicker ticker(ctx);
   for (const SimilarityEntry& entry : map.entries) {
     if (entry.score < min_similarity) break;  // entries are sorted: all done
+    LC_FAULT_POINT("sweep.entry");
+    ticker.checkpoint(1 + entry.count);
     // The build pre-resolved every incident pair (e_uk, e_vk) into the pair
     // arena, so the hot loop is a flat scan: no graph lookups at all.
     for (const EdgePairRef& pair : map.pairs(entry)) {

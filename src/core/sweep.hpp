@@ -15,6 +15,10 @@
 #include "core/similarity.hpp"
 #include "graph/graph.hpp"
 
+namespace lc {
+class RunContext;  // util/run_context.hpp
+}
+
 namespace lc::core {
 
 struct SweepStats {
@@ -41,8 +45,13 @@ struct SweepResult {
 /// are never processed (an early-stop knob: the resulting partition equals
 /// labels_at_threshold(min_similarity) of a full run, at a fraction of the
 /// cost — the fine-grained cousin of the coarse mode's phi stop).
+///
+/// `ctx` (optional, not owned) is polled at chunk granularity: a pending
+/// cancellation / deadline unwinds the sweep via lc::StoppedError. Null has
+/// zero effect on the result.
 SweepResult sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
                   const EdgeIndex& index, const PairObserver& observer = {},
-                  double min_similarity = -std::numeric_limits<double>::infinity());
+                  double min_similarity = -std::numeric_limits<double>::infinity(),
+                  lc::RunContext* ctx = nullptr);
 
 }  // namespace lc::core

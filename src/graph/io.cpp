@@ -2,6 +2,7 @@
 #include <limits>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <sstream>
@@ -57,7 +58,21 @@ std::optional<WeightedGraph> read_edge_list(std::istream& in, IoResult* result) 
       ++local.lines_skipped;
       continue;
     }
-    if (!(ls >> w)) w = 1.0;
+    if (ls >> w) {
+      // An explicit weight must be finite and positive (inf survives a plain
+      // `w > 0` test; NaN and garbage that parses as 0 must not slip in).
+      if (!std::isfinite(w)) {
+        ++local.lines_skipped;
+        continue;
+      }
+    } else if (!ls.eof()) {
+      // A third token exists but is not a number ("1 2 abc"): the line is
+      // malformed, not an unweighted edge — skip it instead of defaulting.
+      ++local.lines_skipped;
+      continue;
+    } else {
+      w = 1.0;  // no third token: unweighted edge
+    }
     if (u == v || !(w > 0.0)) {
       ++local.lines_skipped;
       continue;

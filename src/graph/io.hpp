@@ -25,7 +25,9 @@ IoResult write_edge_list(const WeightedGraph& graph, const std::string& path);
 IoResult write_edge_list(const WeightedGraph& graph, std::ostream& out);
 
 /// Reads an edge list. Vertex ids may be arbitrary non-negative integers; the
-/// graph is built over max_id + 1 vertices. Malformed lines are counted in
+/// graph is built over max_id + 1 vertices. Malformed lines — unparsable
+/// tokens (including a non-numeric third token), ids over 2^32 - 1,
+/// self-loops, and weights that are not finite and positive — are counted in
 /// lines_skipped rather than failing the whole read.
 std::optional<WeightedGraph> read_edge_list(const std::string& path, IoResult* result = nullptr);
 std::optional<WeightedGraph> read_edge_list(std::istream& in, IoResult* result = nullptr);

@@ -23,14 +23,24 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::run_batch(const std::vector<std::function<void()>>& tasks) {
   if (tasks.empty()) return;
-  std::unique_lock<std::mutex> lock(mutex_);
-  LC_CHECK_MSG(tasks_ == nullptr, "run_batch is not reentrant");
-  tasks_ = &tasks;
-  remaining_ = tasks.size();
-  ++batch_id_;
-  work_ready_.notify_all();
-  batch_done_.wait(lock, [this] { return remaining_ == 0; });
-  tasks_ = nullptr;
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    LC_CHECK_MSG(tasks_ == nullptr, "run_batch is not reentrant");
+    tasks_ = &tasks;
+    remaining_ = tasks.size();
+    batch_error_ = nullptr;
+    batch_abort_.store(false, std::memory_order_relaxed);
+    ++batch_id_;
+    work_ready_.notify_all();
+    batch_done_.wait(lock, [this] { return remaining_ == 0; });
+    tasks_ = nullptr;
+    error = batch_error_;
+    batch_error_ = nullptr;
+  }
+  // Rethrow outside the lock: the first task exception of the batch unwinds
+  // on the calling thread, and the pool is already reset for the next batch.
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop(std::size_t worker_id) {
@@ -53,7 +63,17 @@ void ThreadPool::worker_loop(std::size_t worker_id) {
     // `tasks` stays alive) until every owned index has run.
     std::size_t done = 0;
     for (std::size_t i = worker_id; i < size; i += count_) {
-      (*tasks)[i]();
+      // After a task failure anywhere in the batch, remaining assignments
+      // are skipped (but still counted) so the batch drains quickly.
+      if (!batch_abort_.load(std::memory_order_relaxed)) {
+        try {
+          (*tasks)[i]();
+        } catch (...) {
+          batch_abort_.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> error_lock(mutex_);
+          if (!batch_error_) batch_error_ = std::current_exception();
+        }
+      }
       ++done;
     }
     lock.lock();

@@ -15,9 +15,11 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -36,10 +38,18 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t thread_count() const { return count_; }
 
-  /// Runs all tasks on the pool and blocks until every one has finished.
-  /// Worker w executes tasks w, w + W, ... in index order. Exceptions
-  /// escaping a task terminate (tasks are required to be noexcept in spirit;
-  /// the library's parallel passes never throw).
+  /// Runs all tasks on the pool and blocks until every one has finished or
+  /// the batch failed. Worker w executes tasks w, w + W, ... in index order.
+  ///
+  /// If a task throws, the first exception is captured, the rest of the
+  /// batch is cancelled (workers finish the task they are in, then skip
+  /// their remaining assignments), and the exception is rethrown here on the
+  /// calling thread once every worker has drained. Which exception is
+  /// "first" when several tasks throw concurrently is unspecified; the rest
+  /// are discarded. The pool itself stays healthy: the next run_batch starts
+  /// from a clean slate. This is what lets cooperative cancellation
+  /// (util/run_context.hpp) and worker failures unwind a parallel phase
+  /// instead of calling std::terminate.
   void run_batch(const std::vector<std::function<void()>>& tasks);
 
  private:
@@ -56,6 +66,11 @@ class ThreadPool {
   std::uint64_t batch_id_ = 0;
   std::size_t remaining_ = 0;
   bool shutdown_ = false;
+  // First exception thrown by a task of the current batch (guarded by
+  // mutex_); batch_abort_ is the lock-free "skip the rest" signal workers
+  // read before each task — advisory, so relaxed ordering suffices.
+  std::exception_ptr batch_error_;
+  std::atomic<bool> batch_abort_{false};
 };
 
 /// Splits [0, n) into `parts` contiguous ranges of near-equal size.

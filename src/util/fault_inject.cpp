@@ -1,0 +1,80 @@
+#include "util/fault_inject.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace lc::fault {
+namespace {
+
+// One armed site at a time is all the tests need; the registry stays a
+// handful of globals. g_armed is the lock-free fast-path gate; everything
+// else is guarded by g_mutex (the slow path only runs in fault builds with a
+// fault armed, so the lock is never on a measured path).
+std::atomic<bool> g_armed{false};
+std::mutex g_mutex;
+std::string g_site;                        // NOLINT(runtime/string)
+FaultKind g_kind = FaultKind::kNone;
+std::uint64_t g_skip_remaining = 0;
+std::uint32_t g_sleep_ms = 0;
+std::atomic<std::uint64_t> g_fired{0};
+
+}  // namespace
+
+void arm(std::string_view site, FaultKind kind, std::uint64_t skip_hits,
+         std::uint32_t sleep_ms) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_site.assign(site);
+  g_kind = kind;
+  g_skip_remaining = skip_hits;
+  g_sleep_ms = sleep_ms;
+  g_fired.store(0, std::memory_order_relaxed);
+  g_armed.store(kind != FaultKind::kNone, std::memory_order_release);
+}
+
+void disarm() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_armed.store(false, std::memory_order_release);
+  g_site.clear();
+  g_kind = FaultKind::kNone;
+  g_skip_remaining = 0;
+  g_sleep_ms = 0;
+}
+
+bool any_armed() { return g_armed.load(std::memory_order_acquire); }
+
+std::uint64_t fire_count() { return g_fired.load(std::memory_order_relaxed); }
+
+void maybe_fire(const char* site) {
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  FaultKind kind = FaultKind::kNone;
+  std::uint32_t sleep_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (!g_armed.load(std::memory_order_relaxed) || g_site != site) return;
+    if (g_skip_remaining > 0) {
+      --g_skip_remaining;
+      return;
+    }
+    kind = g_kind;
+    sleep_ms = g_sleep_ms;
+    g_fired.fetch_add(1, std::memory_order_relaxed);
+  }
+  switch (kind) {
+    case FaultKind::kNone:
+      return;
+    case FaultKind::kThrow:
+      throw std::runtime_error(std::string("injected fault at ") + site);
+    case FaultKind::kBadAlloc:
+      throw std::bad_alloc{};
+    case FaultKind::kSleep:
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      return;
+  }
+}
+
+}  // namespace lc::fault

@@ -1,0 +1,58 @@
+// Compile-time-gated fault injection for the robustness tests.
+//
+// LC_FAULT_POINT("site") marks a named site inside a clustering phase. In a
+// normal build the macro expands to nothing — zero code, zero cost. When the
+// library is compiled with -DLC_FAULT_INJECT (CMake option LC_FAULT_INJECT,
+// used by tools/ci_check.sh and the fault-injection ctest), each point calls
+// fault::maybe_fire(), and a test can arm exactly one site to
+//   - kThrow:    throw std::runtime_error (a worker-task exception),
+//   - kBadAlloc: throw std::bad_alloc (an allocation failure),
+//   - kSleep:    stall for sleep_ms (trips an armed RunContext deadline),
+// proving every unwind path — ThreadPool capture/rethrow, StoppedError
+// conversion, CLI exit codes — without a single process death.
+//
+// Armed sites (see the LC_FAULT_POINT call sites):
+//   sim.pass1, sim.pass2.serial, sim.pass2.count, sim.pass2.fill,
+//   sim.pass2.shard, sim.pass3, sim.assemble, sim.staging.alloc,
+//   sim.flat.emit, sweep.entry, coarse.chunk, coarse.apply, coarse.snapshot,
+//   baseline.matrix, baseline.nbm
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace lc::fault {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kThrow,     ///< throw std::runtime_error("injected fault at <site>")
+  kBadAlloc,  ///< throw std::bad_alloc
+  kSleep,     ///< sleep sleep_ms, then continue (deadline trip)
+};
+
+/// Arms one site (replacing any previous arming). The fault fires on the
+/// (skip_hits + 1)-th pass through the site and on every pass after that.
+void arm(std::string_view site, FaultKind kind, std::uint64_t skip_hits = 0,
+         std::uint32_t sleep_ms = 0);
+
+/// Disarms everything.
+void disarm();
+
+/// True while a site is armed.
+[[nodiscard]] bool any_armed();
+
+/// Times the armed fault actually fired since the last arm().
+[[nodiscard]] std::uint64_t fire_count();
+
+/// Called by LC_FAULT_POINT. Fast path (nothing armed) is one atomic load.
+void maybe_fire(const char* site);
+
+}  // namespace lc::fault
+
+#ifdef LC_FAULT_INJECT
+#define LC_FAULT_POINT(site) ::lc::fault::maybe_fire(site)
+#else
+#define LC_FAULT_POINT(site) \
+  do {                       \
+  } while (false)
+#endif

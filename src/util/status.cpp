@@ -1,0 +1,33 @@
+#include "util/status.hpp"
+
+namespace lc {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string text = status_code_name(code_);
+  if (!message_.empty()) {
+    text += ": ";
+    text += message_;
+  }
+  return text;
+}
+
+}  // namespace lc

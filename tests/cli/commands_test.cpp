@@ -116,6 +116,63 @@ TEST(Cli, MissingInputFileIsRuntimeError) {
   EXPECT_NE(err.find("error"), std::string::npos);
 }
 
+TEST(Cli, ClusterDeadlineExceededExitsThree) {
+  const std::string path = temp_path("cli_deadline.edges");
+  ASSERT_EQ(run({"generate", "--type", "er", "--n", "3000", "--p", "0.01", "--seed", "7",
+                 "--output", path.c_str()}),
+            0);
+  std::string err;
+  // 1 ms is far below the clustering run time on this graph, so the deadline
+  // must trip mid-phase and surface as a Status, not an abort.
+  EXPECT_EQ(run({"cluster", "--input", path.c_str(), "--deadline-ms", "1"}, nullptr, &err),
+            3);
+  EXPECT_NE(err.find("deadline"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ClusterMemoryBudgetExitsThree) {
+  const std::string path = temp_path("cli_budget.edges");
+  ASSERT_EQ(run({"generate", "--type", "er", "--n", "3000", "--p", "0.01", "--seed", "7",
+                 "--output", path.c_str()}),
+            0);
+  std::string err;
+  EXPECT_EQ(run({"cluster", "--input", path.c_str(), "--max-memory-mb", "1"}, nullptr, &err),
+            3);
+  EXPECT_NE(err.find("resource exhausted"), std::string::npos);
+  EXPECT_NE(err.find("memory budget"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ClusterZeroDeadlineMeansNoDeadline) {
+  const std::string path = temp_path("cli_nodeadline.edges");
+  ASSERT_EQ(run({"generate", "--type", "er", "--n", "40", "--p", "0.2", "--output",
+                 path.c_str()}),
+            0);
+  std::string out;
+  EXPECT_EQ(run({"cluster", "--input", path.c_str(), "--deadline-ms", "0",
+                 "--max-memory-mb", "0"},
+                &out),
+            0);
+  EXPECT_NE(out.find("dendrogram:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, MalformedInputLinesWarnOnStderr) {
+  const std::string path = temp_path("cli_malformed.edges");
+  {
+    std::ofstream file(path);
+    file << "0 1 1.0\n1 2 abc\n2 3 inf\n3 4\n4 5 2.0\n";
+  }
+  std::string err;
+  ASSERT_EQ(run({"stats", "--input", path.c_str()}, nullptr, &err), 0);
+  EXPECT_NE(err.find("warning: skipped 2 malformed line(s)"), std::string::npos);
+
+  err.clear();
+  ASSERT_EQ(run({"cluster", "--input", path.c_str()}, nullptr, &err), 0);
+  EXPECT_NE(err.find("warning: skipped 2 malformed line(s)"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(Cli, CommunitiesOnTwoTriangles) {
   const std::string path = temp_path("cli_tri.edges");
   {

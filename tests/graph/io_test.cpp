@@ -57,6 +57,62 @@ TEST(GraphIo, MalformedLinesSkippedNotFatal) {
   EXPECT_EQ(result.lines_skipped, 3u);  // junk, self-loop, negative weight
 }
 
+TEST(GraphIo, NonNumericWeightIsSkippedNotDefaulted) {
+  // "1 2 abc" must be counted as malformed — not silently read as weight 1.0.
+  std::stringstream in("0 1 2.0\n1 2 abc\n3 4\n");
+  IoResult result;
+  const auto graph = read_edge_list(in, &result);
+  ASSERT_TRUE(graph.has_value());
+  EXPECT_EQ(graph->edge_count(), 2u);  // (0,1) weighted, (3,4) default
+  EXPECT_EQ(result.lines_skipped, 1u);
+  EXPECT_FALSE(graph->has_edge(1, 2));
+  EXPECT_DOUBLE_EQ(graph->edges()[1].weight, 1.0);
+}
+
+struct BadLineCase {
+  const char* name;
+  const char* line;
+};
+
+TEST(GraphIo, RejectedWeightAndIdForms) {
+  // Every case is one bad line sandwiched between two good ones: the good
+  // edges must survive and exactly the bad line must be counted.
+  const BadLineCase cases[] = {
+      {"garbage weight token", "1 2 abc"},
+      {"zero weight", "1 2 0"},
+      {"negative weight", "1 2 -3.5"},
+      {"infinite weight", "1 2 inf"},
+      {"negative infinite weight", "1 2 -inf"},
+      {"nan weight", "1 2 nan"},
+      {"huge first id", "4294967296 2 1.0"},
+      {"huge second id", "1 99999999999 1.0"},
+      {"self loop", "7 7 1.0"},
+      {"lone token", "12"},
+      {"negative id", "-1 2 1.0"},
+  };
+  for (const BadLineCase& c : cases) {
+    std::stringstream in(std::string("0 1 1.0\n") + c.line + "\n3 4 2.0\n");
+    IoResult result;
+    const auto graph = read_edge_list(in, &result);
+    ASSERT_TRUE(graph.has_value()) << c.name;
+    EXPECT_EQ(graph->edge_count(), 2u) << c.name;
+    EXPECT_EQ(result.lines_skipped, 1u) << c.name;
+    EXPECT_TRUE(graph->has_edge(0, 1)) << c.name;
+    EXPECT_TRUE(graph->has_edge(3, 4)) << c.name;
+  }
+}
+
+TEST(GraphIo, CommentOnlyFileGivesEmptyGraph) {
+  std::stringstream in("# a\n# b\n\n   \n# c\n");
+  IoResult result;
+  const auto graph = read_edge_list(in, &result);
+  ASSERT_TRUE(graph.has_value());
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.lines_skipped, 0u);
+  EXPECT_EQ(graph->vertex_count(), 0u);
+  EXPECT_EQ(graph->edge_count(), 0u);
+}
+
 TEST(GraphIo, MissingFileFails) {
   IoResult result;
   const auto graph = read_edge_list(std::string("/no/such/file.edges"), &result);

@@ -1,0 +1,198 @@
+// Fault-injection integration suite (requires -DLC_FAULT_INJECT=ON; see
+// tests/CMakeLists.txt). Each test arms one LC_FAULT_POINT site inside a
+// clustering phase and proves the failure surfaces as a non-OK Status from
+// LinkClusterer::run() — never a process death — and that a disarmed rerun
+// reproduces the exact pre-fault dendrogram.
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/edge_similarity_matrix.hpp"
+#include "baseline/nbm.hpp"
+#include "core/dendrogram.hpp"
+#include "core/link_clusterer.hpp"
+#include "graph/generators.hpp"
+#include "util/fault_inject.hpp"
+#include "util/run_context.hpp"
+#include "util/status.hpp"
+
+#ifndef LC_FAULT_INJECT
+#error "fault_injection_test.cpp must be compiled with -DLC_FAULT_INJECT"
+#endif
+
+namespace lc::core {
+namespace {
+
+const graph::WeightedGraph& test_graph() {
+  static const graph::WeightedGraph graph =
+      graph::erdos_renyi(300, 0.05, {11, graph::WeightPolicy::kUniform});
+  return graph;
+}
+
+LinkClusterer::Config make_config(std::size_t threads, PairMapKind kind,
+                                  ClusterMode mode) {
+  LinkClusterer::Config config;
+  config.threads = threads;
+  config.map_kind = kind;
+  config.mode = mode;
+  return config;
+}
+
+/// FNV-1a over the merge-event stream (same digest as bench/micro_core):
+/// any difference in merge order, partners, or heights changes it.
+std::uint64_t dendrogram_digest(const Dendrogram& dendrogram) {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t word) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (word >> (byte * 8)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const MergeEvent& event : dendrogram.events()) {
+    mix((static_cast<std::uint64_t>(event.level) << 32) | event.from);
+    mix(event.into);
+    mix(std::bit_cast<std::uint64_t>(event.similarity));
+  }
+  return h;
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::disarm(); }
+};
+
+struct SiteCase {
+  const char* site;
+  std::size_t threads;
+  PairMapKind kind;
+  ClusterMode mode;
+};
+
+// Every site paired with a configuration whose code path reaches it.
+const SiteCase kThrowCases[] = {
+    {"sim.pass1", 1, PairMapKind::kHash, ClusterMode::kFine},
+    {"sim.pass2.serial", 1, PairMapKind::kHash, ClusterMode::kFine},
+    {"sim.pass3", 1, PairMapKind::kHash, ClusterMode::kFine},
+    {"sweep.entry", 1, PairMapKind::kHash, ClusterMode::kFine},
+    {"sim.pass1", 8, PairMapKind::kHash, ClusterMode::kFine},
+    {"sim.pass2.count", 8, PairMapKind::kHash, ClusterMode::kFine},
+    {"sim.pass2.fill", 8, PairMapKind::kHash, ClusterMode::kFine},
+    {"sim.pass2.shard", 8, PairMapKind::kHash, ClusterMode::kFine},
+    {"sim.staging.alloc", 8, PairMapKind::kHash, ClusterMode::kFine},
+    {"sim.pass3", 8, PairMapKind::kHash, ClusterMode::kFine},
+    {"sim.assemble", 8, PairMapKind::kHash, ClusterMode::kFine},
+    {"sim.flat.emit", 1, PairMapKind::kFlat, ClusterMode::kFine},
+    {"sim.flat.emit", 8, PairMapKind::kFlat, ClusterMode::kFine},
+    {"sweep.entry", 8, PairMapKind::kHash, ClusterMode::kFine},
+    {"coarse.chunk", 1, PairMapKind::kHash, ClusterMode::kCoarse},
+    {"coarse.apply", 1, PairMapKind::kHash, ClusterMode::kCoarse},
+    {"coarse.chunk", 8, PairMapKind::kHash, ClusterMode::kCoarse},
+    {"coarse.apply", 8, PairMapKind::kHash, ClusterMode::kCoarse},
+};
+
+TEST_F(FaultInjectionTest, ThrowAtEverySiteBecomesInternalStatus) {
+  for (const SiteCase& c : kThrowCases) {
+    SCOPED_TRACE(testing::Message() << c.site << " threads=" << c.threads);
+    fault::arm(c.site, fault::FaultKind::kThrow);
+    const StatusOr<ClusterResult> run =
+        LinkClusterer(make_config(c.threads, c.kind, c.mode)).run(test_graph());
+    EXPECT_GE(fault::fire_count(), 1u) << "site never reached";
+    ASSERT_FALSE(run.ok());
+    EXPECT_EQ(run.status().code(), StatusCode::kInternal);
+    EXPECT_NE(run.status().message().find("injected fault"), std::string::npos);
+    EXPECT_NE(run.status().message().find(c.site), std::string::npos);
+    fault::disarm();
+  }
+}
+
+TEST_F(FaultInjectionTest, SnapshotSiteFiresWhenContextAttached) {
+  // coarse.snapshot only exists on the accounting path, so it needs a ctx.
+  RunContext ctx;
+  LinkClusterer::Config config =
+      make_config(1, PairMapKind::kHash, ClusterMode::kCoarse);
+  config.ctx = &ctx;
+  fault::arm("coarse.snapshot", fault::FaultKind::kThrow);
+  const StatusOr<ClusterResult> run = LinkClusterer(config).run(test_graph());
+  EXPECT_GE(fault::fire_count(), 1u);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(FaultInjectionTest, BadAllocBecomesResourceExhausted) {
+  fault::arm("sim.staging.alloc", fault::FaultKind::kBadAlloc);
+  const StatusOr<ClusterResult> run =
+      LinkClusterer(make_config(8, PairMapKind::kHash, ClusterMode::kFine))
+          .run(test_graph());
+  EXPECT_GE(fault::fire_count(), 1u);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(run.status().message().find("allocation failed"), std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, SleepTripsArmedDeadline) {
+  // Pass 1 stalls past the deadline; the next poll site converts the overrun
+  // into kDeadlineExceeded. sim.pass1 is hit once per worker slice, so the
+  // stall is bounded.
+  RunContext ctx;
+  ctx.set_deadline_after(std::chrono::milliseconds{10});
+  LinkClusterer::Config config = make_config(1, PairMapKind::kHash, ClusterMode::kFine);
+  config.ctx = &ctx;
+  fault::arm("sim.pass1", fault::FaultKind::kSleep, 0, 50);
+  const StatusOr<ClusterResult> run = LinkClusterer(config).run(test_graph());
+  EXPECT_GE(fault::fire_count(), 1u);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(FaultInjectionTest, DisarmedRerunReproducesDendrogramExactly) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    const LinkClusterer clusterer(
+        make_config(threads, PairMapKind::kHash, ClusterMode::kFine));
+    const StatusOr<ClusterResult> before = clusterer.run(test_graph());
+    ASSERT_TRUE(before.ok());
+    const std::uint64_t reference = dendrogram_digest(before.value().dendrogram);
+
+    fault::arm("sim.pass1", fault::FaultKind::kThrow);
+    EXPECT_FALSE(clusterer.run(test_graph()).ok());
+    fault::disarm();
+
+    const StatusOr<ClusterResult> after = clusterer.run(test_graph());
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(dendrogram_digest(after.value().dendrogram), reference);
+  }
+}
+
+TEST_F(FaultInjectionTest, SkipHitsDelaysTheFault) {
+  // With skip_hits = 3, the first three passes through sim.pass2.count
+  // succeed and the fourth throws — proving mid-phase unwinding, not just
+  // entry-point unwinding.
+  fault::arm("sim.pass2.count", fault::FaultKind::kThrow, /*skip_hits=*/3);
+  const StatusOr<ClusterResult> run =
+      LinkClusterer(make_config(8, PairMapKind::kHash, ClusterMode::kFine))
+          .run(test_graph());
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(FaultInjectionTest, BaselineSitesThrow) {
+  const graph::WeightedGraph& graph = test_graph();
+  const SimilarityMap map = build_similarity_map(graph, {});
+  const EdgeIndex index(graph.edge_count(), EdgeOrder::kNatural, 0);
+
+  fault::arm("baseline.matrix", fault::FaultKind::kThrow);
+  EXPECT_THROW(baseline::EdgeSimilarityMatrix::build(graph, map, index),
+               std::runtime_error);
+  fault::disarm();
+
+  const auto matrix = baseline::EdgeSimilarityMatrix::build(graph, map, index);
+  ASSERT_TRUE(matrix.has_value());
+  fault::arm("baseline.nbm", fault::FaultKind::kThrow);
+  EXPECT_THROW(baseline::nbm_cluster(*matrix), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lc::core

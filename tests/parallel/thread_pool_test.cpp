@@ -5,8 +5,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <numeric>
 #include <random>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -124,6 +126,74 @@ TEST(TournamentReduce, SingleItemNoMerge) {
 
 TEST(ThreadPoolDeathTest, ZeroThreadsRejected) {
   EXPECT_DEATH(ThreadPool pool(0), "at least one");
+}
+
+TEST(ThreadPool, TaskExceptionRethrownOnCaller) {
+  ThreadPool pool(4);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([i] {
+      if (i == 3) throw std::runtime_error("task 3 failed");
+    });
+  }
+  try {
+    pool.run_batch(tasks);
+    FAIL() << "expected the task exception on the calling thread";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "task 3 failed");
+  }
+}
+
+TEST(ThreadPool, FailedBatchCancelsRemainingTasks) {
+  // With one worker the batch is sequential, so exactly the tasks before the
+  // throwing one may run: the rest must be skipped deterministically.
+  ThreadPool pool(1);
+  std::atomic<int> executed{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back([i, &executed] {
+      if (i == 4) throw std::runtime_error("boom");
+      executed.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.run_batch(tasks), std::runtime_error);
+  EXPECT_EQ(executed.load(), 4);
+}
+
+TEST(ThreadPool, PoolStaysHealthyAfterFailedBatch) {
+  ThreadPool pool(3);
+  std::vector<std::function<void()>> failing{[] { throw std::runtime_error("first"); }};
+  EXPECT_THROW(pool.run_batch(failing), std::runtime_error);
+
+  // The next batch must run normally from a clean slate.
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 12; ++i) tasks.push_back([&count] { count.fetch_add(1); });
+  pool.run_batch(tasks);
+  EXPECT_EQ(count.load(), 12);
+
+  // And a second failure is also captured cleanly.
+  EXPECT_THROW(pool.run_batch(failing), std::runtime_error);
+}
+
+TEST(ThreadPool, ConcurrentThrowersDeliverExactlyOneException) {
+  ThreadPool pool(8);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 8; ++i) {
+      tasks.push_back([] { throw std::runtime_error("everyone throws"); });
+    }
+    EXPECT_THROW(pool.run_batch(tasks), std::runtime_error);
+  }
+}
+
+TEST(ParallelForBlocks, ExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for_blocks(pool, 1000,
+                                   [](std::size_t begin, std::size_t) {
+                                     if (begin == 0) throw std::runtime_error("block 0");
+                                   }),
+               std::runtime_error);
 }
 
 std::vector<std::uint64_t> random_values(std::size_t n, std::uint64_t seed) {

@@ -14,6 +14,21 @@ TEST(CheckDeathTest, MessageIsIncluded) {
   EXPECT_DEATH(LC_CHECK_MSG(false, "the invariant text"), "the invariant text");
 }
 
+TEST(CheckDeathTest, LocationNamesThisFile) {
+  EXPECT_DEATH(LC_CHECK(2 + 2 == 5), "check_test.cpp");
+}
+
+TEST(CheckDeathTest, ExpressionTextIsStringized) {
+  const int edges = 3;
+  EXPECT_DEATH(LC_CHECK(edges > 10), "edges > 10");
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, DcheckAbortsInDebugBuilds) {
+  EXPECT_DEATH(LC_DCHECK(false), "LC_CHECK failed");
+}
+#endif
+
 TEST(Check, PassingChecksAreSilent) {
   LC_CHECK(1 + 1 == 2);
   LC_CHECK_MSG(true, "never printed");

@@ -1,0 +1,167 @@
+// RunContext / PollTicker / MemoryCharge semantics (util/run_context.hpp).
+#include "util/run_context.hpp"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/status.hpp"
+
+namespace lc {
+namespace {
+
+TEST(RunContext, IdleContextNeverStops) {
+  RunContext ctx;
+  EXPECT_FALSE(ctx.stop_requested());
+  EXPECT_FALSE(ctx.poll());
+  EXPECT_NO_THROW(ctx.throw_if_stopped());
+  EXPECT_TRUE(ctx.status().ok());
+}
+
+TEST(RunContext, CancelStopsWithStatus) {
+  RunContext ctx;
+  ctx.request_cancel("operator said stop");
+  EXPECT_TRUE(ctx.stop_requested());
+  EXPECT_TRUE(ctx.poll());
+  EXPECT_EQ(ctx.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(ctx.status().message(), "operator said stop");
+  try {
+    ctx.throw_if_stopped();
+    FAIL() << "expected StoppedError";
+  } catch (const StoppedError& error) {
+    EXPECT_EQ(error.status().code(), StatusCode::kCancelled);
+  }
+}
+
+TEST(RunContext, PastDeadlineTripsOnPoll) {
+  RunContext ctx;
+  ctx.set_deadline_after(std::chrono::nanoseconds{0});
+  // The stop flag only raises when somebody polls.
+  EXPECT_FALSE(ctx.stop_requested());
+  EXPECT_TRUE(ctx.poll());
+  EXPECT_TRUE(ctx.stop_requested());
+  EXPECT_EQ(ctx.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RunContext, FutureDeadlineDoesNotTrip) {
+  RunContext ctx;
+  ctx.set_deadline_after(std::chrono::hours{24});
+  EXPECT_FALSE(ctx.poll());
+  EXPECT_TRUE(ctx.status().ok());
+}
+
+TEST(RunContext, FirstCauseWins) {
+  RunContext ctx;
+  ctx.request_cancel("first");
+  ctx.request_cancel("second");
+  ctx.set_deadline_after(std::chrono::nanoseconds{0});
+  ctx.poll();
+  EXPECT_EQ(ctx.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(ctx.status().message(), "first");
+}
+
+TEST(RunContext, ChargeWithinBudgetAccumulates) {
+  RunContext ctx;
+  ctx.set_memory_budget(1000);
+  ctx.charge_memory(400, "a");
+  ctx.charge_memory(500, "b");
+  EXPECT_EQ(ctx.memory_charged(), 900u);
+  EXPECT_EQ(ctx.memory_peak(), 900u);
+  ctx.release_memory(500);
+  EXPECT_EQ(ctx.memory_charged(), 400u);
+  EXPECT_EQ(ctx.memory_peak(), 900u);  // peak is a high-water mark
+  EXPECT_FALSE(ctx.stop_requested());
+}
+
+TEST(RunContext, ChargeOverBudgetThrowsResourceExhausted) {
+  RunContext ctx;
+  ctx.set_memory_budget(1000);
+  ctx.charge_memory(800, "a");
+  try {
+    ctx.charge_memory(300, "b");
+    FAIL() << "expected StoppedError";
+  } catch (const StoppedError& error) {
+    EXPECT_EQ(error.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(error.status().message().find("b"), std::string::npos);
+  }
+  EXPECT_TRUE(ctx.stop_requested());
+}
+
+TEST(RunContext, NoBudgetMeansUnlimited) {
+  RunContext ctx;
+  EXPECT_NO_THROW(ctx.charge_memory(1ull << 40, "huge"));
+  EXPECT_EQ(ctx.memory_peak(), 1ull << 40);
+}
+
+TEST(RunContext, CancelFromAnotherThreadIsObserved) {
+  RunContext ctx;
+  std::thread canceller([&ctx] { ctx.request_cancel(); });
+  canceller.join();
+  EXPECT_TRUE(ctx.stop_requested());
+  EXPECT_EQ(ctx.status().code(), StatusCode::kCancelled);
+}
+
+TEST(PollTicker, NullContextIsNoOp) {
+  PollTicker ticker(nullptr, 2);
+  for (int i = 0; i < 100; ++i) EXPECT_NO_THROW(ticker.checkpoint());
+}
+
+TEST(PollTicker, ThrowsAtPeriodBoundaryOnly) {
+  RunContext ctx;
+  ctx.request_cancel();
+  PollTicker ticker(&ctx, 4);
+  // Three sub-period checkpoints pass; the fourth crosses the boundary.
+  EXPECT_NO_THROW(ticker.checkpoint());
+  EXPECT_NO_THROW(ticker.checkpoint());
+  EXPECT_NO_THROW(ticker.checkpoint());
+  EXPECT_THROW(ticker.checkpoint(), StoppedError);
+}
+
+TEST(PollTicker, LargeAmountCrossesImmediately) {
+  RunContext ctx;
+  ctx.request_cancel();
+  PollTicker ticker(&ctx, 4096);
+  EXPECT_THROW(ticker.checkpoint(10000), StoppedError);
+}
+
+TEST(MemoryCharge, ReleasesOnDestruction) {
+  RunContext ctx;
+  {
+    MemoryCharge charge(&ctx, 128, "scoped");
+    EXPECT_EQ(ctx.memory_charged(), 128u);
+  }
+  EXPECT_EQ(ctx.memory_charged(), 0u);
+  EXPECT_EQ(ctx.memory_peak(), 128u);
+}
+
+TEST(MemoryCharge, CommitKeepsTheCharge) {
+  RunContext ctx;
+  {
+    MemoryCharge charge(&ctx, 128, "committed");
+    charge.commit();
+  }
+  EXPECT_EQ(ctx.memory_charged(), 128u);
+}
+
+TEST(MemoryCharge, MoveTransfersOwnership) {
+  RunContext ctx;
+  {
+    MemoryCharge outer;
+    {
+      MemoryCharge inner(&ctx, 64, "moved");
+      outer = std::move(inner);
+    }
+    EXPECT_EQ(ctx.memory_charged(), 64u);  // inner's dtor must not release
+  }
+  EXPECT_EQ(ctx.memory_charged(), 0u);
+}
+
+TEST(MemoryCharge, NullContextIsNoOp) {
+  MemoryCharge charge(nullptr, 1ull << 40, "nothing");
+  charge.release();
+}
+
+}  // namespace
+}  // namespace lc

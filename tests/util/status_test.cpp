@@ -1,0 +1,76 @@
+// Status / StatusOr / StoppedError semantics (util/status.hpp).
+#include "util/status.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lc {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.to_string(), "ok");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status cancelled = Status::cancelled("user hit ctrl-c");
+  EXPECT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.message(), "user hit ctrl-c");
+  EXPECT_EQ(cancelled.to_string(), "cancelled: user hit ctrl-c");
+
+  EXPECT_EQ(Status::deadline_exceeded("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::resource_exhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::invalid_argument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "ok");
+  EXPECT_STREQ(status_code_name(StatusCode::kCancelled), "cancelled");
+  EXPECT_STREQ(status_code_name(StatusCode::kDeadlineExceeded), "deadline exceeded");
+  EXPECT_STREQ(status_code_name(StatusCode::kResourceExhausted), "resource exhausted");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidArgument), "invalid argument");
+  EXPECT_STREQ(status_code_name(StatusCode::kInternal), "internal");
+}
+
+TEST(Status, EmptyMessageOmitsColon) {
+  EXPECT_EQ(Status::internal("").to_string(), "internal");
+}
+
+TEST(StoppedError, CarriesStatusAndWhat) {
+  const StoppedError error(Status::deadline_exceeded("deadline passed"));
+  EXPECT_EQ(error.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_STREQ(error.what(), "deadline exceeded: deadline passed");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  const StatusOr<int> result = Status::cancelled("stop");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(result.status().message(), "stop");
+}
+
+TEST(StatusOr, MoveOnlyValueMovesOut) {
+  StatusOr<std::vector<int>> result = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);
+  const std::vector<int> taken = std::move(result).value();
+  EXPECT_EQ(taken, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace lc

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Sanitizer CI sweep: builds the tree with -DLC_FAULT_INJECT=ON under ASan
+# and then UBSan, and runs the full test suite (tier-1 tests plus the
+# fault-injection suite) under each. Any sanitizer report fails the build
+# because CMakeLists.txt sets -fno-sanitize-recover=all.
+#
+# Usage: tools/ci_check.sh [build-dir-prefix]
+#   build-dir-prefix defaults to "build-san"; per-sanitizer trees land in
+#   <prefix>-address/ and <prefix>-undefined/.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-san}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+for san in address undefined; do
+  build_dir="${prefix}-${san}"
+  echo "== ${san}: configure (${build_dir}) =="
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLC_SANITIZE="${san}" \
+    -DLC_FAULT_INJECT=ON \
+    -DLC_BUILD_BENCHES=OFF \
+    -DLC_BUILD_EXAMPLES=OFF
+  echo "== ${san}: build =="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "== ${san}: test =="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+done
+
+echo "ci_check: all sanitizer suites passed"
