@@ -12,6 +12,11 @@ Runs ``micro_core --json`` into a temp file (or takes a pre-generated file via
   2. The dendrogram digest at every thread count must match the committed
      baseline — the sharded build and the radix sort are required to be
      bitwise output-preserving.
+  3. The coarse sweep must not regress: at the widest thread count,
+     coarse_ms must stay within --coarse-slack of the fresh T=1 coarse_ms,
+     and coarse_fnv must agree across every fresh thread count (the shared
+     concurrent union-find is required to be thread-count-invariant). Skipped
+     with a notice when the records predate the coarse fields.
 
 Exit code 0 = pass, 1 = regression, 2 = usage/environment error.
 
@@ -51,6 +56,10 @@ def main() -> int:
     parser.add_argument("--slack", type=float, default=1.0,
                         help="multiplier on the T=1 build time the widest run must beat "
                              "(default 1.0: strictly faster)")
+    parser.add_argument("--coarse-slack", type=float, default=1.15,
+                        help="multiplier on the T=1 coarse time the widest run must stay "
+                             "under (default 1.15: concurrent chunk apply may not cost "
+                             "more than 15%% over serial, even oversubscribed)")
     args = parser.parse_args()
 
     if args.fresh is None and args.bench_binary is None:
@@ -112,6 +121,39 @@ def main() -> int:
                     f"— output changed")
         if not any(f.startswith("threads=") for f in failures):
             print(f"dendrogram_fnv: {want} at all thread counts  ok")
+
+    # Gate 3: coarse sweep — wall time at the widest thread count vs T=1, and
+    # thread-count-invariant coarse digests. Older bench files have no coarse
+    # fields; skip with a notice rather than fail so the gate stays usable
+    # against pre-coarse baselines.
+    if 1 in fresh and "coarse_ms" in fresh[1]:
+        widest = max(fresh)
+        t1_coarse = float(fresh[1]["coarse_ms"])
+        tw_coarse = float(fresh[widest].get("coarse_ms", t1_coarse))
+        bound = t1_coarse * args.coarse_slack
+        verdict = "ok" if tw_coarse <= bound else "REGRESSION"
+        print(f"coarse_ms: T=1 {t1_coarse:.1f}  T={widest} {tw_coarse:.1f} "
+              f"(bound {bound:.1f})  {verdict}")
+        if tw_coarse > bound:
+            failures.append(
+                f"T={widest} coarse_ms {tw_coarse:.1f} > {bound:.1f} "
+                f"({args.coarse_slack:.2f}x T=1 {t1_coarse:.1f}) — coarse apply regressed")
+        coarse_digests = {t: fresh[t].get("coarse_fnv") for t in sorted(fresh)}
+        distinct = {d for d in coarse_digests.values()}
+        if len(distinct) != 1:
+            failures.append(
+                f"coarse_fnv differs across thread counts: {coarse_digests} "
+                f"— coarse output is no longer thread-count-invariant")
+        else:
+            print(f"coarse_fnv: {next(iter(distinct))} at all thread counts  ok")
+        base_coarse = {d for t, r in baseline.items()
+                       if (d := r.get("coarse_fnv")) is not None}
+        if base_coarse and len(distinct) == 1 and distinct != base_coarse:
+            failures.append(
+                f"coarse_fnv {next(iter(distinct))} != baseline "
+                f"{sorted(base_coarse)} — coarse output changed")
+    else:
+        print("coarse gate: skipped (no coarse_ms in fresh records)")
 
     if failures:
         for f in failures:

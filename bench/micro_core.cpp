@@ -2,10 +2,11 @@
 // similarity construction, the MERGE procedure's chain traversal, the §VI-B
 // corrected array merge, and the text pipeline's stemmer/tokenizer.
 // With `--json <path>` the binary skips google-benchmark and instead times
-// the full build -> sort -> sweep hot path at 1/2/4/8 threads on a fixed
-// seeded graph, checks the dendrogram is identical across thread counts, and
-// writes a BENCH_micro_core.json record (workload, threads, wall_ms,
-// peak_bytes) for cross-commit comparison.
+// the full build -> sort -> sweep hot path plus the coarse sweep at 1/2/4/8
+// threads on a fixed seeded graph, checks both dendrograms are identical
+// across thread counts, and writes a BENCH_micro_core.json record (workload,
+// threads, wall_ms, peak_bytes, per-phase extras) for cross-commit
+// comparison.
 #include <benchmark/benchmark.h>
 
 #include <bit>
@@ -17,6 +18,7 @@
 
 #include "bench_json.hpp"
 #include "core/cluster_array.hpp"
+#include "core/coarse.hpp"
 #include "core/dendrogram.hpp"
 #include "core/similarity.hpp"
 #include "core/sweep.hpp"
@@ -27,6 +29,7 @@
 #include "text/tokenizer.hpp"
 #include "util/memory.hpp"
 #include "util/rng.hpp"
+#include "util/run_context.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 
@@ -146,7 +149,9 @@ int run_json_mode(const std::string& path) {
 
   std::vector<lc::bench::BenchRun> runs;
   std::uint64_t reference_digest = 0;
+  std::uint64_t reference_coarse = 0;
   bool digests_match = true;
+  bool coarse_match = true;
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
     lc::parallel::ThreadPool pool(threads);
     lc::Stopwatch watch;
@@ -156,10 +161,23 @@ int run_json_mode(const std::string& path) {
     const double sort_ms = watch.lap() * 1e3;
     const lc::core::SweepResult result = lc::core::sweep(graph, map, index);
     const double sweep_ms = watch.lap() * 1e3;
+    // Coarse phase, timed separately with a fresh context so the charged
+    // high-water mark isolates the coarse transient footprint (the shared
+    // parent array + journals — O(|E|), not the old T-copies' O(T * |E|)).
+    lc::RunContext coarse_ctx;
+    watch.lap();
+    const lc::core::CoarseResult coarse = lc::core::coarse_sweep(
+        graph, map, index, {}, &pool, nullptr, &coarse_ctx);
+    const double coarse_ms = watch.lap() * 1e3;
 
     const std::uint64_t digest = dendrogram_digest(result.dendrogram);
-    if (runs.empty()) reference_digest = digest;
+    const std::uint64_t coarse_digest = dendrogram_digest(coarse.dendrogram);
+    if (runs.empty()) {
+      reference_digest = digest;
+      reference_coarse = coarse_digest;
+    }
     if (digest != reference_digest) digests_match = false;
+    if (coarse_digest != reference_coarse) coarse_match = false;
 
     lc::bench::BenchRun run;
     run.threads = threads;
@@ -167,16 +185,26 @@ int run_json_mode(const std::string& path) {
     run.peak_bytes = lc::read_memory_usage().rss_peak_kb * 1024;
     run.extra = lc::strprintf(
         "\"build_ms\": %.3f, \"sort_ms\": %.3f, \"sweep_ms\": %.3f, "
-        "\"merges\": %llu, \"dendrogram_fnv\": \"%016llx\"",
-        build_ms, sort_ms, sweep_ms,
+        "\"coarse_ms\": %.3f, \"coarse_peak_bytes\": %llu, "
+        "\"merges\": %llu, \"dendrogram_fnv\": \"%016llx\", "
+        "\"coarse_fnv\": \"%016llx\"",
+        build_ms, sort_ms, sweep_ms, coarse_ms,
+        static_cast<unsigned long long>(coarse_ctx.memory_peak()),
         static_cast<unsigned long long>(result.stats.merges_effective),
-        static_cast<unsigned long long>(digest));
+        static_cast<unsigned long long>(digest),
+        static_cast<unsigned long long>(coarse_digest));
     runs.push_back(run);
-    std::printf("threads=%zu  total=%8.1fms  (build %.1f, sort %.1f, sweep %.1f)  fnv=%016llx\n",
-                threads, run.wall_ms, build_ms, sort_ms, sweep_ms,
-                static_cast<unsigned long long>(digest));
+    std::printf(
+        "threads=%zu  total=%8.1fms  (build %.1f, sort %.1f, sweep %.1f, "
+        "coarse %.1f)  fnv=%016llx  coarse_fnv=%016llx\n",
+        threads, run.wall_ms, build_ms, sort_ms, sweep_ms, coarse_ms,
+        static_cast<unsigned long long>(digest),
+        static_cast<unsigned long long>(coarse_digest));
   }
   std::printf("dendrogram identical across thread counts: %s\n", digests_match ? "yes" : "NO");
+  std::printf("coarse dendrogram identical across thread counts: %s\n",
+              coarse_match ? "yes" : "NO");
+  digests_match = digests_match && coarse_match;
   if (!lc::bench::write_bench_json(path, "micro_core", workload, runs)) return 1;
   std::printf("wrote %s\n", path.c_str());
   return digests_match ? 0 : 1;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/cluster_array.hpp"
+#include "core/concurrent_dsu.hpp"
 #include "util/check.hpp"
 #include "util/fault_inject.hpp"
 #include "util/run_context.hpp"
@@ -11,28 +11,35 @@
 namespace lc::core {
 namespace {
 
-/// Epoch state Q = (beta, Delta, p, C) of §V-A. Delta is represented by xi
-/// directly (the pair position reached), which is the quantity every
-/// boundary computation actually uses.
-struct Snapshot {
-  std::vector<EdgeIdx> c;
+/// Metadata of the safe epoch state Q* = (beta, Delta, p, C) of §V-A. Delta
+/// is represented by xi directly (the pair position reached). The C component
+/// is *implicit*: the live parent array IS the safe state whenever the sweep
+/// sits at an epoch boundary, because a rejected chunk is unwound by undoing
+/// its merge journal — no copy of C is ever kept.
+struct SafeState {
   std::size_t beta = 0;
   std::uint64_t xi = 0;
   std::size_t p = 0;
 };
 
-/// Root labels of a raw C snapshot (same ascending-scan trick as
-/// ClusterArray::root_labels — parents never exceed their index).
-std::vector<EdgeIdx> labels_of(const std::vector<EdgeIdx>& c) {
-  std::vector<EdgeIdx> labels(c.size());
-  for (std::size_t i = 0; i < c.size(); ++i) {
-    labels[i] = (c[i] == i) ? static_cast<EdgeIdx>(i) : labels[c[i]];
-  }
-  return labels;
-}
-
 struct ChunkPair {
   EdgeIdx a, b;
+};
+
+/// A saved too-aggressive state on L_rollback, as a compact journal instead
+/// of an O(|E|) C snapshot: `edges` holds one (loser, target-root) union per
+/// cluster the chunk removed, sorted by loser. Replaying those unions on top
+/// of ANY later accepted state between the save's base and its position
+/// restores exactly the saved partition: accepted states refine the saved
+/// one (pair processing is prefix-monotone), and every sub-root that must
+/// disappear is one of the saved losers, wired to its component minimum.
+struct SavedState {
+  std::vector<ChunkPair> edges;
+  std::size_t beta = 0;
+  std::uint64_t xi = 0;
+  std::size_t p = 0;
+  std::uint64_t seq = 0;           ///< insertion age (eviction order)
+  std::uint64_t charged_bytes = 0; ///< released on evict / reuse / return
 };
 
 /// Chunk-size estimate for a rollback (Fig. 3): extrapolate with the steeper
@@ -93,7 +100,13 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
   result.dendrogram = Dendrogram(edge_count);
   result.pairs_total = map.incident_pair_count();
 
-  ClusterArray clusters(edge_count);
+  // The one shared cluster structure, sized O(|E|) for the whole sweep —
+  // parallel chunks merge into it directly, so there is no per-thread copy
+  // and no merge phase to account.
+  ConcurrentDsu dsu(edge_count);
+  MemoryCharge parent_charge(
+      ctx, static_cast<std::uint64_t>(edge_count) * sizeof(EdgeIdx), "coarse.parent");
+
   std::uint64_t xi = 0;
   std::size_t p = 0;
   std::size_t beta = edge_count;
@@ -103,141 +116,122 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
   bool head_mode = true;
   std::size_t consecutive_rollbacks = 0;
 
-  Snapshot safe{clusters.snapshot(), beta, xi, p};
+  SafeState safe{beta, xi, p};
   // Previous accepted level before `safe`, for two-level slope extrapolation.
   std::uint64_t xi_prev2 = 0;
   std::size_t beta_prev2 = 0;
   bool have_prev2 = false;
 
-  std::vector<Snapshot> rollback_list;
+  std::vector<SavedState> rollback_list;
+  std::uint64_t snapshot_seq = 0;
   std::vector<ChunkPair> chunk_pairs;
-  std::vector<ClusterArray> copies;
 
-  // Every saved rollback state owns one |E|-sized C snapshot; the budget is
-  // charged on push and released on evict / reuse / return.
-  const std::uint64_t snapshot_bytes =
-      static_cast<std::uint64_t>(edge_count) * sizeof(EdgeIdx);
-  std::size_t snapshots_charged = 0;
-  auto charge_snapshot = [&] {
-    if (ctx != nullptr) {
-      LC_FAULT_POINT("coarse.snapshot");
-      ctx->charge_memory(snapshot_bytes, "coarse.rollback_snapshot");
-      ++snapshots_charged;
-    }
-  };
-  auto release_snapshot = [&] {
-    if (ctx != nullptr && snapshots_charged > 0) {
-      ctx->release_memory(snapshot_bytes);
-      --snapshots_charged;
+  // Journal of the chunk currently applied (or of a reuse replay): one entry
+  // per successful parent-array CAS. Everything the epoch boundary needs —
+  // the new cluster count, the dendrogram events, the rollback undo, the
+  // compact reuse snapshot — is read from it; no O(|E|) scan or copy.
+  ConcurrentDsu::Journal chunk_journal;
+  std::vector<ConcurrentDsu::Journal> block_journals(threads);
+
+  // Instrumentation totals (Theorem 2 metrics): parent slots visited and
+  // parent entries rewritten, including work later undone by a rollback, as
+  // the paper's cost analysis does.
+  std::uint64_t total_accesses = 0;
+  std::uint64_t total_changes = 0;
+
+  auto release_saved = [&](SavedState& saved) {
+    if (ctx != nullptr && saved.charged_bytes > 0) {
+      ctx->release_memory(saved.charged_bytes);
+      saved.charged_bytes = 0;
     }
   };
 
   if (ledger != nullptr) ledger->begin_phase("sweep.coarse");
 
-  // Applies the collected chunk to `clusters`, serial or §VI-B parallel.
+  // Applies the collected chunk into the shared DSU, filling chunk_journal.
+  // Serial for small chunks / no pool; otherwise one static block per pool
+  // worker, each with a private journal concatenated afterwards in block
+  // order. Chunk-internal merge order is free: connectivity after the chunk
+  // is order-independent, and union-by-min roots make every observable value
+  // identical across interleavings.
   auto apply_chunk = [&](const std::vector<ChunkPair>& pairs) {
+    chunk_journal.clear();
     if (pool == nullptr || threads == 1 || pairs.size() < 2 * threads) {
       LC_FAULT_POINT("coarse.apply");
       PollTicker ticker(ctx);
       std::uint64_t work = 0;
       for (const ChunkPair& pair : pairs) {
         ticker.checkpoint();
-        work += clusters.merge(pair.a, pair.b).visited;
+        LC_FAULT_POINT("coarse.cas_union");
+        work += dsu.unite(pair.a, pair.b, chunk_journal);
       }
+      total_accesses += work;
       result.stats.pairs_processed += pairs.size();
       if (ledger != nullptr) ledger->add_serial(work);
-      return;
-    }
-    // T private copies of C; each thread merges one partition of the chunk.
-    // The copies dominate the parallel chunk's transient footprint; released
-    // when the chunk finishes (the backing capacity is reused but the
-    // high-water model charges each chunk afresh).
-    MemoryCharge copies_charge(
-        ctx, static_cast<std::uint64_t>(threads) * snapshot_bytes, "coarse.copies");
-    copies.clear();
-    copies.reserve(threads);
-    const std::vector<EdgeIdx> base = clusters.snapshot();
-    for (std::size_t t = 0; t < threads; ++t) {
-      copies.emplace_back(edge_count);
-      copies[t].restore(base);
-    }
-    const std::vector<std::size_t> bounds = parallel::split_range(pairs.size(), threads);
-    if (ledger != nullptr) ledger->begin_round(threads);
-    {
-      std::vector<std::function<void()>> tasks;
+    } else {
+      if (ledger != nullptr) ledger->begin_round(threads);
+      std::vector<std::uint64_t> block_work(threads, 0);
+      const auto run_block = [&](std::size_t block, std::size_t begin,
+                                 std::size_t end) {
+        LC_FAULT_POINT("coarse.apply");
+        PollTicker ticker(ctx);
+        ConcurrentDsu::Journal& journal = block_journals[block];
+        std::uint64_t work = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          ticker.checkpoint();
+          LC_FAULT_POINT("coarse.cas_union");
+          work += dsu.unite(pairs[i].a, pairs[i].b, journal);
+        }
+        block_work[block] = work;
+        if (ledger != nullptr) ledger->add_work(block, work);
+      };
+      // The T-way block split fixes the journals and the ledger round (the
+      // simulated T-thread schedule); *execution* width follows the machine.
+      // On an oversubscribed host (pool wider than the hardware) the same T
+      // blocks run on the caller thread — identical output, identical ledger,
+      // none of the wake-up/timeslice overhead of T idle-core tasks.
+      if (parallel::clamped_parallelism(*pool) == 1) {
+        const std::vector<std::size_t> bounds =
+            parallel::split_range(pairs.size(), threads);
+        for (std::size_t t = 0; t < threads; ++t) {
+          if (bounds[t] < bounds[t + 1]) run_block(t, bounds[t], bounds[t + 1]);
+        }
+      } else {
+        parallel::parallel_for_blocks_indexed(*pool, pairs.size(), run_block);
+      }
       for (std::size_t t = 0; t < threads; ++t) {
-        tasks.push_back([&, t] {
-          LC_FAULT_POINT("coarse.apply");
-          PollTicker ticker(ctx);
-          std::uint64_t work = 0;
-          for (std::size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
-            ticker.checkpoint();
-            work += copies[t].merge(pairs[i].a, pairs[i].b).visited;
-          }
-          if (ledger != nullptr) ledger->add_work(t, work);
-        });
+        total_accesses += block_work[t];
+        chunk_journal.insert(chunk_journal.end(), block_journals[t].begin(),
+                             block_journals[t].end());
+        block_journals[t].clear();
       }
-      pool->run_batch(tasks);
+      result.stats.pairs_processed += pairs.size();
     }
-    // Hierarchical pairwise merge of the copies (corrected scheme), then the
-    // final at-most-three fold on a single thread.
-    std::vector<std::size_t> active(threads);
-    for (std::size_t t = 0; t < threads; ++t) active[t] = t;
-    while (active.size() > 3) {
-      std::vector<std::function<void()>> tasks;
-      std::vector<std::size_t> survivors;
-      if (ledger != nullptr) ledger->begin_round(active.size() / 2);
-      std::size_t slot = 0;
-      std::size_t i = 0;
-      for (; i + 1 < active.size(); i += 2) {
-        const std::size_t dst = active[i];
-        const std::size_t src = active[i + 1];
-        survivors.push_back(dst);
-        const std::size_t this_slot = slot++;
-        tasks.push_back([&, dst, src, this_slot] {
-          const std::uint64_t work = copies[dst].merge_from(copies[src]);
-          if (ledger != nullptr) ledger->add_work(this_slot, work);
-        });
-      }
-      if (i < active.size()) survivors.push_back(active[i]);
-      pool->run_batch(tasks);
-      active = std::move(survivors);
-    }
-    {
-      if (ledger != nullptr) ledger->begin_round(1);
-      std::uint64_t work = 0;
-      for (std::size_t i = 1; i < active.size(); ++i) {
-        work += copies[active[0]].merge_from(copies[active[i]]);
-      }
-      if (ledger != nullptr) ledger->add_work(0, work);
-      clusters.restore(copies[active[0]].snapshot());
-    }
-    result.stats.pairs_processed += pairs.size();
+    LC_FAULT_POINT("coarse.journal");
+    total_changes += chunk_journal.size();
   };
 
-  // Emits the dendrogram events of an accepted level: every root of
-  // `before` that stopped being a root merged into its new root.
-  auto emit_level_events = [&](const std::vector<EdgeIdx>& before_c, double score) {
-    const std::vector<EdgeIdx> before = labels_of(before_c);
-    const std::vector<EdgeIdx> after = clusters.root_labels();
-    for (std::size_t i = 0; i < before.size(); ++i) {
-      if (before[i] == i && after[i] != i) {
-        result.dendrogram.add_event(level, static_cast<EdgeIdx>(i), after[i], score);
-      }
+  // Emits the dendrogram events of an accepted level from the journal: every
+  // union loser was a root of the pre-chunk state that stopped being one; it
+  // merged into its component minimum. Ascending loser order matches the
+  // ascending-index scan the full-array diff used to produce.
+  auto emit_level_events = [&](double score) {
+    for (const EdgeIdx loser : journal_losers_sorted(chunk_journal)) {
+      result.dendrogram.add_event(level, loser, dsu.find(loser), score);
     }
   };
 
   auto accept_level = [&](std::size_t beta_new, double score, EpochKind kind,
                           std::uint64_t chunk_used) {
     ++level;
-    emit_level_events(safe.c, score);
+    emit_level_events(score);
     result.epochs.push_back(EpochRecord{kind, chunk_used, beta, beta_new, xi});
     result.levels.push_back(CoarseLevel{level, beta_new, xi, score});
     xi_prev2 = safe.xi;
     beta_prev2 = safe.beta;
     have_prev2 = true;
     beta = beta_new;
-    safe = Snapshot{clusters.snapshot(), beta, xi, p};
+    safe = SafeState{beta, xi, p};
     consecutive_rollbacks = 0;
   };
 
@@ -268,10 +262,22 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
       last_score = entry.score;
     }
     apply_chunk(chunk_pairs);
+    // The chunk's transient footprint is its journal — O(changes), not
+    // O(T * |E|); the high-water model charges each chunk afresh.
+    MemoryCharge journal_charge(
+        ctx,
+        static_cast<std::uint64_t>(chunk_journal.size()) *
+            sizeof(ConcurrentDsu::JournalEntry),
+        "coarse.journal");
 
-    // ---- Epoch boundary: count clusters (an O(|E|) scan, as in the paper).
-    const std::size_t beta_new = clusters.cluster_count();
-    if (ledger != nullptr) ledger->add_serial(edge_count);
+    // ---- Epoch boundary: the cluster count falls by exactly the journal's
+    // union count (each successful CAS removes one root) — an O(changes)
+    // walk replacing the paper's O(|E|) scan.
+    const std::size_t unions = journal_union_count(chunk_journal);
+    const std::size_t beta_new = beta - unions;
+    if (ledger != nullptr) {
+      ledger->add_serial(static_cast<std::uint64_t>(chunk_journal.size()) + 1);
+    }
     const std::uint64_t chunk_used = xi - chunk_start;
 
     const bool c2_ok =
@@ -280,15 +286,37 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
                            consecutive_rollbacks < options.max_rollbacks_per_level;
 
     if (!c2_ok && can_retry) {
-      // ---- Case II: rollback. Save the too-aggressive state for reuse
+      // ---- Case II: rollback. Save the too-aggressive state for reuse as a
+      // compact journal — one (loser, target-root) union per removed cluster
       // (capacity 0 disables saving entirely — the reuse ablation).
       if (options.rollback_capacity > 0) {
         if (rollback_list.size() >= options.rollback_capacity) {
-          rollback_list.erase(rollback_list.begin());  // evict the oldest
-          release_snapshot();
+          // Evict the oldest (minimum seq) in O(1) moves: swap to the back
+          // and pop — the selection scans below never depend on list order.
+          std::size_t oldest = 0;
+          for (std::size_t s = 1; s < rollback_list.size(); ++s) {
+            if (rollback_list[s].seq < rollback_list[oldest].seq) oldest = s;
+          }
+          release_saved(rollback_list[oldest]);
+          std::swap(rollback_list[oldest], rollback_list.back());
+          rollback_list.pop_back();
         }
-        charge_snapshot();
-        rollback_list.push_back(Snapshot{clusters.snapshot(), beta_new, xi, p});
+        SavedState saved;
+        saved.beta = beta_new;
+        saved.xi = xi;
+        saved.p = p;
+        saved.seq = snapshot_seq++;
+        saved.edges.reserve(unions);
+        for (const EdgeIdx loser : journal_losers_sorted(chunk_journal)) {
+          saved.edges.push_back(ChunkPair{loser, dsu.find(loser)});
+        }
+        if (ctx != nullptr) {
+          LC_FAULT_POINT("coarse.snapshot");
+          saved.charged_bytes =
+              static_cast<std::uint64_t>(saved.edges.size()) * sizeof(ChunkPair);
+          ctx->charge_memory(saved.charged_bytes, "coarse.rollback_snapshot");
+        }
+        rollback_list.push_back(std::move(saved));
       }
       result.epochs.push_back(
           EpochRecord{EpochKind::kRollback, chunk_used, beta, beta_new, xi});
@@ -299,7 +327,12 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
       if (consecutive_rollbacks > 0) estimate = std::min(estimate, delta / 2.0);
       if (head_mode) eta = 1.0 + (eta - 1.0) / 2.0;  // head -> rollback damping
 
-      clusters.restore(safe.c);
+      // O(changes) unwind to Q*: rewind every journaled write instead of
+      // restoring an O(|E|) snapshot.
+      dsu.undo(chunk_journal);
+      if (ledger != nullptr) {
+        ledger->add_serial(static_cast<std::uint64_t>(chunk_journal.size()) + 1);
+      }
       xi = safe.xi;
       p = safe.p;
       delta = std::max(1.0, estimate);
@@ -314,24 +347,43 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
     if (beta <= options.phi) break;
 
     // ---- Reuse: jump to the saved future state with the fewest clusters
-    // that still satisfies the soundness ratio.
+    // that still satisfies the soundness ratio (ties: oldest save, matching
+    // the insertion-ordered list this replaced).
     while (beta > options.phi) {
       std::size_t best = rollback_list.size();
       for (std::size_t s = 0; s < rollback_list.size(); ++s) {
-        const Snapshot& snap = rollback_list[s];
+        const SavedState& snap = rollback_list[s];
         if (snap.beta < beta &&
             static_cast<double>(beta) <= options.gamma * static_cast<double>(snap.beta)) {
-          if (best == rollback_list.size() || snap.beta < rollback_list[best].beta) {
+          if (best == rollback_list.size() || snap.beta < rollback_list[best].beta ||
+              (snap.beta == rollback_list[best].beta &&
+               snap.seq < rollback_list[best].seq)) {
             best = s;
           }
         }
       }
       if (best == rollback_list.size()) break;
-      Snapshot jump = std::move(rollback_list[best]);
-      rollback_list.erase(rollback_list.begin() +
-                          static_cast<std::ptrdiff_t>(best));
-      release_snapshot();
-      clusters.restore(jump.c);
+      SavedState jump = std::move(rollback_list[best]);
+      std::swap(rollback_list[best], rollback_list.back());
+      rollback_list.pop_back();
+      release_saved(jump);
+      // Replay the compact journal on the live array: the current accepted
+      // state refines the saved one, so re-uniting each saved loser with its
+      // target root lands exactly on the saved partition.
+      chunk_journal.clear();
+      {
+        LC_FAULT_POINT("coarse.journal");
+        PollTicker ticker(ctx);
+        std::uint64_t work = 0;
+        for (const ChunkPair& edge : jump.edges) {
+          ticker.checkpoint();
+          work += dsu.unite(edge.a, edge.b, chunk_journal);
+        }
+        total_accesses += work;
+        total_changes += chunk_journal.size();
+        if (ledger != nullptr) ledger->add_serial(work);
+      }
+      LC_DCHECK(beta - journal_union_count(chunk_journal) == jump.beta);
       const std::uint64_t chunk_jump = jump.xi - xi;
       xi = jump.xi;
       p = jump.p;
@@ -355,7 +407,10 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
       std::size_t ref = rollback_list.size();
       for (std::size_t s = 0; s < rollback_list.size(); ++s) {
         if (rollback_list[s].beta < beta &&
-            (ref == rollback_list.size() || rollback_list[s].beta > rollback_list[ref].beta)) {
+            (ref == rollback_list.size() ||
+             rollback_list[s].beta > rollback_list[ref].beta ||
+             (rollback_list[s].beta == rollback_list[ref].beta &&
+              rollback_list[s].seq < rollback_list[ref].seq))) {
           ref = s;
         }
       }
@@ -384,11 +439,11 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
     }
   }
 
-  while (snapshots_charged > 0) release_snapshot();
+  for (SavedState& saved : rollback_list) release_saved(saved);
 
-  result.final_labels = clusters.root_labels();
-  result.stats.c_accesses = clusters.accesses();
-  result.stats.c_changes = clusters.total_changes();
+  result.final_labels = dsu.root_labels();
+  result.stats.c_accesses = total_accesses;
+  result.stats.c_changes = total_changes;
   result.stats.merges_effective = result.dendrogram.events().size();
   result.pairs_processed = xi;
 

@@ -29,9 +29,15 @@
 // is never touched — the source of the coarse mode's large speedup
 // (Fig. 5(2): only 55.1% of pairs processed at alpha = 0.005 in the paper).
 //
-// When a ThreadPool is supplied, each chunk is processed with the §VI-B
-// scheme: T private copies of array C merged pairwise with the corrected
-// array-merge.
+// When a ThreadPool is supplied, each chunk's pairs are merged concurrently
+// into ONE shared lock-free union-find (core/concurrent_dsu.hpp) instead of
+// the §VI-B T-copies-plus-pairwise-merge scheme: union-by-min-index makes
+// every root the component minimum, so the clustering — and therefore every
+// level, event, and estimate — is bitwise identical for any thread count.
+// Each successful parent write is appended to a *merge journal*; the epoch
+// boundary reads the new cluster count, the dendrogram events, the rollback
+// undo, and the compact reuse snapshots all from that journal, so epoch
+// bookkeeping costs O(changes) instead of O(|E|) scans and copies.
 #pragma once
 
 #include <cstdint>
@@ -101,8 +107,9 @@ struct CoarseResult {
 /// `pool`, chunks are processed with pool->thread_count() threads (§VI-B);
 /// `ledger` (optional, requires pool) records per-round work for simulated
 /// scaling. `ctx` (optional, not owned) is polled at chunk granularity and
-/// charged for the per-thread C copies and rollback snapshots; a pending
-/// stop unwinds via lc::StoppedError. Null has zero effect on the result.
+/// charged for the shared parent array, per-chunk merge journals, and the
+/// compact rollback snapshots; a pending stop unwinds via lc::StoppedError.
+/// Null has zero effect on the result.
 CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
                           const EdgeIndex& index, const CoarseOptions& options = {},
                           parallel::ThreadPool* pool = nullptr,

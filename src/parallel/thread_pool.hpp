@@ -86,6 +86,27 @@ void parallel_for_blocks(ThreadPool& pool, std::size_t n,
                          const std::function<void(std::size_t, std::size_t)>& fn,
                          std::size_t min_grain = 0);
 
+/// parallel_for_blocks with the block ordinal passed through:
+/// fn(block, begin, end) with block < pool.thread_count(). The ordinal lets
+/// callers keep per-block state (journals, work counters, ledger slots)
+/// without sharing — the coarse sweep's chunk application uses it.
+void parallel_for_blocks_indexed(
+    ThreadPool& pool, std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    std::size_t min_grain = 0);
+
+/// Worker count that is actually worth using for CPU-bound block work: the
+/// pool width clamped to std::thread::hardware_concurrency(). Pools wider
+/// than the machine (a T=8 bench on a 2-core container) oversubscribe the
+/// sort kernels — BENCH_micro_core showed sort_ms regressing from 151 ms at
+/// T=1 to ~203 ms at T=2–8 on a 1-core machine — without changing any
+/// output, so the extra width is pure loss. 0 from the runtime means
+/// "unknown": keep the pool width.
+inline std::size_t clamped_parallelism(const ThreadPool& pool) {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? pool.thread_count() : std::min(pool.thread_count(), hw);
+}
+
 /// Tournament (hierarchical pairwise) reduction driver, the paper's §VI-B
 /// sweep merge structure: in each round, pairs (0,1), (2,3), ... are merged
 /// concurrently via merge_fn(dst_index, src_index) — src is merged into dst
@@ -110,14 +131,18 @@ template <typename RandomIt, typename Compare>
 void parallel_sort(ThreadPool& pool, RandomIt first, RandomIt last, Compare comp) {
   const auto n = static_cast<std::size_t>(last - first);
   constexpr std::size_t kSerialCutoff = 4096;
-  if (pool.thread_count() <= 1 || n <= kSerialCutoff) {
+  // Block count follows the *machine*, not the pool: an oversubscribed pool
+  // only adds merge rounds and scheduling noise (the output is identical for
+  // every block count, so clamping is free).
+  const std::size_t parts = clamped_parallelism(pool);
+  if (parts <= 1 || n <= kSerialCutoff) {
     std::sort(first, last, comp);
     return;
   }
   const auto at = [first](std::size_t i) {
     return first + static_cast<typename std::iterator_traits<RandomIt>::difference_type>(i);
   };
-  std::vector<std::size_t> bounds = split_range(n, pool.thread_count());
+  std::vector<std::size_t> bounds = split_range(n, parts);
   {
     std::vector<std::function<void()>> tasks;
     for (std::size_t t = 0; t + 1 < bounds.size(); ++t) {
@@ -164,12 +189,14 @@ template <typename T, typename KeyFn>
 void parallel_radix_sort(ThreadPool& pool, std::vector<T>& items, KeyFn key_fn) {
   const std::size_t n = items.size();
   constexpr std::size_t kSerialCutoff = 4096;
-  if (pool.thread_count() <= 1 || n <= kSerialCutoff) {
+  // Same clamp as parallel_sort: the sort is stable for any block count, so
+  // width beyond the hardware is output-neutral and pure overhead.
+  const std::size_t parts = clamped_parallelism(pool);
+  if (parts <= 1 || n <= kSerialCutoff) {
     std::stable_sort(items.begin(), items.end(),
                      [&key_fn](const T& a, const T& b) { return key_fn(a) < key_fn(b); });
     return;
   }
-  const std::size_t parts = pool.thread_count();
   const std::vector<std::size_t> bounds = split_range(n, parts);
   std::vector<T> buffer(n);
   std::vector<std::array<std::size_t, 256>> counts(parts);

@@ -18,9 +18,9 @@
 // load — results are bitwise-identical to a context-free run.
 //
 // Memory budgets account *major allocations* (similarity staging and CSR
-// arenas, coarse per-thread C copies and rollback snapshots, baseline
-// matrices) — an intentional high-water model of the structures that scale
-// with the input, not a malloc interposer.
+// arenas, the coarse sweep's shared parent array, merge journals and compact
+// rollback snapshots, baseline matrices) — an intentional high-water model of
+// the structures that scale with the input, not a malloc interposer.
 #pragma once
 
 #include <atomic>

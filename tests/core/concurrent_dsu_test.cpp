@@ -1,0 +1,176 @@
+#include "core/concurrent_dsu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/cluster_array.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace lc::core {
+namespace {
+
+struct Pair {
+  EdgeIdx a, b;
+};
+
+std::vector<Pair> random_pairs(std::size_t n, std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Pair> pairs;
+  pairs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pairs.push_back(Pair{static_cast<EdgeIdx>(rng.next_below(n)),
+                         static_cast<EdgeIdx>(rng.next_below(n))});
+  }
+  return pairs;
+}
+
+/// FNV-1a over a label vector: any difference in any slot changes it.
+std::uint64_t labels_digest(const std::vector<EdgeIdx>& labels) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const EdgeIdx label : labels) {
+    for (int byte = 0; byte < 4; ++byte) {
+      h ^= (static_cast<std::uint64_t>(label) >> (byte * 8)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+/// Applies one batch of pairs with `threads` static blocks on a real pool
+/// (serial loop when threads == 1), concatenating per-block journals in
+/// block order — the exact shape of the coarse sweep's apply_chunk.
+void apply_batch(ConcurrentDsu& dsu, const std::vector<Pair>& pairs,
+                 std::size_t threads, parallel::ThreadPool* pool,
+                 ConcurrentDsu::Journal& journal) {
+  journal.clear();
+  if (threads == 1 || pool == nullptr) {
+    for (const Pair& pair : pairs) dsu.unite(pair.a, pair.b, journal);
+    return;
+  }
+  std::vector<ConcurrentDsu::Journal> blocks(threads);
+  parallel::parallel_for_blocks_indexed(
+      *pool, pairs.size(), [&](std::size_t block, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          dsu.unite(pairs[i].a, pairs[i].b, blocks[block]);
+        }
+      });
+  for (const ConcurrentDsu::Journal& block : blocks) {
+    journal.insert(journal.end(), block.begin(), block.end());
+  }
+}
+
+TEST(ConcurrentDsu, InitialStateIsIdentity) {
+  ConcurrentDsu dsu(5);
+  EXPECT_EQ(dsu.size(), 5u);
+  EXPECT_EQ(dsu.component_count(), 5u);
+  for (EdgeIdx i = 0; i < 5; ++i) EXPECT_EQ(dsu.find(i), i);
+}
+
+TEST(ConcurrentDsu, UniteByMinIndexAndJournalShape) {
+  ConcurrentDsu dsu(6);
+  ConcurrentDsu::Journal journal;
+  dsu.unite(4, 2, journal);
+  EXPECT_EQ(dsu.find(4), 2u);  // larger root attached to smaller
+  dsu.unite(2, 0, journal);
+  EXPECT_EQ(dsu.find(4), 0u);
+  dsu.unite(4, 0, journal);  // already joined: no union entry
+  EXPECT_EQ(journal_union_count(journal), 2u);
+  const std::vector<EdgeIdx> losers = journal_losers_sorted(journal);
+  ASSERT_EQ(losers.size(), 2u);
+  EXPECT_EQ(losers[0], 2u);
+  EXPECT_EQ(losers[1], 4u);
+  EXPECT_EQ(dsu.component_count(), 4u);
+}
+
+TEST(ConcurrentDsu, UndoRestoresParentArrayBitwise) {
+  const std::size_t n = 500;
+  ConcurrentDsu dsu(n);
+  ConcurrentDsu::Journal journal;
+  // Establish a non-trivial base state first, then journal a second wave.
+  for (const Pair& pair : random_pairs(n, 300, 7)) dsu.unite(pair.a, pair.b, journal);
+  const std::vector<EdgeIdx> before = dsu.parent_snapshot();
+  journal.clear();
+  for (const Pair& pair : random_pairs(n, 400, 8)) dsu.unite(pair.a, pair.b, journal);
+  EXPECT_NE(dsu.parent_snapshot(), before);
+  // Undo must not depend on journal order: shuffle before replaying.
+  ConcurrentDsu::Journal shuffled = journal;
+  Rng rng(99);
+  lc::shuffle(shuffled.begin(), shuffled.end(), rng);
+  dsu.undo(shuffled);
+  EXPECT_EQ(dsu.parent_snapshot(), before);
+}
+
+TEST(ConcurrentDsu, StressMatchesSerialClusterArrayAcrossThreadCounts) {
+  const std::size_t n = 2000;
+  const std::size_t batches = 40;
+  const std::size_t batch_size = 120;
+  // Oracle digests from the serial reference structure.
+  std::vector<std::uint64_t> oracle_digests;
+  std::vector<std::size_t> oracle_counts;
+  {
+    ClusterArray oracle(n);
+    for (std::size_t b = 0; b < batches; ++b) {
+      for (const Pair& pair : random_pairs(n, batch_size, 1000 + b)) {
+        oracle.merge(pair.a, pair.b);
+      }
+      oracle_digests.push_back(labels_digest(oracle.root_labels()));
+      oracle_counts.push_back(oracle.cluster_count());
+    }
+  }
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    parallel::ThreadPool pool(threads);
+    ConcurrentDsu dsu(n);
+    ConcurrentDsu::Journal journal;
+    std::size_t count = n;
+    for (std::size_t b = 0; b < batches; ++b) {
+      const std::vector<Pair> pairs = random_pairs(n, batch_size, 1000 + b);
+      apply_batch(dsu, pairs, threads, &pool, journal);
+      count -= journal_union_count(journal);
+      EXPECT_EQ(labels_digest(dsu.root_labels()), oracle_digests[b])
+          << "threads=" << threads << " batch=" << b;
+      EXPECT_EQ(count, oracle_counts[b]) << "threads=" << threads << " batch=" << b;
+      EXPECT_EQ(dsu.component_count(), oracle_counts[b]);
+    }
+  }
+}
+
+TEST(ConcurrentDsu, JournalLosersAreExactlyTheRootsThatFell) {
+  const std::size_t n = 800;
+  ConcurrentDsu dsu(n);
+  ConcurrentDsu::Journal journal;
+  for (const Pair& pair : random_pairs(n, 300, 21)) dsu.unite(pair.a, pair.b, journal);
+  const std::vector<EdgeIdx> before = dsu.root_labels();
+  journal.clear();
+  parallel::ThreadPool pool(4);
+  const std::vector<Pair> pairs = random_pairs(n, 500, 22);
+  apply_batch(dsu, pairs, 4, &pool, journal);
+  const std::vector<EdgeIdx> after = dsu.root_labels();
+  std::vector<EdgeIdx> fell;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (before[i] == i && after[i] != i) fell.push_back(static_cast<EdgeIdx>(i));
+  }
+  EXPECT_EQ(journal_losers_sorted(journal), fell);
+  // Each loser's find() is its new component minimum.
+  for (const EdgeIdx loser : fell) EXPECT_EQ(dsu.find(loser), after[loser]);
+}
+
+TEST(ConcurrentDsu, ParallelBatchUndoRestoresQuiescedState) {
+  const std::size_t n = 1500;
+  parallel::ThreadPool pool(8);
+  ConcurrentDsu dsu(n);
+  ConcurrentDsu::Journal journal;
+  for (const Pair& pair : random_pairs(n, 400, 31)) dsu.unite(pair.a, pair.b, journal);
+  const std::vector<EdgeIdx> before = dsu.parent_snapshot();
+  for (std::size_t round = 0; round < 5; ++round) {
+    const std::vector<Pair> pairs = random_pairs(n, 600, 32 + round);
+    apply_batch(dsu, pairs, 8, &pool, journal);
+    dsu.undo(journal);
+    EXPECT_EQ(dsu.parent_snapshot(), before) << "round=" << round;
+  }
+}
+
+}  // namespace
+}  // namespace lc::core

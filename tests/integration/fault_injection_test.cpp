@@ -89,8 +89,12 @@ const SiteCase kThrowCases[] = {
     {"sweep.entry", 8, PairMapKind::kHash, ClusterMode::kFine},
     {"coarse.chunk", 1, PairMapKind::kHash, ClusterMode::kCoarse},
     {"coarse.apply", 1, PairMapKind::kHash, ClusterMode::kCoarse},
+    {"coarse.cas_union", 1, PairMapKind::kHash, ClusterMode::kCoarse},
+    {"coarse.journal", 1, PairMapKind::kHash, ClusterMode::kCoarse},
     {"coarse.chunk", 8, PairMapKind::kHash, ClusterMode::kCoarse},
     {"coarse.apply", 8, PairMapKind::kHash, ClusterMode::kCoarse},
+    {"coarse.cas_union", 8, PairMapKind::kHash, ClusterMode::kCoarse},
+    {"coarse.journal", 8, PairMapKind::kHash, ClusterMode::kCoarse},
 };
 
 TEST_F(FaultInjectionTest, ThrowAtEverySiteBecomesInternalStatus) {
@@ -157,6 +161,28 @@ TEST_F(FaultInjectionTest, DisarmedRerunReproducesDendrogramExactly) {
     const std::uint64_t reference = dendrogram_digest(before.value().dendrogram);
 
     fault::arm("sim.pass1", fault::FaultKind::kThrow);
+    EXPECT_FALSE(clusterer.run(test_graph()).ok());
+    fault::disarm();
+
+    const StatusOr<ClusterResult> after = clusterer.run(test_graph());
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(dendrogram_digest(after.value().dendrogram), reference);
+  }
+}
+
+TEST_F(FaultInjectionTest, DisarmedRerunReproducesCoarseDendrogramExactly) {
+  // Same round trip through the coarse mode: a CAS-union fault mid-chunk
+  // unwinds through the shared concurrent DSU, and a fresh run afterwards
+  // reproduces the exact coarse dendrogram at both thread counts.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    const LinkClusterer clusterer(
+        make_config(threads, PairMapKind::kHash, ClusterMode::kCoarse));
+    const StatusOr<ClusterResult> before = clusterer.run(test_graph());
+    ASSERT_TRUE(before.ok());
+    const std::uint64_t reference = dendrogram_digest(before.value().dendrogram);
+
+    fault::arm("coarse.cas_union", fault::FaultKind::kThrow, /*skip_hits=*/100);
     EXPECT_FALSE(clusterer.run(test_graph()).ok());
     fault::disarm();
 

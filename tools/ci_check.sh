@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Sanitizer CI sweep: builds the tree with -DLC_FAULT_INJECT=ON under ASan
 # and then UBSan, and runs the full test suite (tier-1 tests plus the
-# fault-injection suite) under each. Any sanitizer report fails the build
-# because CMakeLists.txt sets -fno-sanitize-recover=all.
+# fault-injection suite) under each. A third leg builds under TSan and runs
+# just the concurrency suites (the lock-free union-find stress test, the
+# thread pool, and the coarse/parallel determinism tests) — the full suite
+# under TSan is prohibitively slow and the serial tests cannot race. Any
+# sanitizer report fails the build because CMakeLists.txt sets
+# -fno-sanitize-recover=all.
 #
 # Usage: tools/ci_check.sh [build-dir-prefix]
 #   build-dir-prefix defaults to "build-san"; per-sanitizer trees land in
-#   <prefix>-address/ and <prefix>-undefined/.
+#   <prefix>-address/, <prefix>-undefined/, and <prefix>-thread/.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,5 +31,20 @@ for san in address undefined; do
   echo "== ${san}: test =="
   ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
 done
+
+build_dir="${prefix}-thread"
+echo "== thread: configure (${build_dir}) =="
+cmake -B "${build_dir}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DLC_SANITIZE=thread \
+  -DLC_BUILD_BENCHES=OFF \
+  -DLC_BUILD_EXAMPLES=OFF
+echo "== thread: build =="
+cmake --build "${build_dir}" -j "${jobs}" \
+  --target core_concurrent_dsu_test parallel_thread_pool_test \
+           core_coarse_test core_similarity_determinism_test
+echo "== thread: test (concurrency suites) =="
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
+  -R 'ConcurrentDsu|ThreadPool|Coarse|Determinism'
 
 echo "ci_check: all sanitizer suites passed"
