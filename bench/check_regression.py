@@ -17,6 +17,24 @@ Runs ``micro_core --json`` into a temp file (or takes a pre-generated file via
      and coarse_fnv must agree across every fresh thread count (the shared
      concurrent union-find is required to be thread-count-invariant). Skipped
      with a notice when the records predate the coarse fields.
+  4. Checkpointing must stay cheap: the always-on tax of an armed
+     checkpointer — the due() polls and branches the sweep hot path pays even
+     when no snapshot falls due. The bench times plain and armed-but-idle
+     sweeps as adjacent pairs and reports ckpt_idle_overhead_ms, the smaller
+     of two drift-robust estimators: the median per-pair delta (pairing
+     cancels box-level drift, the median shrugs off reps an interrupt lands
+     on) and min-idle minus min-plain (mins converge to the true time from
+     above). A real regression inflates both; noise rarely does. That
+     overhead must stay within (--ckpt-slack - 1) of the min-of-reps plain
+     sweep (sweep_plain_ms).
+     The cost of an actual write (serialize + fsync + the cache refill after
+     streaming a snapshot) is the premium the interval knob scales —
+     proportional to cadence, paid at most once per interval — so it is
+     reported (checkpoint_ms, snapshot_bytes, and the 20 ms-cadence
+     sweep_ckpt_ms) but not gated. The leg cannot silently pass by never
+     checkpointing: at least one snapshot must have been written
+     (checkpoint_writes >= 1, snapshot_bytes > 0). Skipped with a notice
+     when the records predate the checkpoint fields.
 
 Exit code 0 = pass, 1 = regression, 2 = usage/environment error.
 
@@ -60,6 +78,12 @@ def main() -> int:
                         help="multiplier on the T=1 coarse time the widest run must stay "
                              "under (default 1.15: concurrent chunk apply may not cost "
                              "more than 15%% over serial, even oversubscribed)")
+    parser.add_argument("--ckpt-slack", type=float, default=1.05,
+                        help="bound on the armed-but-idle sweep overhead: the median "
+                             "paired plain-vs-idle delta must stay under "
+                             "(ckpt-slack - 1) x the plain T=1 sweep time (default "
+                             "1.05: at most 5%% always-on bookkeeping overhead from "
+                             "an enabled checkpointer)")
     args = parser.parse_args()
 
     if args.fresh is None and args.bench_binary is None:
@@ -154,6 +178,32 @@ def main() -> int:
                 f"{sorted(base_coarse)} — coarse output changed")
     else:
         print("coarse gate: skipped (no coarse_ms in fresh records)")
+
+    # Gate 4: the always-on tax of an armed checkpointer on the T=1 sweep.
+    if 1 in fresh and "ckpt_idle_overhead_ms" in fresh[1]:
+        rec = fresh[1]
+        sweep_ms = float(rec["sweep_plain_ms"])
+        overhead_ms = float(rec["ckpt_idle_overhead_ms"])
+        ckpt_ms = float(rec["sweep_ckpt_ms"])
+        write_ms = float(rec.get("checkpoint_ms", 0.0))
+        writes = int(rec.get("checkpoint_writes", 0))
+        snapshot_bytes = int(rec.get("snapshot_bytes", 0))
+        if writes < 1 or snapshot_bytes <= 0:
+            failures.append(
+                f"checkpoint leg wrote no snapshots (writes={writes}, "
+                f"snapshot_bytes={snapshot_bytes}) — the overhead gate measured nothing")
+        bound = sweep_ms * (args.ckpt_slack - 1.0)
+        verdict = "ok" if overhead_ms <= bound else "REGRESSION"
+        print(f"checkpoint: plain {sweep_ms:.1f}  idle overhead {overhead_ms:+.1f} "
+              f"bound {bound:.1f}  {verdict}  [writing cadence: {ckpt_ms:.1f}ms, "
+              f"{writes} writes, {snapshot_bytes} B, write time {write_ms:.1f}ms]")
+        if overhead_ms > bound:
+            failures.append(
+                f"armed-idle sweep overhead {overhead_ms:.1f}ms > {bound:.1f}ms "
+                f"(({args.ckpt_slack:.2f} - 1) x plain sweep {sweep_ms:.1f}ms) "
+                f"— checkpoint bookkeeping leaked into the sweep hot path")
+    else:
+        print("checkpoint gate: skipped (no ckpt_idle_overhead_ms in fresh records)")
 
     if failures:
         for f in failures:

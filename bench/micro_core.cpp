@@ -9,14 +9,19 @@
 // comparison.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "bench_json.hpp"
+#include "core/checkpoint.hpp"
 #include "core/cluster_array.hpp"
 #include "core/coarse.hpp"
 #include "core/dendrogram.hpp"
@@ -161,6 +166,106 @@ int run_json_mode(const std::string& path) {
     const double sort_ms = watch.lap() * 1e3;
     const lc::core::SweepResult result = lc::core::sweep(graph, map, index);
     const double sweep_ms = watch.lap() * 1e3;
+    // Checkpoint-overhead legs (T=1 only). Two measurements, two purposes:
+    //
+    //  * "armed idle": a checkpointer whose interval never elapses mid-sweep
+    //    (the production default is 30 s against a 60 ms sweep). This is the
+    //    always-on tax of having checkpointing enabled — the due() polls and
+    //    branches on the hot path — and is what the regression gate holds to
+    //    a few percent of the plain sweep.
+    //  * "armed writing": a 20 ms cadence that forces real snapshots out, so
+    //    checkpoint_ms / snapshot_bytes report the measured cost of a write.
+    //    That cost (serialize + fsync + the cache refill after streaming a
+    //    megabyte) is the insurance premium the interval knob scales; it is
+    //    reported, not gated.
+    //
+    // Single-shot wall times swing double digits on shared boxes, so every
+    // side of the comparison is a min over repetitions.
+    std::string checkpoint_extra;
+    if (threads == 1) {
+      const std::filesystem::path dir =
+          std::filesystem::temp_directory_path() / "lc_bench_checkpoint";
+      lc::core::RunFingerprint fp;
+      fp.graph_digest = lc::core::graph_fingerprint(graph);
+      // Plain and armed-idle reps run as adjacent pairs, and the reported
+      // overhead is the smaller of two drift-robust estimators: the median
+      // per-pair delta (pairing cancels box drift, the median shrugs off
+      // reps an interrupt lands on) and min-idle minus min-plain (mins
+      // converge to the true time from above, since noise only slows). On a
+      // shared box each estimator alone still flakes; a real regression
+      // inflates both, noise rarely does.
+      lc::core::CheckpointPolicy idle_policy;
+      idle_policy.directory = dir.string();
+      idle_policy.interval_ms = 3'600'000;
+      double plain_min_ms = sweep_ms;
+      double idle_min_ms = std::numeric_limits<double>::infinity();
+      std::vector<double> idle_delta_ms;
+      for (int rep = 0; rep < 9; ++rep) {
+        watch.lap();
+        const lc::core::SweepResult again = lc::core::sweep(graph, map, index);
+        const double plain_rep_ms = watch.lap() * 1e3;
+        plain_min_ms = std::min(plain_min_ms, plain_rep_ms);
+        if (dendrogram_digest(again.dendrogram) != dendrogram_digest(result.dendrogram)) {
+          std::printf("plain sweep rerun changed the dendrogram: FAIL\n");
+          return 1;
+        }
+        lc::core::Checkpointer checkpointer(idle_policy, fp);
+        watch.lap();
+        const lc::core::SweepResult armed =
+            lc::core::sweep(graph, map, index, {},
+                            -std::numeric_limits<double>::infinity(), nullptr,
+                            &checkpointer);
+        const double idle_rep_ms = watch.lap() * 1e3;
+        idle_min_ms = std::min(idle_min_ms, idle_rep_ms);
+        idle_delta_ms.push_back(idle_rep_ms - plain_rep_ms);
+        if (dendrogram_digest(armed.dendrogram) != dendrogram_digest(result.dendrogram)) {
+          std::printf("idle checkpointing changed the dendrogram: FAIL\n");
+          return 1;
+        }
+      }
+      std::nth_element(idle_delta_ms.begin(),
+                       idle_delta_ms.begin() + idle_delta_ms.size() / 2,
+                       idle_delta_ms.end());
+      const double idle_overhead_ms =
+          std::min(idle_delta_ms[idle_delta_ms.size() / 2],
+                   idle_min_ms - plain_min_ms);
+      lc::core::CheckpointPolicy write_policy;
+      write_policy.directory = dir.string();
+      write_policy.interval_ms = 20;
+      double armed_min_ms = std::numeric_limits<double>::infinity();
+      double write_ms = 0.0;
+      std::uint64_t snapshot_bytes = 0;
+      std::uint64_t writes = 0;
+      for (int rep = 0; rep < 3; ++rep) {
+        lc::core::Checkpointer checkpointer(write_policy, fp);
+        watch.lap();
+        const lc::core::SweepResult armed =
+            lc::core::sweep(graph, map, index, {},
+                            -std::numeric_limits<double>::infinity(), nullptr,
+                            &checkpointer);
+        const double sweep_ckpt_ms = watch.lap() * 1e3;
+        if (dendrogram_digest(armed.dendrogram) != dendrogram_digest(result.dendrogram)) {
+          std::printf("checkpointing changed the dendrogram: FAIL\n");
+          return 1;
+        }
+        if (checkpointer.snapshots_written() == 0) continue;
+        if (sweep_ckpt_ms < armed_min_ms) {
+          armed_min_ms = sweep_ckpt_ms;
+          write_ms = checkpointer.write_seconds_total() * 1e3;
+          snapshot_bytes = checkpointer.last_snapshot_bytes();
+          writes = checkpointer.snapshots_written();
+        }
+      }
+      checkpoint_extra = lc::strprintf(
+          ", \"sweep_plain_ms\": %.3f, \"ckpt_idle_overhead_ms\": %.3f, "
+          "\"sweep_ckpt_ms\": %.3f, \"checkpoint_ms\": %.3f, "
+          "\"snapshot_bytes\": %llu, \"checkpoint_writes\": %llu",
+          plain_min_ms, idle_overhead_ms, armed_min_ms, write_ms,
+          static_cast<unsigned long long>(snapshot_bytes),
+          static_cast<unsigned long long>(writes));
+      std::error_code cleanup_error;
+      std::filesystem::remove_all(dir, cleanup_error);
+    }
     // Coarse phase, timed separately with a fresh context so the charged
     // high-water mark isolates the coarse transient footprint (the shared
     // parent array + journals — O(|E|), not the old T-copies' O(T * |E|)).
@@ -193,6 +298,7 @@ int run_json_mode(const std::string& path) {
         static_cast<unsigned long long>(result.stats.merges_effective),
         static_cast<unsigned long long>(digest),
         static_cast<unsigned long long>(coarse_digest));
+    run.extra += checkpoint_extra;
     runs.push_back(run);
     std::printf(
         "threads=%zu  total=%8.1fms  (build %.1f, sort %.1f, sweep %.1f, "

@@ -1,6 +1,7 @@
 #include "cli/commands.hpp"
 
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <ostream>
@@ -8,6 +9,7 @@
 #include <string>
 #include <utility>
 
+#include "core/checkpoint.hpp"
 #include "core/dendrogram_io.hpp"
 #include "core/link_clusterer.hpp"
 #include "core/partition_density.hpp"
@@ -21,6 +23,7 @@
 #include "util/cli.hpp"
 #include "util/run_context.hpp"
 #include "util/status.hpp"
+#include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -74,8 +77,15 @@ int cmd_cluster(int argc, const char* const* argv, std::ostream& out, std::ostre
   flags.add_int("seed", 42, "edge enumeration seed");
   flags.add_string("newick", "", "write the dendrogram as Newick to this path");
   flags.add_string("merges", "", "write the merge list to this path");
-  flags.add_int("deadline-ms", 0, "abort the run after this many milliseconds (0 = off)");
+  flags.add_int("deadline-ms", -1,
+                "abort the run after this many milliseconds (0 trips on the "
+                "first poll; negative = off)");
   flags.add_int("max-memory-mb", 0, "major-allocation budget in MiB (0 = off)");
+  flags.add_string("checkpoint-dir", "",
+                   "write crash-consistent snapshots of sweep progress here");
+  flags.add_int("checkpoint-every-ms", 30000,
+                "minimum milliseconds between snapshots (0 = every chunk)");
+  flags.add_bool("resume", false, "continue from the snapshot in --checkpoint-dir");
   if (!flags.parse(argc, argv) || flags.get_string("input").empty()) {
     err << "usage: linkcluster cluster --input graph.edges [--mode fine|coarse] ...\n";
     return 1;
@@ -83,6 +93,10 @@ int cmd_cluster(int argc, const char* const* argv, std::ostream& out, std::ostre
   const std::string mode = flags.get_string("mode");
   if (mode != "fine" && mode != "coarse") {
     err << "error: --mode must be fine or coarse\n";
+    return 1;
+  }
+  if (flags.get_bool("resume") && flags.get_string("checkpoint-dir").empty()) {
+    err << "error: --resume requires --checkpoint-dir\n";
     return 1;
   }
   const auto graph = load_graph(flags.get_string("input"), err);
@@ -96,23 +110,50 @@ int cmd_cluster(int argc, const char* const* argv, std::ostream& out, std::ostre
   config.coarse.phi = static_cast<std::size_t>(flags.get_int("phi"));
   config.coarse.delta0 = static_cast<std::uint64_t>(std::max<std::int64_t>(1, flags.get_int("delta0")));
 
+  config.checkpoint.directory = flags.get_string("checkpoint-dir");
+  config.checkpoint.interval_ms =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(0, flags.get_int("checkpoint-every-ms")));
+  config.resume = flags.get_bool("resume");
+
   RunContext ctx;
   const std::int64_t deadline_ms = flags.get_int("deadline-ms");
   const std::int64_t max_memory_mb = flags.get_int("max-memory-mb");
-  if (deadline_ms > 0) ctx.set_deadline_after(std::chrono::milliseconds(deadline_ms));
+  if (deadline_ms >= 0) ctx.set_deadline_after(std::chrono::milliseconds(deadline_ms));
   if (max_memory_mb > 0) {
     ctx.set_memory_budget(static_cast<std::uint64_t>(max_memory_mb) * 1024 * 1024);
   }
-  if (deadline_ms > 0 || max_memory_mb > 0) config.ctx = &ctx;
+  if (deadline_ms >= 0 || max_memory_mb > 0) config.ctx = &ctx;
 
+  if (config.checkpoint.enabled()) {
+    out << (config.resume ? "resuming from " : "checkpointing to ")
+        << core::snapshot_path(config.checkpoint.directory) << " (every "
+        << config.checkpoint.interval_ms << " ms)\n";
+  }
+
+  Stopwatch elapsed;
   StatusOr<core::ClusterResult> run = core::LinkClusterer(config).run(*graph);
   if (!run.ok()) {
     err << "error: " << run.status().to_string() << "\n";
     switch (run.status().code()) {
       case StatusCode::kCancelled:
       case StatusCode::kDeadlineExceeded:
-      case StatusCode::kResourceExhausted:
-        return 3;  // the run was stopped, not broken
+      case StatusCode::kResourceExhausted: {
+        // The run was stopped, not broken: say why, what it cost, and — when
+        // a snapshot exists — how to pick it back up.
+        err << "stopped: " << status_code_name(run.status().code()) << " after "
+            << format_seconds(elapsed.seconds());
+        if (ctx.memory_peak() > 0) {
+          err << ", high-water memory " << with_commas(ctx.memory_peak()) << " bytes";
+        }
+        err << "\n";
+        if (config.checkpoint.enabled()) {
+          const std::string snapshot = core::snapshot_path(config.checkpoint.directory);
+          if (std::filesystem::exists(snapshot)) {
+            err << "checkpoint: " << snapshot << " (rerun with --resume to continue)\n";
+          }
+        }
+        return 3;
+      }
       default:
         return 2;
     }

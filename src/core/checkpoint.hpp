@@ -1,0 +1,178 @@
+// Crash-consistent checkpoint/resume for the sweeping phases (DESIGN.md §11).
+//
+// Both sweeps advance through one deterministic coordinate — the position in
+// the sorted pair list L (an entry index for the fine sweep, the (p, xi)
+// cursor for the coarse machine). A checkpoint is everything the algorithm
+// carries across that coordinate: the cluster array / DSU parent labels, the
+// dendrogram event prefix, the level and beta counters, and (coarse) the
+// mode-machine registers plus the compact rollback snapshots. Because the
+// similarity map build and sort are bitwise deterministic at every thread
+// count, a resumed run rebuilds L, seeks to the stored coordinate, restores
+// the state, and continues to a dendrogram identical to an uninterrupted
+// run's — at any thread count.
+//
+// Snapshots ride the container of util/snapshot_io.hpp: checksummed sections,
+// a trailing commit marker, atomic tmp -> .prev -> primary replacement. A
+// fingerprint section binds the snapshot to the run's inputs (graph digest,
+// mode, enumeration order + seed, similarity measure, coarse parameters);
+// resume refuses a mismatch with a clear Status instead of producing a
+// plausible-but-wrong dendrogram. Thread count is deliberately NOT part of
+// the fingerprint: outputs are thread-count-invariant, so a run may resume
+// with a different -T than it started with.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/coarse.hpp"
+#include "core/dendrogram.hpp"
+#include "core/sweep.hpp"
+#include "graph/graph.hpp"
+#include "util/snapshot_io.hpp"
+#include "util/status.hpp"
+
+namespace lc::core {
+
+/// When and where snapshots are written. Polled by the sweeps at the same
+/// chunk granularity RunContext uses, so a snapshot costs nothing between
+/// boundaries.
+struct CheckpointPolicy {
+  std::string directory;              ///< empty = checkpointing disabled
+  std::uint64_t interval_ms = 30000;  ///< min wall time between snapshots;
+                                      ///< 0 = snapshot at every boundary
+  std::uint64_t max_snapshots = 0;    ///< stop after this many (0 = unlimited;
+                                      ///< lets tests pin the snapshot position)
+  [[nodiscard]] bool enabled() const { return !directory.empty(); }
+};
+
+/// Snapshot file inside `directory` (the ".prev"/".tmp" siblings derive from
+/// this path).
+[[nodiscard]] std::string snapshot_path(const std::string& directory);
+
+/// Everything a snapshot must match before its state may be resumed.
+/// Enum-typed config fields are stored as raw integers so this header does
+/// not depend on link_clusterer.hpp (which includes it).
+struct RunFingerprint {
+  std::uint64_t graph_digest = 0;  ///< graph_fingerprint() of the input
+  std::uint8_t mode = 0;           ///< ClusterMode
+  std::uint8_t edge_order = 0;     ///< EdgeOrder
+  std::uint8_t measure = 0;        ///< SimilarityMeasure
+  std::uint64_t seed = 0;
+  double min_similarity = 0.0;
+  double gamma = 0.0;
+  std::uint64_t phi = 0;
+  std::uint64_t delta0 = 0;
+  double eta0 = 0.0;
+  std::uint64_t rollback_capacity = 0;
+  std::uint64_t max_rollbacks_per_level = 0;
+
+  [[nodiscard]] bool operator==(const RunFingerprint& other) const = default;
+};
+
+/// Digest of the graph's exact content (vertex count + every edge with its
+/// weight bits), the anchor of RunFingerprint.
+[[nodiscard]] std::uint64_t graph_fingerprint(const graph::WeightedGraph& graph);
+
+/// Fine-sweep state at an entry boundary: the next entry to process and
+/// everything accumulated before it.
+struct FineCheckpoint {
+  std::uint64_t entry_pos = 0;  ///< entries [0, entry_pos) are fully merged
+  std::uint32_t level = 0;
+  std::uint64_t ordinal = 0;    ///< incident pairs processed
+  SweepStats stats;             ///< totals at the boundary (base for resume)
+  std::vector<EdgeIdx> cluster_c;
+  std::vector<MergeEvent> events;
+};
+
+/// One saved rollback state, exactly core/coarse.cpp's compact journal form.
+struct CoarseSavedState {
+  std::vector<EdgeIdx> losers;   ///< union losers, ascending
+  std::vector<EdgeIdx> targets;  ///< target root per loser
+  std::uint64_t beta = 0;
+  std::uint64_t xi = 0;
+  std::uint64_t p = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Coarse-sweep state at a chunk boundary (the mode machine sits at the safe
+/// state Q*, the merge journal is empty).
+struct CoarseCheckpoint {
+  std::uint64_t xi = 0;
+  std::uint64_t p = 0;
+  std::uint64_t beta = 0;
+  std::uint32_t level = 0;
+  double delta = 0.0;
+  double eta = 0.0;
+  std::uint8_t head_mode = 1;
+  std::uint64_t consecutive_rollbacks = 0;
+  std::uint64_t xi_prev2 = 0;
+  std::uint64_t beta_prev2 = 0;
+  std::uint8_t have_prev2 = 0;
+  std::uint64_t snapshot_seq = 0;
+  std::uint64_t rollback_count = 0;
+  std::uint64_t reuse_count = 0;
+  std::uint64_t soundness_violations = 0;
+  SweepStats stats;
+  std::vector<EdgeIdx> parents;  ///< ConcurrentDsu parent array
+  std::vector<MergeEvent> events;
+  std::vector<EpochRecord> epochs;
+  std::vector<CoarseLevel> levels;
+  std::vector<CoarseSavedState> rollback_list;
+};
+
+/// Writes snapshots per a CheckpointPolicy. The sweeps ask due() at chunk
+/// boundaries and hand over their state; a failed write is recorded (see
+/// last_error()) but never stops the run — losing a snapshot must not lose
+/// the run it was insuring.
+class Checkpointer {
+ public:
+  Checkpointer(CheckpointPolicy policy, RunFingerprint fingerprint);
+
+  /// True when the policy wants a snapshot now.
+  [[nodiscard]] bool due() const;
+
+  Status write_fine(const FineCheckpoint& state);
+  Status write_coarse(const CoarseCheckpoint& state);
+
+  [[nodiscard]] const CheckpointPolicy& policy() const { return policy_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t snapshots_written() const { return written_; }
+  [[nodiscard]] std::uint64_t last_snapshot_bytes() const { return last_bytes_; }
+  [[nodiscard]] double write_seconds_total() const { return write_seconds_; }
+  [[nodiscard]] const Status& last_error() const { return last_error_; }
+
+ private:
+  Status write(std::uint32_t section_id, snapshot::SectionWriter body);
+
+  CheckpointPolicy policy_;
+  RunFingerprint fingerprint_;
+  std::string path_;
+  std::chrono::steady_clock::time_point next_due_;
+  std::uint64_t written_ = 0;
+  std::uint64_t last_bytes_ = 0;
+  double write_seconds_ = 0.0;
+  Status last_error_;
+};
+
+/// A validated snapshot: exactly one of `fine` / `coarse` is set, matching
+/// the fingerprint's mode.
+struct LoadedCheckpoint {
+  std::optional<FineCheckpoint> fine;
+  std::optional<CoarseCheckpoint> coarse;
+  std::string source_path;  ///< the file that validated (primary or .prev)
+};
+
+/// Loads the snapshot in `directory`: tries the primary file, falls back to
+/// ".prev" when the primary is missing, torn, or corrupt, then validates the
+/// fingerprint against `expected` and every structural invariant the resumed
+/// sweep depends on (sized arrays vs `edge_count`, monotone parents/labels,
+/// dendrogram event ordering). Every failure is an error Status — a corrupt
+/// or mismatched snapshot can refuse to resume, never corrupt a result.
+[[nodiscard]] StatusOr<LoadedCheckpoint> load_checkpoint(
+    const std::string& directory, const RunFingerprint& expected,
+    std::size_t edge_count);
+
+}  // namespace lc::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/checkpoint.hpp"
 #include "core/concurrent_dsu.hpp"
 #include "util/check.hpp"
 #include "util/fault_inject.hpp"
@@ -82,7 +83,8 @@ double rollback_estimate(std::uint64_t xi_prev2, std::size_t beta_prev2, bool ha
 CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
                           const EdgeIndex& index, const CoarseOptions& options,
                           parallel::ThreadPool* pool, sim::WorkLedger* ledger,
-                          lc::RunContext* ctx) {
+                          lc::RunContext* ctx, Checkpointer* checkpointer,
+                          const CoarseCheckpoint* resume) {
   LC_CHECK_MSG(index.size() == graph.edge_count(), "edge index must match the graph");
   LC_CHECK_MSG(options.gamma >= 1.0, "gamma must be >= 1");
   LC_CHECK_MSG(options.delta0 >= 1, "initial chunk size must be positive");
@@ -144,6 +146,107 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
       ctx->release_memory(saved.charged_bytes);
       saved.charged_bytes = 0;
     }
+  };
+
+  // ---- Resume: reload a chunk-boundary state written by a Checkpointer.
+  // Every snapshot is taken at a loop head, where the machine sits at the
+  // safe state Q* (safe == {beta, xi, p}) and the merge journal is empty, so
+  // restoring the registers plus the parent array re-creates the exact
+  // mid-sweep configuration; the deterministic map/sort make (p, xi) stable
+  // coordinates into L.
+  if (resume != nullptr) {
+    LC_CHECK_MSG(resume->parents.size() == edge_count,
+                 "resume state must match the graph");
+    LC_CHECK_MSG(resume->p <= entry_count,
+                 "resume position must lie within the sorted list");
+    dsu.restore(resume->parents);
+    xi = resume->xi;
+    p = static_cast<std::size_t>(resume->p);
+    beta = static_cast<std::size_t>(resume->beta);
+    level = resume->level;
+    delta = resume->delta;
+    eta = resume->eta;
+    head_mode = resume->head_mode != 0;
+    consecutive_rollbacks = static_cast<std::size_t>(resume->consecutive_rollbacks);
+    safe = SafeState{beta, xi, p};
+    xi_prev2 = resume->xi_prev2;
+    beta_prev2 = static_cast<std::size_t>(resume->beta_prev2);
+    have_prev2 = resume->have_prev2 != 0;
+    snapshot_seq = resume->snapshot_seq;
+    rollback_list.reserve(resume->rollback_list.size());
+    for (const CoarseSavedState& stored : resume->rollback_list) {
+      SavedState saved;
+      saved.beta = static_cast<std::size_t>(stored.beta);
+      saved.xi = stored.xi;
+      saved.p = static_cast<std::size_t>(stored.p);
+      saved.seq = stored.seq;
+      saved.edges.reserve(stored.losers.size());
+      for (std::size_t e = 0; e < stored.losers.size(); ++e) {
+        saved.edges.push_back(ChunkPair{stored.losers[e], stored.targets[e]});
+      }
+      if (ctx != nullptr) {
+        saved.charged_bytes =
+            static_cast<std::uint64_t>(saved.edges.size()) * sizeof(ChunkPair);
+        ctx->charge_memory(saved.charged_bytes, "coarse.rollback_snapshot");
+      }
+      rollback_list.push_back(std::move(saved));
+    }
+    for (const MergeEvent& event : resume->events) {
+      result.dendrogram.add_event(event.level, event.from, event.into,
+                                  event.similarity);
+    }
+    result.epochs = resume->epochs;
+    result.levels = resume->levels;
+    result.rollback_count = static_cast<std::size_t>(resume->rollback_count);
+    result.reuse_count = static_cast<std::size_t>(resume->reuse_count);
+    result.soundness_violations =
+        static_cast<std::size_t>(resume->soundness_violations);
+    result.stats.pairs_processed = resume->stats.pairs_processed;
+    total_accesses = resume->stats.c_accesses;
+    total_changes = resume->stats.c_changes;
+  }
+
+  auto capture_checkpoint = [&]() {
+    CoarseCheckpoint state;
+    state.xi = xi;
+    state.p = p;
+    state.beta = beta;
+    state.level = level;
+    state.delta = delta;
+    state.eta = eta;
+    state.head_mode = head_mode ? 1 : 0;
+    state.consecutive_rollbacks = consecutive_rollbacks;
+    state.xi_prev2 = xi_prev2;
+    state.beta_prev2 = beta_prev2;
+    state.have_prev2 = have_prev2 ? 1 : 0;
+    state.snapshot_seq = snapshot_seq;
+    state.rollback_count = result.rollback_count;
+    state.reuse_count = result.reuse_count;
+    state.soundness_violations = result.soundness_violations;
+    state.stats = result.stats;
+    state.stats.c_accesses = total_accesses;
+    state.stats.c_changes = total_changes;
+    state.stats.merges_effective = result.dendrogram.events().size();
+    state.parents = dsu.parent_snapshot();
+    state.events = result.dendrogram.events();
+    state.epochs = result.epochs;
+    state.levels = result.levels;
+    state.rollback_list.reserve(rollback_list.size());
+    for (const SavedState& saved : rollback_list) {
+      CoarseSavedState stored;
+      stored.beta = saved.beta;
+      stored.xi = saved.xi;
+      stored.p = saved.p;
+      stored.seq = saved.seq;
+      stored.losers.reserve(saved.edges.size());
+      stored.targets.reserve(saved.edges.size());
+      for (const ChunkPair& edge : saved.edges) {
+        stored.losers.push_back(edge.a);
+        stored.targets.push_back(edge.b);
+      }
+      state.rollback_list.push_back(std::move(stored));
+    }
+    return state;
   };
 
   if (ledger != nullptr) ledger->begin_phase("sweep.coarse");
@@ -237,6 +340,11 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
 
   while (p < entry_count && beta > options.phi) {
     check_stop(ctx);
+    if (checkpointer != nullptr && checkpointer->due()) {
+      // A failed snapshot is recorded on the checkpointer but never aborts
+      // the sweep it was protecting.
+      (void)checkpointer->write_coarse(capture_checkpoint());
+    }
     LC_FAULT_POINT("coarse.chunk");
     // ---- Collect and process one chunk. At least one entry always enters
     // the chunk so the sweep makes progress even when delta < |l|.

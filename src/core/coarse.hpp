@@ -58,6 +58,9 @@ class RunContext;  // util/run_context.hpp
 
 namespace lc::core {
 
+class Checkpointer;        // core/checkpoint.hpp
+struct CoarseCheckpoint;   // core/checkpoint.hpp
+
 struct CoarseOptions {
   double gamma = 2.0;        ///< max cluster-count ratio between levels
   std::size_t phi = 100;     ///< stop when this few clusters remain (C3)
@@ -110,10 +113,20 @@ struct CoarseResult {
 /// charged for the shared parent array, per-chunk merge journals, and the
 /// compact rollback snapshots; a pending stop unwinds via lc::StoppedError.
 /// Null has zero effect on the result.
+///
+/// `checkpointer` (optional, not owned) is asked at every chunk boundary —
+/// where the mode machine sits at the safe state Q* and the merge journal is
+/// empty — and given a CoarseCheckpoint when a snapshot is due; `resume`
+/// (optional, not owned, pre-validated by load_checkpoint) restarts the
+/// machine from a stored boundary. Both are output-neutral at every thread
+/// count: find() results are partition-invariant, so a snapshot taken under
+/// one -T resumes bitwise-identically under another.
 CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
                           const EdgeIndex& index, const CoarseOptions& options = {},
                           parallel::ThreadPool* pool = nullptr,
                           sim::WorkLedger* ledger = nullptr,
-                          lc::RunContext* ctx = nullptr);
+                          lc::RunContext* ctx = nullptr,
+                          Checkpointer* checkpointer = nullptr,
+                          const CoarseCheckpoint* resume = nullptr);
 
 }  // namespace lc::core

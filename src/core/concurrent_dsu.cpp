@@ -108,6 +108,15 @@ std::vector<EdgeIdx> ConcurrentDsu::parent_snapshot() const {
   return out;
 }
 
+void ConcurrentDsu::restore(const std::vector<EdgeIdx>& parents) {
+  LC_CHECK_MSG(parents.size() == parent_.size(),
+               "restored parent array must match the structure size");
+  for (std::size_t i = 0; i < parents.size(); ++i) {
+    LC_CHECK_MSG(parents[i] <= i, "restored parents must be union-by-min");
+    parent_[i].store(parents[i], std::memory_order_relaxed);
+  }
+}
+
 std::vector<EdgeIdx> journal_losers_sorted(const ConcurrentDsu::Journal& journal) {
   std::vector<EdgeIdx> losers;
   for (const ConcurrentDsu::JournalEntry& entry : journal) {

@@ -76,8 +76,14 @@ class ConcurrentDsu {
   /// coarse sweep tracks counts incrementally from union entries instead).
   [[nodiscard]] std::size_t component_count() const;
 
-  /// Raw parent values, for tests asserting bitwise undo fidelity.
+  /// Raw parent values, for tests asserting bitwise undo fidelity and for
+  /// checkpoint snapshots (core/checkpoint.hpp).
   [[nodiscard]] std::vector<EdgeIdx> parent_snapshot() const;
+
+  /// Restores a parent_snapshot() taken from a same-size structure. Parents
+  /// must respect the union-by-min invariant (parents[i] <= i); checkpoint
+  /// loading validates that before calling. Must be called quiesced.
+  void restore(const std::vector<EdgeIdx>& parents);
 
  private:
   std::vector<std::atomic<EdgeIdx>> parent_;

@@ -6,8 +6,10 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/dendrogram.hpp"
+#include "util/status.hpp"
 
 namespace lc::core {
 
@@ -20,12 +22,23 @@ using LeafNamer = std::function<std::string(EdgeIdx)>;
 /// left-deep chains of zero-length internal edges.
 std::string to_newick(const Dendrogram& dendrogram, const LeafNamer& namer = {});
 
-/// Flat text: one line per event, "level from into similarity".
+/// Flat text: a "# leaves=N events=M" header, one "level from into
+/// similarity" line per event, and a trailing "# fnv=<16 hex>" footer — the
+/// FNV-1a checksum of the event-line bytes, so a truncated or edited file is
+/// detected on load rather than silently reparsed.
 std::string to_merge_list(const Dendrogram& dendrogram);
 
-/// Parses to_merge_list() output back into a Dendrogram. Returns nullopt on
-/// malformed input (missing header, bad fields, or events violating the
-/// Dendrogram invariants are rejected by reporting the error, not aborting).
+/// Parses to_merge_list() output. Untrusted input is safe: every malformed
+/// byte — a garbled header, a non-numeric field, an out-of-range or
+/// duplicated cluster id, a count overflow, a truncated final line, a
+/// checksum mismatch — comes back as kInvalidArgument naming the byte offset
+/// of the offence; nothing asserts, overreads, or over-allocates. The
+/// checksum footer is verified when present and optional for backward
+/// compatibility with files written before it existed.
+[[nodiscard]] StatusOr<Dendrogram> parse_merge_list(std::string_view text);
+
+/// parse_merge_list() behind the older optional-based signature; on failure
+/// `*error` (if non-null) receives the status message.
 std::optional<Dendrogram> from_merge_list(const std::string& text,
                                           std::string* error = nullptr);
 

@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <new>
+#include <optional>
 
 #include "util/check.hpp"
 #include "util/run_context.hpp"
@@ -15,9 +16,51 @@ LinkClusterer::LinkClusterer(Config config) : config_(std::move(config)) {
   LC_CHECK_MSG(config_.threads >= 1, "threads must be at least 1");
 }
 
+RunFingerprint LinkClusterer::fingerprint(const graph::WeightedGraph& graph,
+                                          const Config& config) {
+  // Thread count, map kind, and pool shape are deliberately absent: the
+  // output is bitwise-invariant to them, so a snapshot may resume under a
+  // different parallel configuration than the one that wrote it.
+  RunFingerprint fp;
+  fp.graph_digest = graph_fingerprint(graph);
+  fp.mode = static_cast<std::uint8_t>(config.mode);
+  fp.edge_order = static_cast<std::uint8_t>(config.edge_order);
+  fp.measure = static_cast<std::uint8_t>(config.measure);
+  fp.seed = config.seed;
+  fp.min_similarity = -std::numeric_limits<double>::infinity();
+  fp.gamma = config.coarse.gamma;
+  fp.phi = config.coarse.phi;
+  fp.delta0 = config.coarse.delta0;
+  fp.eta0 = config.coarse.eta0;
+  fp.rollback_capacity = config.coarse.rollback_capacity;
+  fp.max_rollbacks_per_level = config.coarse.max_rollbacks_per_level;
+  return fp;
+}
+
 ClusterResult LinkClusterer::cluster(const graph::WeightedGraph& graph) const {
   ClusterResult result;
   result.edge_index = EdgeIndex(graph.edge_count(), config_.edge_order, config_.seed);
+
+  // Checkpoint/resume plumbing. The snapshot is loaded before the (costly)
+  // similarity build so a mismatched fingerprint fails fast; the build
+  // itself always reruns — it is deterministic, cheaper than the sweeps at
+  // scale, and re-deriving L is what makes the stored position meaningful.
+  std::optional<LoadedCheckpoint> loaded;
+  std::optional<Checkpointer> checkpointer;
+  if (config_.resume || config_.checkpoint.enabled()) {
+    const RunFingerprint fp = fingerprint(graph, config_);
+    if (config_.resume) {
+      if (!config_.checkpoint.enabled()) {
+        throw StoppedError(Status::invalid_argument(
+            "resume requires a checkpoint directory"));
+      }
+      StatusOr<LoadedCheckpoint> loaded_or = load_checkpoint(
+          config_.checkpoint.directory, fp, graph.edge_count());
+      if (!loaded_or.ok()) throw StoppedError(loaded_or.status());
+      loaded = std::move(loaded_or).value();
+    }
+    if (config_.checkpoint.enabled()) checkpointer.emplace(config_.checkpoint, fp);
+  }
 
   std::unique_ptr<parallel::ThreadPool> pool;
   if (config_.threads > 1) pool = std::make_unique<parallel::ThreadPool>(config_.threads);
@@ -37,19 +80,37 @@ ClusterResult LinkClusterer::cluster(const graph::WeightedGraph& graph) const {
   result.k1 = map.key_count();
   result.k2 = map.incident_pair_count();
 
+  if (loaded.has_value()) {
+    // The fingerprint matched, so L is the same list the snapshot indexed;
+    // a position beyond it means the snapshot is lying about its origin.
+    const std::uint64_t position = loaded->fine.has_value()
+                                       ? loaded->fine->entry_pos
+                                       : loaded->coarse->p;
+    if (position > map.entries.size()) {
+      throw StoppedError(Status::invalid_argument(
+          "checkpoint position lies beyond the sorted pair list"));
+    }
+  }
+
   check_stop(config_.ctx);
+  Checkpointer* ckpt = checkpointer.has_value() ? &*checkpointer : nullptr;
   if (config_.mode == ClusterMode::kFine) {
+    const FineCheckpoint* fine_resume =
+        loaded.has_value() && loaded->fine.has_value() ? &*loaded->fine : nullptr;
     SweepResult sweep_result =
         sweep(graph, map, result.edge_index, {},
-              -std::numeric_limits<double>::infinity(), config_.ctx);
+              -std::numeric_limits<double>::infinity(), config_.ctx, ckpt,
+              fine_resume);
     result.timings.sweeping_seconds = watch.lap();
     result.dendrogram = std::move(sweep_result.dendrogram);
     result.final_labels = std::move(sweep_result.final_labels);
     result.stats = sweep_result.stats;
   } else {
+    const CoarseCheckpoint* coarse_resume =
+        loaded.has_value() && loaded->coarse.has_value() ? &*loaded->coarse : nullptr;
     CoarseResult coarse_result =
         coarse_sweep(graph, map, result.edge_index, config_.coarse, pool.get(),
-                     config_.ledger, config_.ctx);
+                     config_.ledger, config_.ctx, ckpt, coarse_resume);
     result.timings.sweeping_seconds = watch.lap();
     result.dendrogram = coarse_result.dendrogram;  // copy; full detail kept below
     result.final_labels = coarse_result.final_labels;

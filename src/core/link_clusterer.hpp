@@ -14,6 +14,7 @@
 #include <memory>
 #include <optional>
 
+#include "core/checkpoint.hpp"
 #include "core/coarse.hpp"
 #include "core/dendrogram.hpp"
 #include "core/edge_index.hpp"
@@ -68,7 +69,21 @@ class LinkClusterer {
     /// and memory budget (see util/run_context.hpp). Checked at chunk
     /// granularity in both phases; null = uncontrolled.
     lc::RunContext* ctx = nullptr;
+    /// Crash-consistent snapshots of sweep progress (core/checkpoint.hpp).
+    /// An empty directory disables checkpointing; snapshots never change the
+    /// result.
+    CheckpointPolicy checkpoint;
+    /// Load the snapshot in checkpoint.directory and continue from it
+    /// instead of sweeping from scratch. The snapshot's fingerprint must
+    /// match this config and the input graph; run() reports a mismatch (or a
+    /// missing/corrupt snapshot) as kInvalidArgument.
+    bool resume = false;
   };
+
+  /// The fingerprint a checkpoint of (`graph`, `config`) carries — exposed
+  /// so tests and tools can call load_checkpoint() directly.
+  [[nodiscard]] static RunFingerprint fingerprint(const graph::WeightedGraph& graph,
+                                                  const Config& config);
 
   LinkClusterer();
   explicit LinkClusterer(Config config);

@@ -1,5 +1,6 @@
 #include "core/sweep.hpp"
 
+#include "core/checkpoint.hpp"
 #include "core/cluster_array.hpp"
 #include "util/check.hpp"
 #include "util/fault_inject.hpp"
@@ -9,7 +10,8 @@ namespace lc::core {
 
 SweepResult sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
                   const EdgeIndex& index, const PairObserver& observer,
-                  double min_similarity, lc::RunContext* ctx) {
+                  double min_similarity, lc::RunContext* ctx,
+                  Checkpointer* checkpointer, const FineCheckpoint* resume) {
   LC_CHECK_MSG(index.size() == graph.edge_count(), "edge index must match the graph");
   for (std::size_t i = 1; i < map.entries.size(); ++i) {
     LC_CHECK_MSG(map.entries[i - 1].score >= map.entries[i].score,
@@ -21,9 +23,44 @@ SweepResult sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
   ClusterArray clusters(graph.edge_count());
   std::uint32_t level = 0;
   std::uint64_t ordinal = 0;
+  std::size_t start_entry = 0;
+  // The resumed ClusterArray restarts its access/change counters at zero;
+  // these bases carry the totals from before the snapshot so the final stats
+  // match an uninterrupted run exactly.
+  std::uint64_t base_accesses = 0;
+  std::uint64_t base_changes = 0;
+  if (resume != nullptr) {
+    LC_CHECK_MSG(resume->cluster_c.size() == graph.edge_count(),
+                 "resume state must match the graph");
+    LC_CHECK_MSG(resume->entry_pos <= map.entries.size(),
+                 "resume position must lie within the sorted list");
+    clusters.restore(resume->cluster_c);
+    for (const MergeEvent& event : resume->events) {
+      result.dendrogram.add_event(event.level, event.from, event.into,
+                                  event.similarity);
+    }
+    level = resume->level;
+    ordinal = resume->ordinal;
+    start_entry = static_cast<std::size_t>(resume->entry_pos);
+    base_accesses = resume->stats.c_accesses;
+    base_changes = resume->stats.c_changes;
+  }
 
   PollTicker ticker(ctx);
-  for (const SimilarityEntry& entry : map.entries) {
+  // A timed policy reads the clock in due(); at one call per entry that read
+  // dominates the sweep (entries are ~50 ns of work each). Polling every
+  // kDuePollStride entries bounds the clock granularity to tens of
+  // microseconds — far finer than any millisecond interval — while an
+  // interval of 0 ("every boundary") keeps the per-entry poll, which is
+  // clock-free on that path.
+  constexpr std::size_t kDuePollStride = 1024;
+  const std::size_t due_stride =
+      (checkpointer != nullptr && checkpointer->policy().interval_ms > 0)
+          ? kDuePollStride
+          : 1;
+  std::size_t since_due_poll = due_stride;  // poll at the first boundary
+  for (std::size_t e = start_entry; e < map.entries.size(); ++e) {
+    const SimilarityEntry& entry = map.entries[e];
     if (entry.score < min_similarity) break;  // entries are sorted: all done
     LC_FAULT_POINT("sweep.entry");
     ticker.checkpoint(1 + entry.count);
@@ -40,13 +77,33 @@ SweepResult sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
       if (observer) observer(ordinal, outcome.changes);
       ++ordinal;
     }
+    // Entry boundaries are the fine sweep's chunk boundaries: every pair of
+    // the entry is merged, so the state is a complete prefix of the run.
+    if (checkpointer != nullptr && ++since_due_poll >= due_stride) {
+      since_due_poll = 0;
+      if (checkpointer->due()) {
+        FineCheckpoint state;
+        state.entry_pos = e + 1;
+        state.level = level;
+        state.ordinal = ordinal;
+        state.stats.pairs_processed = ordinal;
+        state.stats.merges_effective = level;
+        state.stats.c_accesses = base_accesses + clusters.accesses();
+        state.stats.c_changes = base_changes + clusters.total_changes();
+        state.cluster_c = clusters.snapshot();
+        state.events = result.dendrogram.events();
+        // A failed snapshot is recorded on the checkpointer but never aborts
+        // the sweep it was protecting.
+        (void)checkpointer->write_fine(state);
+      }
+    }
   }
 
   result.final_labels = clusters.root_labels();
   result.stats.pairs_processed = ordinal;
   result.stats.merges_effective = level;
-  result.stats.c_accesses = clusters.accesses();
-  result.stats.c_changes = clusters.total_changes();
+  result.stats.c_accesses = base_accesses + clusters.accesses();
+  result.stats.c_changes = base_changes + clusters.total_changes();
   return result;
 }
 

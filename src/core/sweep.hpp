@@ -21,6 +21,9 @@ class RunContext;  // util/run_context.hpp
 
 namespace lc::core {
 
+class Checkpointer;      // core/checkpoint.hpp
+struct FineCheckpoint;   // core/checkpoint.hpp
+
 struct SweepStats {
   std::uint64_t pairs_processed = 0;  ///< incident edge pairs merged (== K2)
   std::uint64_t merges_effective = 0; ///< dendrogram events (levels in fine mode)
@@ -49,9 +52,18 @@ struct SweepResult {
 /// `ctx` (optional, not owned) is polled at chunk granularity: a pending
 /// cancellation / deadline unwinds the sweep via lc::StoppedError. Null has
 /// zero effect on the result.
+///
+/// `checkpointer` (optional, not owned) is asked at every entry boundary and
+/// given a FineCheckpoint when a snapshot is due; `resume` (optional, not
+/// owned, pre-validated by load_checkpoint) restarts the sweep from a stored
+/// boundary. Both are output-neutral: any combination of checkpoint writes,
+/// kills, and resumes yields the bitwise-identical SweepResult of one
+/// uninterrupted run.
 SweepResult sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
                   const EdgeIndex& index, const PairObserver& observer = {},
                   double min_similarity = -std::numeric_limits<double>::infinity(),
-                  lc::RunContext* ctx = nullptr);
+                  lc::RunContext* ctx = nullptr,
+                  Checkpointer* checkpointer = nullptr,
+                  const FineCheckpoint* resume = nullptr);
 
 }  // namespace lc::core

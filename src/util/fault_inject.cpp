@@ -2,11 +2,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <mutex>
 #include <new>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
 
 namespace lc::fault {
 namespace {
@@ -34,6 +39,45 @@ void arm(std::string_view site, FaultKind kind, std::uint64_t skip_hits,
   g_sleep_ms = sleep_ms;
   g_fired.store(0, std::memory_order_relaxed);
   g_armed.store(kind != FaultKind::kNone, std::memory_order_release);
+}
+
+bool arm_from_env() {
+  const char* raw = std::getenv("LC_FAULT_POINT");
+  if (raw == nullptr || raw[0] == '\0') return false;
+  const std::vector<std::string_view> parts = split(raw, ':');
+  LC_CHECK_MSG(parts.size() >= 2 && parts.size() <= 4,
+               "LC_FAULT_POINT must be site:kind[:skip_hits[:sleep_ms]]");
+  LC_CHECK_MSG(!parts[0].empty(), "LC_FAULT_POINT site must be non-empty");
+  FaultKind kind = FaultKind::kNone;
+  if (parts[1] == "throw") {
+    kind = FaultKind::kThrow;
+  } else if (parts[1] == "bad_alloc") {
+    kind = FaultKind::kBadAlloc;
+  } else if (parts[1] == "sleep") {
+    kind = FaultKind::kSleep;
+  } else {
+    LC_CHECK_MSG(false, "LC_FAULT_POINT kind must be throw, bad_alloc, or sleep");
+  }
+  std::uint64_t skip_hits = 0;
+  std::uint32_t sleep_ms = 0;
+  if (parts.size() >= 3) {
+    const std::string token(parts[2]);
+    char* end = nullptr;
+    skip_hits = std::strtoull(token.c_str(), &end, 10);
+    LC_CHECK_MSG(end != nullptr && *end == '\0' && !token.empty(),
+                 "LC_FAULT_POINT skip_hits must be a decimal integer");
+  }
+  if (parts.size() == 4) {
+    const std::string token(parts[3]);
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+    LC_CHECK_MSG(end != nullptr && *end == '\0' && !token.empty() &&
+                     value <= 0xffffffffull,
+                 "LC_FAULT_POINT sleep_ms must be a 32-bit decimal integer");
+    sleep_ms = static_cast<std::uint32_t>(value);
+  }
+  arm(parts[0], kind, skip_hits, sleep_ms);
+  return true;
 }
 
 void disarm() {

@@ -15,7 +15,8 @@
 //   sim.pass1, sim.pass2.serial, sim.pass2.count, sim.pass2.fill,
 //   sim.pass2.shard, sim.pass3, sim.assemble, sim.staging.alloc,
 //   sim.flat.emit, sweep.entry, coarse.chunk, coarse.apply, coarse.cas_union,
-//   coarse.journal, coarse.snapshot, baseline.matrix, baseline.nbm
+//   coarse.journal, coarse.snapshot, baseline.matrix, baseline.nbm,
+//   snapshot.serialize, snapshot.write, snapshot.rename, snapshot.load
 #pragma once
 
 #include <cstdint>
@@ -34,6 +35,15 @@ enum class FaultKind : std::uint8_t {
 /// (skip_hits + 1)-th pass through the site and on every pass after that.
 void arm(std::string_view site, FaultKind kind, std::uint64_t skip_hits = 0,
          std::uint32_t sleep_ms = 0);
+
+/// Arms from the LC_FAULT_POINT environment variable, letting tests inject a
+/// fault into a whole child process (the ci_check.sh kill/resume smoke test
+/// parks a run mid-sweep this way before SIGKILLing it). The format is
+///   LC_FAULT_POINT=site:kind[:skip_hits[:sleep_ms]]
+/// with kind one of throw | bad_alloc | sleep. Returns true when a fault was
+/// armed; unset or empty is false, and a malformed value aborts via LC_CHECK
+/// (a typo silently not faulting would pass the test it was meant to break).
+bool arm_from_env();
 
 /// Disarms everything.
 void disarm();

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -127,6 +128,8 @@ TEST(Cli, ClusterDeadlineExceededExitsThree) {
   EXPECT_EQ(run({"cluster", "--input", path.c_str(), "--deadline-ms", "1"}, nullptr, &err),
             3);
   EXPECT_NE(err.find("deadline"), std::string::npos);
+  // The stop-details line: reason and elapsed time.
+  EXPECT_NE(err.find("stopped: deadline exceeded after"), std::string::npos);
   std::remove(path.c_str());
 }
 
@@ -143,18 +146,93 @@ TEST(Cli, ClusterMemoryBudgetExitsThree) {
   std::remove(path.c_str());
 }
 
-TEST(Cli, ClusterZeroDeadlineMeansNoDeadline) {
+TEST(Cli, ClusterNoDeadlineByDefault) {
   const std::string path = temp_path("cli_nodeadline.edges");
   ASSERT_EQ(run({"generate", "--type", "er", "--n", "40", "--p", "0.2", "--output",
                  path.c_str()}),
             0);
   std::string out;
-  EXPECT_EQ(run({"cluster", "--input", path.c_str(), "--deadline-ms", "0",
-                 "--max-memory-mb", "0"},
-                &out),
-            0);
+  EXPECT_EQ(run({"cluster", "--input", path.c_str(), "--max-memory-mb", "0"}, &out), 0);
   EXPECT_NE(out.find("dendrogram:"), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST(Cli, ClusterZeroDeadlineTripsOnFirstPoll) {
+  // An explicit 0 arms a deadline that is already past, so the run stops at
+  // the first poll instead of underflowing into "unlimited".
+  const std::string path = temp_path("cli_zerodeadline.edges");
+  ASSERT_EQ(run({"generate", "--type", "er", "--n", "40", "--p", "0.2", "--output",
+                 path.c_str()}),
+            0);
+  std::string err;
+  EXPECT_EQ(run({"cluster", "--input", path.c_str(), "--deadline-ms", "0"}, nullptr, &err),
+            3);
+  EXPECT_NE(err.find("stopped: deadline exceeded after"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ClusterCheckpointResumeRoundTrip) {
+  const std::string path = temp_path("cli_ckpt.edges");
+  const std::string dir = temp_path("cli_ckpt_dir");
+  const std::string merges_a = temp_path("cli_ckpt_a.txt");
+  const std::string merges_b = temp_path("cli_ckpt_b.txt");
+  ASSERT_EQ(run({"generate", "--type", "er", "--n", "200", "--p", "0.05", "--seed", "7",
+                 "--output", path.c_str()}),
+            0);
+  std::string out;
+  ASSERT_EQ(run({"cluster", "--input", path.c_str(), "--checkpoint-dir", dir.c_str(),
+                 "--checkpoint-every-ms", "0", "--merges", merges_a.c_str()},
+                &out),
+            0);
+  EXPECT_NE(out.find("checkpointing to"), std::string::npos);
+
+  ASSERT_EQ(run({"cluster", "--input", path.c_str(), "--checkpoint-dir", dir.c_str(),
+                 "--resume", "--merges", merges_b.c_str()},
+                &out),
+            0);
+  EXPECT_NE(out.find("resuming from"), std::string::npos);
+
+  auto slurp = [](const std::string& file) {
+    std::ifstream in(file);
+    return std::string{std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>()};
+  };
+  const std::string reference = slurp(merges_a);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(slurp(merges_b), reference);
+
+  std::remove(path.c_str());
+  std::remove(merges_a.c_str());
+  std::remove(merges_b.c_str());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, ClusterResumeRequiresCheckpointDir) {
+  std::string err;
+  EXPECT_EQ(run({"cluster", "--input", "x.edges", "--resume"}, nullptr, &err), 1);
+  EXPECT_NE(err.find("--resume requires --checkpoint-dir"), std::string::npos);
+}
+
+TEST(Cli, ClusterStopPrintsCheckpointHintWhenSnapshotExists) {
+  const std::string path = temp_path("cli_ckpt_hint.edges");
+  const std::string dir = temp_path("cli_ckpt_hint_dir");
+  ASSERT_EQ(run({"generate", "--type", "er", "--n", "120", "--p", "0.08", "--seed", "9",
+                 "--output", path.c_str()}),
+            0);
+  // Leave a snapshot behind, then stop a second run before it does anything:
+  // the exit-3 report must point at the snapshot and the --resume flag.
+  ASSERT_EQ(run({"cluster", "--input", path.c_str(), "--checkpoint-dir", dir.c_str(),
+                 "--checkpoint-every-ms", "0"}),
+            0);
+  std::string err;
+  EXPECT_EQ(run({"cluster", "--input", path.c_str(), "--checkpoint-dir", dir.c_str(),
+                 "--checkpoint-every-ms", "0", "--deadline-ms", "0"},
+                nullptr, &err),
+            3);
+  EXPECT_NE(err.find("checkpoint: "), std::string::npos);
+  EXPECT_NE(err.find("--resume"), std::string::npos);
+  std::remove(path.c_str());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Cli, MalformedInputLinesWarnOnStderr) {

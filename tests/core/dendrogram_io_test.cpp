@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
+#include <string_view>
 
 #include "core/link_clusterer.hpp"
 #include "graph/generators.hpp"
@@ -115,6 +117,91 @@ TEST(MergeList, RoundTripContent) {
   EXPECT_NE(text.find("# leaves=4 events=2"), std::string::npos);
   EXPECT_NE(text.find("1 2 0 0.75"), std::string::npos);
   EXPECT_NE(text.find("2 3 1 0.25"), std::string::npos);
+  EXPECT_NE(text.find("# fnv="), std::string::npos);
+}
+
+TEST(MergeList, ErrorsCarryByteOffsets) {
+  auto message = [](std::string_view text) {
+    const StatusOr<Dendrogram> parsed = parse_merge_list(text);
+    EXPECT_FALSE(parsed.ok());
+    return parsed.ok() ? std::string() : parsed.status().message();
+  };
+  EXPECT_NE(message("").find("at byte 0"), std::string::npos);
+  EXPECT_NE(message("junk\n").find("at byte 0"), std::string::npos);
+  // The bad field is on the second line, after the 20-byte header.
+  const std::string bad_field = message("# leaves=3 events=1\nnot numbers\n");
+  EXPECT_NE(bad_field.find("level"), std::string::npos);
+  EXPECT_NE(bad_field.find("at byte 20"), std::string::npos);
+}
+
+TEST(MergeList, RejectsOverflowingCounts) {
+  // 2^64 overflows u64 mid-parse; sscanf would have wrapped silently.
+  EXPECT_FALSE(parse_merge_list("# leaves=18446744073709551616 events=0\n").ok());
+  // A count that fits u64 but not EdgeIdx is equally impossible.
+  EXPECT_FALSE(parse_merge_list("# leaves=4294967296 events=0\n").ok());
+  // More events than leaves allow cannot replay.
+  EXPECT_FALSE(parse_merge_list("# leaves=3 events=3\n").ok());
+}
+
+TEST(MergeList, RejectsTruncatedFinalLine) {
+  Dendrogram d(3);
+  d.add_event(1, 2, 0, 0.5);
+  const std::string text = to_merge_list(d);
+  // Every truncation fails except the one that removes exactly the whole
+  // footer line — that is a complete pre-footer document by construction.
+  const std::size_t footer_start = text.find("# fnv=");
+  ASSERT_NE(footer_start, std::string::npos);
+  for (std::size_t keep = 0; keep + 1 < text.size(); ++keep) {
+    if (keep == footer_start) continue;
+    EXPECT_FALSE(parse_merge_list(text.substr(0, keep)).ok()) << "kept " << keep;
+  }
+}
+
+TEST(MergeList, RejectsDuplicateMerges) {
+  // Label 2 merges away twice.
+  EXPECT_FALSE(
+      parse_merge_list("# leaves=4 events=2\n1 2 0 0.5\n2 2 1 0.4\n").ok());
+  // Label 2 was merged away, then absorbs label 3.
+  const StatusOr<Dendrogram> dead = parse_merge_list(
+      "# leaves=4 events=2\n1 2 0 0.5\n2 3 2 0.4\n");
+  ASSERT_FALSE(dead.ok());
+  EXPECT_NE(dead.status().message().find("already merged away"), std::string::npos);
+}
+
+TEST(MergeList, ChecksumFooterDetectsEditedEvents) {
+  Dendrogram d(4);
+  d.add_event(1, 2, 0, 0.75);
+  d.add_event(2, 3, 1, 0.25);
+  const std::string text = to_merge_list(d);
+  ASSERT_TRUE(parse_merge_list(text).ok());
+  // Edit one digit of an event line without breaking the line format.
+  std::string tampered = text;
+  const std::size_t at = tampered.find("0.75");
+  ASSERT_NE(at, std::string::npos);
+  tampered[at + 2] = '8';
+  const StatusOr<Dendrogram> parsed = parse_merge_list(tampered);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("checksum mismatch"), std::string::npos);
+}
+
+TEST(MergeList, FooterIsOptionalForOlderFiles) {
+  // Files written before the footer existed still parse.
+  const StatusOr<Dendrogram> parsed =
+      parse_merge_list("# leaves=4 events=1\n1 2 0 0.5\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().events().size(), 1u);
+}
+
+TEST(MergeList, RejectsContentAfterFooter) {
+  Dendrogram d(2);
+  d.add_event(1, 1, 0, 0.5);
+  const std::string text = to_merge_list(d);
+  EXPECT_FALSE(parse_merge_list(text + "1 1 0 0.5\n").ok());
+}
+
+TEST(MergeList, RejectsNonFiniteSimilarity) {
+  EXPECT_FALSE(parse_merge_list("# leaves=3 events=1\n1 2 0 inf\n").ok());
+  EXPECT_FALSE(parse_merge_list("# leaves=3 events=1\n1 2 0 nan\n").ok());
 }
 
 }  // namespace

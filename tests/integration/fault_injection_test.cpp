@@ -6,6 +6,8 @@
 #include <bit>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -202,6 +204,96 @@ TEST_F(FaultInjectionTest, SkipHitsDelaysTheFault) {
           .run(test_graph());
   ASSERT_FALSE(run.ok());
   EXPECT_EQ(run.status().code(), StatusCode::kInternal);
+}
+
+class SnapshotFaultTest : public FaultInjectionTest {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("lc_fault_snapshot_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    fault::disarm();
+    std::filesystem::remove_all(dir_);
+  }
+
+  [[nodiscard]] LinkClusterer::Config checkpointing_config(
+      std::uint64_t max_snapshots) const {
+    LinkClusterer::Config config =
+        make_config(1, PairMapKind::kHash, ClusterMode::kFine);
+    config.checkpoint.directory = dir_.string();
+    config.checkpoint.interval_ms = 0;
+    config.checkpoint.max_snapshots = max_snapshots;
+    return config;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SnapshotFaultTest, FailedSnapshotWriteNeverFailsTheRun) {
+  // A fault inside the snapshot write path is swallowed by the Checkpointer:
+  // the run completes, produces the exact reference dendrogram, and simply
+  // has no snapshot to show for it.
+  const StatusOr<ClusterResult> reference =
+      LinkClusterer(make_config(1, PairMapKind::kHash, ClusterMode::kFine))
+          .run(test_graph());
+  ASSERT_TRUE(reference.ok());
+
+  fault::arm("snapshot.write", fault::FaultKind::kThrow);
+  const StatusOr<ClusterResult> run =
+      LinkClusterer(checkpointing_config(/*max_snapshots=*/4)).run(test_graph());
+  EXPECT_GE(fault::fire_count(), 1u);
+  fault::disarm();
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  EXPECT_EQ(dendrogram_digest(run.value().dendrogram),
+            dendrogram_digest(reference.value().dendrogram));
+  EXPECT_FALSE(std::filesystem::exists(snapshot_path(dir_.string())));
+}
+
+TEST_F(SnapshotFaultTest, CrashBetweenRenamesLeavesLoadablePrev) {
+  // Snapshot #1 commits normally. Snapshot #2 rotates the primary to .prev
+  // and then "crashes" between the two renames — the torn window. The
+  // primary is gone, but .prev holds snapshot #1 and resume still works.
+  const StatusOr<ClusterResult> reference =
+      LinkClusterer(make_config(1, PairMapKind::kHash, ClusterMode::kFine))
+          .run(test_graph());
+  ASSERT_TRUE(reference.ok());
+
+  fault::arm("snapshot.rename", fault::FaultKind::kThrow, /*skip_hits=*/1);
+  const StatusOr<ClusterResult> writer =
+      LinkClusterer(checkpointing_config(/*max_snapshots=*/2)).run(test_graph());
+  EXPECT_GE(fault::fire_count(), 1u);
+  fault::disarm();
+  ASSERT_TRUE(writer.ok()) << writer.status().to_string();
+
+  const std::string primary = snapshot_path(dir_.string());
+  EXPECT_FALSE(std::filesystem::exists(primary));
+  ASSERT_TRUE(std::filesystem::exists(primary + ".prev"));
+
+  LinkClusterer::Config resuming = checkpointing_config(/*max_snapshots=*/0);
+  resuming.checkpoint.interval_ms = 3600000;
+  resuming.resume = true;
+  const StatusOr<ClusterResult> resumed = LinkClusterer(resuming).run(test_graph());
+  ASSERT_TRUE(resumed.ok()) << resumed.status().to_string();
+  EXPECT_EQ(dendrogram_digest(resumed.value().dendrogram),
+            dendrogram_digest(reference.value().dendrogram));
+}
+
+TEST_F(SnapshotFaultTest, LoadFaultSurfacesAsStatusOnResume) {
+  ASSERT_TRUE(
+      LinkClusterer(checkpointing_config(/*max_snapshots=*/1)).run(test_graph()).ok());
+
+  LinkClusterer::Config resuming = checkpointing_config(/*max_snapshots=*/0);
+  resuming.checkpoint.interval_ms = 3600000;
+  resuming.resume = true;
+  fault::arm("snapshot.load", fault::FaultKind::kThrow);
+  const StatusOr<ClusterResult> resumed = LinkClusterer(resuming).run(test_graph());
+  EXPECT_GE(fault::fire_count(), 1u);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kInternal);
 }
 
 TEST_F(FaultInjectionTest, BaselineSitesThrow) {

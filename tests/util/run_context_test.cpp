@@ -45,6 +45,15 @@ TEST(RunContext, PastDeadlineTripsOnPoll) {
   EXPECT_EQ(ctx.status().code(), StatusCode::kDeadlineExceeded);
 }
 
+TEST(RunContext, NegativeDeadlineTripsOnFirstPollNotUnderflows) {
+  // A negative budget must behave like "already expired", not wrap around
+  // into a deadline centuries away.
+  RunContext ctx;
+  ctx.set_deadline_after(std::chrono::milliseconds{-5});
+  EXPECT_TRUE(ctx.poll());
+  EXPECT_EQ(ctx.status().code(), StatusCode::kDeadlineExceeded);
+}
+
 TEST(RunContext, FutureDeadlineDoesNotTrip) {
   RunContext ctx;
   ctx.set_deadline_after(std::chrono::hours{24});

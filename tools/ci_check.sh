@@ -3,10 +3,16 @@
 # and then UBSan, and runs the full test suite (tier-1 tests plus the
 # fault-injection suite) under each. A third leg builds under TSan and runs
 # just the concurrency suites (the lock-free union-find stress test, the
-# thread pool, and the coarse/parallel determinism tests) — the full suite
-# under TSan is prohibitively slow and the serial tests cannot race. Any
-# sanitizer report fails the build because CMakeLists.txt sets
-# -fno-sanitize-recover=all.
+# thread pool, the coarse/parallel determinism tests, and the checkpoint
+# resume tests, which cross thread counts) — the full suite under TSan is
+# prohibitively slow and the serial tests cannot race. Any sanitizer report
+# fails the build because CMakeLists.txt sets -fno-sanitize-recover=all.
+#
+# A final smoke leg exercises the crash/resume path end to end with the ASan
+# CLI binary: a fault-injected sleep parks a checkpointing run mid-sweep,
+# SIGKILL tears it down, and a --resume run must reproduce the uninterrupted
+# dendrogram byte for byte. Both the fine and the coarse mode machines get a
+# kill.
 #
 # Usage: tools/ci_check.sh [build-dir-prefix]
 #   build-dir-prefix defaults to "build-san"; per-sanitizer trees land in
@@ -42,9 +48,53 @@ cmake -B "${build_dir}" -S . \
 echo "== thread: build =="
 cmake --build "${build_dir}" -j "${jobs}" \
   --target core_concurrent_dsu_test parallel_thread_pool_test \
-           core_coarse_test core_similarity_determinism_test
+           core_coarse_test core_similarity_determinism_test \
+           core_checkpoint_test
 echo "== thread: test (concurrency suites) =="
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
-  -R 'ConcurrentDsu|ThreadPool|Coarse|Determinism'
+  -R 'ConcurrentDsu|ThreadPool|Coarse|Determinism|Checkpoint'
 
-echo "ci_check: all sanitizer suites passed"
+# ---- Kill/resume smoke: crash a checkpointing run with SIGKILL, resume it,
+# and demand the dendrogram the crash interrupted. Uses the ASan binary so
+# the replayed sweep is also sanitized. The LC_FAULT_POINT sleep parks the
+# run inside the sweep after enough chunk boundaries have committed
+# snapshots, which makes the kill deterministic without racing the sweep.
+smoke() {
+  local mode="$1" fault="$2"; shift 2
+  local work
+  work="$(mktemp -d)"
+  local bin="${prefix}-address/tools/linkcluster"
+  echo "== smoke: ${mode} kill/resume (${work}) =="
+  "${bin}" generate --type er --n 600 --p 0.02 --seed 7 --output "${work}/g.edges"
+  "${bin}" cluster --input "${work}/g.edges" --mode "${mode}" "$@" \
+    --merges "${work}/ref.merges"
+  LC_FAULT_POINT="${fault}" \
+    "${bin}" cluster --input "${work}/g.edges" --mode "${mode}" "$@" \
+      --checkpoint-dir "${work}/ckpt" --checkpoint-every-ms 0 \
+      --merges "${work}/killed.merges" &
+  local pid=$!
+  local snapshot="${work}/ckpt/checkpoint.lcsnap"
+  for _ in $(seq 1 300); do
+    [ -f "${snapshot}" ] && break
+    sleep 0.1
+  done
+  kill -9 "${pid}" 2>/dev/null || true
+  wait "${pid}" 2>/dev/null || true
+  if [ ! -f "${snapshot}" ]; then
+    echo "smoke: no snapshot appeared before the kill (${mode})" >&2
+    exit 1
+  fi
+  "${bin}" cluster --input "${work}/g.edges" --mode "${mode}" "$@" \
+    --checkpoint-dir "${work}/ckpt" --resume --merges "${work}/resumed.merges"
+  cmp "${work}/ref.merges" "${work}/resumed.merges"
+  echo "smoke: ${mode} resume reproduced the uninterrupted dendrogram"
+  rm -rf "${work}"
+}
+
+# Fine: sleep after 400 entry boundaries — hundreds of snapshots are already
+# on disk by then. Coarse: the loop head commits a snapshot before each
+# coarse.chunk hit, so three skips guarantee one.
+smoke fine  "sweep.entry:sleep:400:60000"
+smoke coarse "coarse.chunk:sleep:3:60000" --delta0 32
+
+echo "ci_check: all sanitizer suites and the kill/resume smoke passed"

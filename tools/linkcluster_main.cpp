@@ -3,7 +3,13 @@
 #include <iostream>
 
 #include "cli/commands.hpp"
+#include "util/fault_inject.hpp"
 
 int main(int argc, char** argv) {
+#ifdef LC_FAULT_INJECT
+  // Fault builds only: the kill/resume smoke test parks a child run
+  // mid-sweep via the LC_FAULT_POINT environment variable.
+  lc::fault::arm_from_env();
+#endif
   return lc::cli::run_command(argc, argv, std::cout, std::cerr);
 }
