@@ -8,7 +8,14 @@ Runs ``micro_core --json`` into a temp file (or takes a pre-generated file via
      count, build_ms must be below the single-thread build_ms of the *same*
      fresh run. (The seed regression this guards: T=8 was 1.7x slower than
      T=1 because per-thread map replication plus the tournament merge scaled
-     work with T.)
+     work with T.) Gated only when the fresh run's recorded
+     context.hardware_concurrency is above 1 — on a single-core box every
+     T>1 leg is pure oversubscription and "parallel must beat serial" would
+     flake on scheduler noise rather than measure anything.
+  1b. The gather build must beat the sharded baseline formulation at T=1
+     (build_ms < build_sharded_ms, same fresh run) — the whole point of the
+     per-edge gather is to out-run the scatter it replaced, and both legs run
+     back-to-back on the same box so the comparison needs no slack.
   2. The dendrogram digest at every thread count must match the committed
      baseline — the sharded build and the radix sort are required to be
      bitwise output-preserving.
@@ -54,13 +61,14 @@ import tempfile
 from pathlib import Path
 
 
-def load_runs(path: Path) -> dict:
+def load_doc(path: Path) -> tuple[dict, dict]:
+    """Returns (runs keyed by thread count, doc-level context dict)."""
     with path.open() as fh:
         doc = json.load(fh)
     runs = {int(r["threads"]): r for r in doc.get("runs", [])}
     if not runs:
         raise ValueError(f"{path}: no runs")
-    return runs
+    return runs, doc.get("context", {})
 
 
 def main() -> int:
@@ -106,17 +114,22 @@ def main() -> int:
             return 2
 
     try:
-        fresh = load_runs(fresh_path)
-        baseline = load_runs(args.baseline)
+        fresh, fresh_ctx = load_doc(fresh_path)
+        baseline, _ = load_doc(args.baseline)
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"check_regression: {exc}", file=sys.stderr)
         return 2
 
     failures = []
 
-    # Gate 1: widest thread count must beat T=1 on build time, same run.
+    # Gate 1: widest thread count must beat T=1 on build time, same run —
+    # but only on a box where T>1 legs actually get extra cores.
+    cores = int(fresh_ctx.get("hardware_concurrency", 0))
     if 1 not in fresh:
         failures.append("fresh run has no threads=1 record")
+    elif cores == 1:
+        print("parallel build gate: skipped (hardware_concurrency=1: every "
+              "T>1 leg is oversubscription, not parallelism)")
     else:
         widest = max(fresh)
         t1_build = float(fresh[1].get("build_ms", fresh[1]["wall_ms"]))
@@ -129,6 +142,21 @@ def main() -> int:
             failures.append(
                 f"T={widest} build_ms {tw_build:.1f} >= {bound:.1f} "
                 f"({args.slack:.2f}x T=1 {t1_build:.1f}) — parallel build regressed")
+
+    # Gate 1b: the gather formulation must beat the sharded baseline it
+    # replaced as the default, both measured back-to-back in the fresh run.
+    if 1 in fresh and "build_sharded_ms" in fresh[1]:
+        t1_build = float(fresh[1].get("build_ms", fresh[1]["wall_ms"]))
+        sharded = float(fresh[1]["build_sharded_ms"])
+        verdict = "ok" if t1_build < sharded else "REGRESSION"
+        print(f"gather vs sharded (T=1): gather {t1_build:.1f}  "
+              f"sharded {sharded:.1f}  {verdict}")
+        if t1_build >= sharded:
+            failures.append(
+                f"T=1 gather build_ms {t1_build:.1f} >= sharded "
+                f"{sharded:.1f} — the default formulation lost its edge")
+    else:
+        print("gather-vs-sharded gate: skipped (no build_sharded_ms in fresh records)")
 
     # Gate 2: output digests must match the committed baseline everywhere.
     base_digests = {t: r.get("dendrogram_fnv") for t, r in baseline.items()}

@@ -18,9 +18,10 @@ LinkClusterer::LinkClusterer(Config config) : config_(std::move(config)) {
 
 RunFingerprint LinkClusterer::fingerprint(const graph::WeightedGraph& graph,
                                           const Config& config) {
-  // Thread count, map kind, and pool shape are deliberately absent: the
-  // output is bitwise-invariant to them, so a snapshot may resume under a
-  // different parallel configuration than the one that wrote it.
+  // Thread count, map kind, build strategy, and pool shape are deliberately
+  // absent: the output is bitwise-invariant to them, so a snapshot may
+  // resume under a different parallel configuration than the one that wrote
+  // it.
   RunFingerprint fp;
   fp.graph_digest = graph_fingerprint(graph);
   fp.mode = static_cast<std::uint8_t>(config.mode);
@@ -69,6 +70,7 @@ ClusterResult LinkClusterer::cluster(const graph::WeightedGraph& graph) const {
   SimilarityMap map;
   SimilarityMapOptions map_options{config_.map_kind, config_.measure};
   map_options.ctx = config_.ctx;
+  map_options.strategy = config_.build_strategy;
   if (pool != nullptr) {
     map = build_similarity_map_parallel(graph, *pool, config_.ledger, map_options);
   } else {

@@ -64,6 +64,10 @@ class LinkClusterer {
     std::uint64_t seed = 42;            ///< edge-enumeration seed
     PairMapKind map_kind = PairMapKind::kHash;
     SimilarityMeasure measure = SimilarityMeasure::kTanimoto;
+    /// Pass-2 formulation for the kHash map kind. Every strategy yields
+    /// byte-identical maps, so this is a pure performance knob and is
+    /// excluded from the checkpoint fingerprint.
+    BuildStrategy build_strategy = BuildStrategy::kGatherSimd;
     sim::WorkLedger* ledger = nullptr;  ///< optional work accounting (not owned)
     /// Optional cooperative run control (not owned): cancellation, deadline,
     /// and memory budget (see util/run_context.hpp). Checked at chunk

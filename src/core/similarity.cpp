@@ -6,9 +6,11 @@
 #include <memory>
 #include <utility>
 
+#include "numeric/set_intersect.hpp"
 #include "util/check.hpp"
 #include "util/fault_inject.hpp"
 #include "util/run_context.hpp"
+#include "util/stopwatch.hpp"
 
 namespace lc::core {
 namespace {
@@ -442,7 +444,9 @@ std::size_t auto_shard_count(std::uint64_t k2, std::size_t t_count) {
 SimilarityMap build_sharded(const WeightedGraph& graph, const std::vector<double>& h1,
                             const std::vector<double>& h2, SimilarityMeasure measure,
                             parallel::ThreadPool& pool, sim::WorkLedger* ledger,
-                            std::size_t shard_count, RunContext* ctx) {
+                            std::size_t shard_count, RunContext* ctx,
+                            BuildStats* stats = nullptr) {
+  Stopwatch watch;
   const std::size_t n = graph.vertex_count();
   const std::size_t t_count = pool.thread_count();
   const std::uint64_t k2 = count_pairs_slice(graph, 0, 1);
@@ -663,6 +667,7 @@ SimilarityMap build_sharded(const WeightedGraph& graph, const std::vector<double
   parallel::parallel_radix_sort(pool, entries, [](const BuildEntry& e) {
     return pair_key(e.u, e.v);
   });
+  if (stats != nullptr) stats->pass2_ms = watch.lap() * 1e3;
 
   // Pass 3 against the key-sorted entries, partitioned by first vertex.
   if (ledger != nullptr) {
@@ -681,7 +686,10 @@ SimilarityMap build_sharded(const WeightedGraph& graph, const std::vector<double
     pool.run_batch(tasks);
   }
 
-  return assemble_map(graph, entries, staging.get(), h2, measure, &pool, ledger, ctx);
+  SimilarityMap out = assemble_map(graph, entries, staging.get(), h2, measure, &pool,
+                                   ledger, ctx);
+  if (stats != nullptr) stats->pass3_ms = watch.lap() * 1e3;
+  return out;
 }
 
 /// Flat strategy tuple: one per incident pair, sorted by (key, common) so
@@ -906,6 +914,413 @@ SimilarityMap build_flat(const WeightedGraph& graph, const std::vector<double>& 
   return map;
 }
 
+// ---------------------------------------------------------------------------
+// Gather build (BuildStrategy::kGatherSimd, DESIGN.md §12)
+//
+// Pass 2 inverted: instead of every common neighbor k scattering a
+// contribution into the key (u, v), every first vertex u *gathers* its keys.
+// A wedge walk u -> k -> v (v > u, found by one upper_bound per row) counts
+// |N(u) ∩ N(v)| exactly and caches the first wedge's contribution, so the
+// ~85% of keys with a single common neighbor never touch an intersection
+// kernel; the rest recover their common slots by intersecting the two sorted
+// CSR rows (numeric/set_intersect). The pass-3 edge term is fused — (u, v)
+// is an edge iff v appears in row u, detected by a two-pointer over the
+// sorted candidate list. Keys emerge in packed-key order by construction
+// (u ascending per block, v ascending within u), so there is no staging
+// arena, no hashing, and no key sort, and every score is summed in the same
+// canonical common-ascending order as fill_entry — bitwise-identical output
+// at every thread count and kernel choice.
+
+/// Per-worker gather state, sized once on the calling thread (see the glibc
+/// arena note above build_sharded) so workers never allocate.
+struct GatherScratch {
+  std::vector<std::uint32_t> mark;     ///< epoch (u+1) while v is a live candidate
+  std::vector<std::uint32_t> ccount;   ///< |N(u) ∩ N(v)| while marked
+  std::vector<VertexId> first_common;  ///< the lone common when ccount == 1
+  std::vector<EdgeId> first_e1;
+  std::vector<EdgeId> first_e2;
+  std::vector<double> first_product;
+  std::vector<VertexId> cand;  ///< distinct candidates v of the current u
+  std::vector<std::uint64_t> cand_bits;  ///< scratch bitmap over v (see gather_vertex)
+  std::vector<numeric::MatchPos> matches;
+};
+
+/// Per-worker output block; blocks concatenate (entry offsets rebased) into
+/// the final CSR map. Counters feed BuildStats.
+struct GatherOut {
+  std::vector<SimilarityEntry> entries;
+  std::vector<VertexId> commons;
+  std::vector<EdgePairRef> pairs;
+  std::uint64_t pairs_exact = 0;
+  std::uint64_t pairs_single = 0;
+  std::uint64_t pairs_pruned = 0;
+};
+
+/// Read-only inputs shared by every gather worker.
+struct GatherJob {
+  const WeightedGraph& graph;
+  const std::vector<double>& h1;
+  const std::vector<double>& h2;
+  const std::vector<double>& wmax;  ///< per-vertex max weight; empty unless pruning
+  SimilarityMeasure measure;
+  numeric::IntersectKernel kernel;
+  double min_score;
+  bool prune;
+};
+
+/// Emits every key (u, v), v > u, with its exact score, commons, and edge
+/// pairs — or drops it when pruning is armed and the key falls below
+/// min_score (provably, by the upper bound, or exactly).
+void gather_vertex(const GatherJob& job, VertexId u, GatherScratch& s, GatherOut& out) {
+  const WeightedGraph& graph = job.graph;
+  const std::span<const VertexId> row_u = graph.neighbors(u);
+  if (row_u.empty()) return;
+  const std::span<const double> w_u = graph.neighbor_weights(u);
+  const std::span<const EdgeId> e_u = graph.neighbor_edge_ids(u);
+  const std::uint32_t epoch = u + 1;
+  s.cand.clear();
+  for (std::size_t p = 0; p < row_u.size(); ++p) {
+    const VertexId k = row_u[p];
+    const std::span<const VertexId> row_k = graph.neighbors(k);
+    const auto begin_v = std::upper_bound(row_k.begin(), row_k.end(), u);
+    if (begin_v == row_k.end()) continue;
+    const std::span<const double> w_k = graph.neighbor_weights(k);
+    const std::span<const EdgeId> e_k = graph.neighbor_edge_ids(k);
+    for (auto it = begin_v; it != row_k.end(); ++it) {
+      const VertexId v = *it;
+      if (s.mark[v] != epoch) {
+        const auto q = static_cast<std::size_t>(it - row_k.begin());
+        s.mark[v] = epoch;
+        s.ccount[v] = 1;
+        s.first_common[v] = k;
+        s.first_e1[v] = e_u[p];
+        s.first_e2[v] = e_k[q];
+        s.first_product[v] = w_u[p] * w_k[q];
+        s.cand.push_back(v);
+      } else {
+        ++s.ccount[v];
+      }
+    }
+  }
+  if (s.cand.empty()) return;
+  std::size_t edge_ptr = 0;  // fused pass 3: cursor into row u over sorted candidates
+  const auto emit = [&](const VertexId v) {
+    while (edge_ptr < row_u.size() && row_u[edge_ptr] < v) ++edge_ptr;
+    // (u, v) is an edge iff v sits in row u. The term reads the identical
+    // operand doubles pass3_sorted reads from the canonical edge list (CSR
+    // weights and edge weights come from the same build), and adding a 0.0
+    // for non-edges is bitwise-neutral on the non-negative sum — exactly
+    // fill_entry's unconditional `p += pass3`.
+    double pass3 = 0.0;
+    if (edge_ptr < row_u.size() && row_u[edge_ptr] == v) {
+      pass3 = (job.h1[u] + job.h1[v]) * w_u[edge_ptr];
+    }
+    const std::uint32_t c = s.ccount[v];
+    const std::uint64_t offset = out.commons.size();
+    if (c == 1) {
+      ++out.pairs_single;
+      double score;
+      if (job.measure == SimilarityMeasure::kJaccard) {
+        score = jaccard_score(graph, u, v, 1);
+      } else {
+        double p = 0.0;
+        p += s.first_product[v];
+        p += pass3;
+        const double denom = job.h2[u] + job.h2[v] - p;
+        LC_DCHECK(denom > 0.0);
+        score = p / denom;
+      }
+      if (job.prune && score < job.min_score) return;
+      out.commons.push_back(s.first_common[v]);
+      out.pairs.push_back(EdgePairRef{s.first_e1[v], s.first_e2[v]});
+      out.entries.push_back(SimilarityEntry{u, v, score, offset, 1});
+      return;
+    }
+    if (job.prune) {
+      if (job.measure == SimilarityMeasure::kTanimoto) {
+        // pSCAN-style upper bound on P = a_u · a_v: the Cauchy–Schwarz bound
+        // √(H2u·H2v) and the count bound c·wmax_u·wmax_v plus the exact
+        // (already known) edge term. score = P/(H2u+H2v−P) is monotone in P,
+        // and the C-S bound keeps the denominator at least (H2u+H2v)/2 > 0.
+        const double ub_p =
+            std::min(std::sqrt(job.h2[u] * job.h2[v]),
+                     static_cast<double>(c) * job.wmax[u] * job.wmax[v] + pass3);
+        if (ub_p / (job.h2[u] + job.h2[v] - ub_p) < job.min_score) {
+          ++out.pairs_pruned;
+          return;
+        }
+      } else if (jaccard_score(graph, u, v, c) < job.min_score) {
+        // Jaccard needs no bound: the count determines the score exactly.
+        ++out.pairs_pruned;
+        return;
+      }
+    }
+    ++out.pairs_exact;
+    const std::span<const VertexId> row_v = graph.neighbors(v);
+    const std::size_t m =
+        numeric::set_intersect_posns(row_u, row_v, s.matches.data(), job.kernel);
+    LC_DCHECK(m == c);
+    double score;
+    if (job.measure == SimilarityMeasure::kJaccard) {
+      score = jaccard_score(graph, u, v, c);
+    } else {
+      const std::span<const double> w_v = graph.neighbor_weights(v);
+      // Products ascending by common — the canonical fill_entry order.
+      double p = 0.0;
+      for (std::size_t x = 0; x < m; ++x) {
+        p += w_u[s.matches[x].a_pos] * w_v[s.matches[x].b_pos];
+      }
+      p += pass3;
+      const double denom = job.h2[u] + job.h2[v] - p;
+      LC_DCHECK(denom > 0.0);
+      score = p / denom;
+      if (job.prune && score < job.min_score) return;  // survived the bound only
+    }
+    const std::span<const EdgeId> e_v = graph.neighbor_edge_ids(v);
+    for (std::size_t x = 0; x < m; ++x) {
+      out.commons.push_back(row_u[s.matches[x].a_pos]);
+      out.pairs.push_back(EdgePairRef{e_u[s.matches[x].a_pos], e_v[s.matches[x].b_pos]});
+    }
+    out.entries.push_back(
+        SimilarityEntry{u, v, score, offset, static_cast<std::uint32_t>(m)});
+  };
+
+  // Candidates must be visited in ascending v. When the set is dense in its
+  // value span (the common case on compact vertex ranges), a word-scan over a
+  // scratch bitmap enumerates it in order for O(span/64 + |cand|) — cheaper
+  // than the comparison sort, which stays the fallback for sparse spans
+  // (e.g. a few candidates scattered across a huge id range). Both paths
+  // visit the identical ascending sequence, so the output bytes never depend
+  // on the choice.
+  const auto [min_it, max_it] = std::minmax_element(s.cand.begin(), s.cand.end());
+  const std::size_t lo_word = *min_it >> 6;
+  const std::size_t hi_word = *max_it >> 6;
+  if (hi_word - lo_word + 1 <= s.cand.size() * 4) {
+    for (const VertexId v : s.cand) s.cand_bits[v >> 6] |= 1ull << (v & 63);
+    for (std::size_t w = lo_word; w <= hi_word; ++w) {
+      std::uint64_t word = s.cand_bits[w];
+      s.cand_bits[w] = 0;  // leave the bitmap clear for the next u
+      while (word != 0) {
+        const auto v = static_cast<VertexId>(
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(word)));
+        word &= word - 1;
+        emit(v);
+      }
+    }
+  } else {
+    std::sort(s.cand.begin(), s.cand.end());
+    for (const VertexId v : s.cand) emit(v);
+  }
+}
+
+SimilarityMap build_gather(const WeightedGraph& graph, const std::vector<double>& h1,
+                           const std::vector<double>& h2,
+                           const SimilarityMapOptions& options, parallel::ThreadPool* pool,
+                           sim::WorkLedger* ledger, RunContext* ctx) {
+  const std::size_t n = graph.vertex_count();
+  const std::size_t t_count = (pool == nullptr) ? 1 : pool->thread_count();
+  const bool prune = options.min_score > 0.0 && std::isfinite(options.min_score);
+  Stopwatch watch;
+
+  // Exact wedge counts W[u] = |{(k, v) : k ∈ N(u), v ∈ N(k), v > u}| — the
+  // number of pass-2 contributions keyed at first vertex u (ΣW == K2). They
+  // drive the contiguous block balance and give each block's exact
+  // common_arena share, so per-worker outputs are reserved up front and the
+  // workers stay allocation-free. The same pass collects the per-vertex max
+  // incident weight when the count bound needs it.
+  std::vector<std::uint64_t> wedges(n, 0);
+  std::vector<double> wmax(
+      prune && options.measure == SimilarityMeasure::kTanimoto ? n : 0, 0.0);
+  auto wedge_slice = [&](std::size_t start, std::size_t stride) -> std::uint64_t {
+    PollTicker ticker(ctx);
+    std::uint64_t work = 0;
+    for (std::size_t ui = start; ui < n; ui += stride) {
+      const auto u = static_cast<VertexId>(ui);
+      const std::span<const VertexId> row_u = graph.neighbors(u);
+      ticker.checkpoint(1 + row_u.size());
+      std::uint64_t w = 0;
+      for (const VertexId k : row_u) {
+        const std::span<const VertexId> row_k = graph.neighbors(k);
+        w += static_cast<std::uint64_t>(row_k.end() -
+                                        std::upper_bound(row_k.begin(), row_k.end(), u));
+      }
+      wedges[ui] = w;
+      if (!wmax.empty()) {
+        double m = 0.0;
+        for (const double x : graph.neighbor_weights(u)) m = std::max(m, x);
+        wmax[ui] = m;
+      }
+      work += 1 + row_u.size();
+    }
+    return work;
+  };
+  if (pool == nullptr) {
+    wedge_slice(0, 1);
+  } else {
+    if (ledger != nullptr) {
+      ledger->begin_phase("init.pass2.wedges");
+      ledger->begin_round(t_count);
+    }
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t t = 0; t < t_count; ++t) {
+      tasks.push_back([&, t] {
+        const std::uint64_t work = wedge_slice(t, t_count);
+        if (ledger != nullptr) ledger->add_work(t, work);
+      });
+    }
+    pool->run_batch(tasks);
+  }
+
+  check_stop(ctx);
+  const std::vector<std::size_t> bounds =
+      balanced_blocks(n, t_count, [&wedges](std::size_t u) { return 1 + wedges[u]; });
+  std::vector<std::uint64_t> block_commons(t_count, 0);
+  std::uint64_t k2 = 0;
+  std::uint64_t max_wedge = 0;
+  for (std::size_t t = 0; t < t_count; ++t) {
+    for (std::size_t u = bounds[t]; u < bounds[t + 1]; ++u) {
+      block_commons[t] += wedges[u];
+      max_wedge = std::max(max_wedge, wedges[u]);
+    }
+    k2 += block_commons[t];
+  }
+  std::size_t max_degree = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    max_degree = std::max(max_degree, graph.degree(static_cast<VertexId>(v)));
+  }
+
+  // The per-worker output blocks are the gather's dominant transient
+  // footprint: the output itself, O(K1 + K2), held once here and once in the
+  // final map during concatenation — there is no K2 tuple staging. (The
+  // entry reservation is an upper bound; its untouched tail pages are never
+  // dirtied, so only the commons-sized charge is accounted.) Released when
+  // this function returns.
+  MemoryCharge block_charge(
+      ctx, k2 * (sizeof(graph::VertexId) + sizeof(EdgePairRef)), "sim.gather.blocks");
+  const GatherJob job{graph,          h1, h2, wmax, options.measure, options.kernel,
+                      options.min_score, prune};
+  std::vector<GatherOut> outs(t_count);
+  std::vector<GatherScratch> scratch(t_count);
+  const std::size_t cand_cap =
+      static_cast<std::size_t>(std::min<std::uint64_t>(max_wedge, n));
+  for (std::size_t t = 0; t < t_count; ++t) {
+    const auto cap = static_cast<std::size_t>(block_commons[t]);
+    outs[t].entries.reserve(cap);
+    outs[t].commons.reserve(cap);
+    outs[t].pairs.reserve(cap);
+    GatherScratch& s = scratch[t];
+    s.mark.assign(n, 0);
+    s.ccount.resize(n);
+    s.first_common.resize(n);
+    s.first_e1.resize(n);
+    s.first_e2.resize(n);
+    s.first_product.resize(n);
+    s.cand.reserve(cand_cap);
+    s.cand_bits.assign((n + 63) / 64, 0);
+    s.matches.resize(max_degree);
+  }
+
+  auto gather_block = [&](std::size_t t) -> std::uint64_t {
+    LC_FAULT_POINT("build.gather");
+    PollTicker ticker(ctx);
+    GatherScratch& s = scratch[t];
+    GatherOut& o = outs[t];
+    std::uint64_t work = 0;
+    for (std::size_t ui = bounds[t]; ui < bounds[t + 1]; ++ui) {
+      ticker.checkpoint(1 + wedges[ui]);
+      gather_vertex(job, static_cast<VertexId>(ui), s, o);
+      work += 1 + wedges[ui];
+    }
+    return work;
+  };
+  if (pool == nullptr) {
+    gather_block(0);
+  } else {
+    if (ledger != nullptr) {
+      ledger->begin_phase("init.pass2.gather");
+      ledger->begin_round(t_count);
+    }
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t t = 0; t < t_count; ++t) {
+      tasks.push_back([&, t] {
+        const std::uint64_t work = gather_block(t);
+        if (ledger != nullptr) ledger->add_work(t, work);
+      });
+    }
+    pool->run_batch(tasks);
+  }
+  if (options.stats != nullptr) {
+    options.stats->pass2_ms = watch.lap() * 1e3;
+    for (const GatherOut& o : outs) {
+      options.stats->pairs_exact += o.pairs_exact;
+      options.stats->pairs_single += o.pairs_single;
+      options.stats->pairs_pruned += o.pairs_pruned;
+    }
+  }
+
+  // Concatenate the blocks: block t's entries follow block t-1's, offsets
+  // rebased by the arena prefix — block boundaries cannot leak into the
+  // output because every block's content is a pure function of its u range.
+  check_stop(ctx);
+  std::vector<std::uint64_t> entry_base(t_count + 1, 0);
+  std::vector<std::uint64_t> arena_base(t_count + 1, 0);
+  for (std::size_t t = 0; t < t_count; ++t) {
+    entry_base[t + 1] = entry_base[t] + outs[t].entries.size();
+    arena_base[t + 1] = arena_base[t] + outs[t].commons.size();
+  }
+  SimilarityMap out;
+  MemoryCharge arena_charge(
+      ctx,
+      entry_base[t_count] * sizeof(SimilarityEntry) +
+          arena_base[t_count] * (sizeof(graph::VertexId) + sizeof(EdgePairRef)),
+      "sim.arenas");
+  arena_charge.commit();
+  if (t_count == 1) {
+    // Single block (serial build or 1-thread pool): its offsets are already
+    // final, so move it out instead of copying. The entry reservation was a
+    // K2-bound; trim the slack so the map's memory_bytes() reflects K1
+    // entries (the multi-block path gets this from its exact resize). No-op
+    // for the arenas unless pruning dropped keys.
+    outs[0].entries.shrink_to_fit();
+    outs[0].commons.shrink_to_fit();
+    outs[0].pairs.shrink_to_fit();
+    out.entries = std::move(outs[0].entries);
+    out.common_arena = std::move(outs[0].commons);
+    out.pair_arena = std::move(outs[0].pairs);
+  } else {
+    if (ledger != nullptr) {
+      ledger->begin_phase("init.finalize");
+      ledger->begin_round(t_count);
+    }
+    out.entries.resize(static_cast<std::size_t>(entry_base[t_count]));
+    out.common_arena.resize(static_cast<std::size_t>(arena_base[t_count]));
+    out.pair_arena.resize(static_cast<std::size_t>(arena_base[t_count]));
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t t = 0; t < t_count; ++t) {
+      if (outs[t].entries.empty()) continue;
+      tasks.push_back([&, t] {
+        PollTicker ticker(ctx);
+        const GatherOut& o = outs[t];
+        SimilarityEntry* dst = out.entries.data() + entry_base[t];
+        for (std::size_t i = 0; i < o.entries.size(); ++i) {
+          ticker.checkpoint();
+          dst[i] = o.entries[i];
+          dst[i].offset += arena_base[t];
+        }
+        std::copy(o.commons.begin(), o.commons.end(),
+                  out.common_arena.begin() + static_cast<std::ptrdiff_t>(arena_base[t]));
+        std::copy(o.pairs.begin(), o.pairs.end(),
+                  out.pair_arena.begin() + static_cast<std::ptrdiff_t>(arena_base[t]));
+        if (ledger != nullptr) ledger->add_work(t, o.entries.size() + o.commons.size());
+      });
+    }
+    pool->run_batch(tasks);
+  }
+  out.set_keys_sorted(true);
+  if (options.stats != nullptr) options.stats->pass3_ms = watch.lap() * 1e3;
+  return out;
+}
+
 }  // namespace
 
 void SimilarityMap::sort_by_score(parallel::ThreadPool* pool) {
@@ -960,12 +1375,21 @@ SimilarityMap build_similarity_map(const graph::WeightedGraph& graph,
   const std::size_t n = graph.vertex_count();
   RunContext* ctx = options.ctx;
   check_stop(ctx);
+  Stopwatch watch;
   std::vector<double> h1(n, 0.0);
   std::vector<double> h2(n, 0.0);
   pass1_range(graph, 0, 1, h1, h2, ctx);
+  if (options.stats != nullptr) options.stats->pass1_ms = watch.lap() * 1e3;
 
   if (options.map_kind == PairMapKind::kFlat) {
-    return build_flat(graph, h1, h2, options.measure, nullptr, nullptr, ctx);
+    // The flat pipeline interleaves emission, sort, and assembly; the whole
+    // thing is reported as pass 2.
+    SimilarityMap map = build_flat(graph, h1, h2, options.measure, nullptr, nullptr, ctx);
+    if (options.stats != nullptr) options.stats->pass2_ms = watch.lap() * 1e3;
+    return map;
+  }
+  if (options.strategy == BuildStrategy::kGatherSimd) {
+    return build_gather(graph, h1, h2, options, nullptr, nullptr, ctx);
   }
 
   const std::uint64_t k2 = count_pairs_slice(graph, 0, 1);
@@ -978,11 +1402,14 @@ SimilarityMap build_similarity_map(const graph::WeightedGraph& graph,
   pass2_build(graph, map, contribs, ctx);
   check_stop(ctx);
   std::sort(map.entries.begin(), map.entries.end(), by_pair_key);
+  if (options.stats != nullptr) options.stats->pass2_ms = watch.lap() * 1e3;
   std::uint64_t matched = 0;
   matched = pass3_sorted(graph, 0, 1, h1, map.entries, ctx);
   (void)matched;
-  return assemble_map(graph, map.entries, contribs.data(), h2, options.measure, nullptr,
-                      nullptr, ctx);
+  SimilarityMap out = assemble_map(graph, map.entries, contribs.data(), h2,
+                                   options.measure, nullptr, nullptr, ctx);
+  if (options.stats != nullptr) options.stats->pass3_ms = watch.lap() * 1e3;
+  return out;
 }
 
 SimilarityMap build_similarity_map_parallel(const graph::WeightedGraph& graph,
@@ -993,6 +1420,7 @@ SimilarityMap build_similarity_map_parallel(const graph::WeightedGraph& graph,
   const std::size_t t_count = pool.thread_count();
   RunContext* ctx = options.ctx;
   check_stop(ctx);
+  Stopwatch watch;
   std::vector<double> h1(n, 0.0);
   std::vector<double> h2(n, 0.0);
 
@@ -1017,11 +1445,17 @@ SimilarityMap build_similarity_map_parallel(const graph::WeightedGraph& graph,
   }
 
   check_stop(ctx);
+  if (options.stats != nullptr) options.stats->pass1_ms = watch.lap() * 1e3;
   if (options.map_kind == PairMapKind::kFlat) {
-    return build_flat(graph, h1, h2, options.measure, &pool, ledger, ctx);
+    SimilarityMap map = build_flat(graph, h1, h2, options.measure, &pool, ledger, ctx);
+    if (options.stats != nullptr) options.stats->pass2_ms = watch.lap() * 1e3;
+    return map;
+  }
+  if (options.strategy == BuildStrategy::kGatherSimd) {
+    return build_gather(graph, h1, h2, options, &pool, ledger, ctx);
   }
   return build_sharded(graph, h1, h2, options.measure, pool, ledger,
-                       options.shard_count, ctx);
+                       options.shard_count, ctx, options.stats);
 }
 
 double tanimoto_similarity_bruteforce(const graph::WeightedGraph& graph, graph::VertexId i,

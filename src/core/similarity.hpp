@@ -38,13 +38,27 @@
 // radix-sorted by packed key and the shard chains are emitted straight into
 // the final CSR arenas; pass 3 is partitioned by the first vertex of each
 // edge against the key-sorted entries.
+//
+// BuildStrategy::kGatherSimd (the default; DESIGN.md §12) inverts pass 2 from
+// that scatter into a per-pair *gather*: a wedge walk from each first vertex
+// u discovers every key (u, v) together with its common-neighbor count, pairs
+// with one common take a direct fast path, and the rest compute their
+// products by intersecting the two sorted CSR rows through the
+// numeric/set_intersect kernel family (scalar / galloping / SSE / AVX2).
+// There is no K2 staging arena, no hashing, and no key sort — keys emerge in
+// packed-key order by construction — yet every score, common list, and arena
+// byte is identical to the sharded and serial builds. An optional min_score
+// threshold prunes pairs whose pSCAN-style score upper bound falls below it
+// without running the kernel.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "numeric/set_intersect.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sim/work_ledger.hpp"
 
@@ -86,12 +100,44 @@ enum class SimilarityMeasure {
   kJaccard,
 };
 
+/// Which pass-2 formulation the kHash map kind runs (kFlat has its own
+/// sort-and-aggregate pipeline and ignores this). Every strategy produces
+/// byte-identical output at every thread count.
+enum class BuildStrategy {
+  /// Per-pair gather over sorted CSR rows via numeric/set_intersect, with a
+  /// single-common fast path and optional pSCAN-style pruning. O(K1) output
+  /// memory, no staging arena. The default.
+  kGatherSimd,
+  /// The key-sharded scatter build (count + fill into a K2 staging arena,
+  /// per-shard aggregation, key radix sort). Kept selectable for A/B runs
+  /// and as the fallback formulation.
+  kSharded,
+};
+
+/// Sub-phase timings and gather counters, filled by the builders when
+/// SimilarityMapOptions::stats is set. Timings partition the build:
+///   pass1_ms: the H1/H2 norm pass.
+///   pass2_ms: the formulation core — wedge walk + intersections (gather) or
+///             count/fill/shard-aggregate/key-sort (sharded) or
+///             emit + sort (flat).
+///   pass3_ms: edge-term application and final CSR assembly.
+/// Counters are gather-only (zero elsewhere): each discovered key is counted
+/// in exactly one bucket.
+struct BuildStats {
+  double pass1_ms = 0.0;
+  double pass2_ms = 0.0;
+  double pass3_ms = 0.0;
+  std::uint64_t pairs_exact = 0;   ///< keys whose products ran an intersect kernel
+  std::uint64_t pairs_single = 0;  ///< keys with one common (kernel bypassed)
+  std::uint64_t pairs_pruned = 0;  ///< keys skipped by the score upper bound
+};
+
 struct SimilarityMapOptions {
   PairMapKind map_kind = PairMapKind::kHash;
   SimilarityMeasure measure = SimilarityMeasure::kTanimoto;
-  /// Pass-2 shard count for the parallel kHash build (0 = auto-sized from K2
-  /// and the pool). Any value >= 1 produces byte-identical output — shards
-  /// only partition the work, never the result.
+  /// Pass-2 shard count for the parallel kHash kSharded build (0 = auto-sized
+  /// from K2 and the pool). Any value >= 1 produces byte-identical output —
+  /// shards only partition the work, never the result.
   std::size_t shard_count = 0;
   /// Optional cooperative run control (not owned): cancellation, deadline,
   /// and memory budget are checked at chunk granularity inside every build
@@ -99,6 +145,19 @@ struct SimilarityMapOptions {
   /// (rethrown from worker tasks by the pool). Null = uncontrolled, and the
   /// build is bitwise-identical to one with an idle context.
   lc::RunContext* ctx = nullptr;
+  /// Pass-2 formulation for the kHash map kind (see BuildStrategy).
+  BuildStrategy strategy = BuildStrategy::kGatherSimd;
+  /// Intersect kernel the gather strategy uses (LC_INTERSECT_KERNEL, read
+  /// once per process, overrides this — see numeric/set_intersect.hpp).
+  numeric::IntersectKernel kernel = numeric::IntersectKernel::kAuto;
+  /// Gather-only score threshold: keys provably (by the pSCAN-style upper
+  /// bound) or exactly below it are dropped from the map, making the result
+  /// the exact map filtered to score >= min_score. The default (-inf) keeps
+  /// every key and skips the bound machinery entirely; the sharded and flat
+  /// builds ignore this field.
+  double min_score = -std::numeric_limits<double>::infinity();
+  /// When non-null, receives sub-phase timings and gather counters.
+  BuildStats* stats = nullptr;
 };
 
 class SimilarityMap {

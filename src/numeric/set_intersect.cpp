@@ -1,0 +1,248 @@
+#include "numeric/set_intersect.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <string_view>
+
+#include "util/check.hpp"
+
+#if defined(LC_SIMD) && defined(__x86_64__)
+#define LC_SET_INTERSECT_SIMD 1
+#include <immintrin.h>
+#endif
+
+namespace lc::numeric {
+namespace {
+
+std::size_t intersect_scalar(const std::uint32_t* a, std::size_t na, std::size_t i,
+                             const std::uint32_t* b, std::size_t nb, std::size_t j,
+                             MatchPos* out) {
+  std::size_t n = 0;
+  while (i < na && j < nb) {
+    const std::uint32_t x = a[i];
+    const std::uint32_t y = b[j];
+    if (x < y) {
+      ++i;
+    } else if (y < x) {
+      ++j;
+    } else {
+      out[n++] = MatchPos{static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)};
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+/// First index >= `lo` with g[idx] >= x, by exponential probe from `lo` and a
+/// binary search over the bracketed window. The probe makes a full scan of g
+/// impossible even when x sits far ahead of the cursor.
+std::size_t gallop_lower_bound(const std::uint32_t* g, std::size_t ng, std::size_t lo,
+                               std::uint32_t x) {
+  std::size_t step = 1;
+  std::size_t hi = lo;
+  while (hi < ng && g[hi] < x) {
+    lo = hi + 1;
+    hi += step;
+    step <<= 1;
+  }
+  const std::uint32_t* first = std::lower_bound(g + lo, g + std::min(hi, ng), x);
+  return static_cast<std::size_t>(first - g);
+}
+
+std::size_t intersect_galloping(const std::uint32_t* a, std::size_t na,
+                                const std::uint32_t* b, std::size_t nb, MatchPos* out) {
+  // Iterate the smaller side; `swapped` keeps the output positions honest.
+  const bool swapped = na > nb;
+  const std::uint32_t* s = swapped ? b : a;
+  const std::size_t ns = swapped ? nb : na;
+  const std::uint32_t* g = swapped ? a : b;
+  const std::size_t ng = swapped ? na : nb;
+  std::size_t n = 0;
+  std::size_t lo = 0;
+  for (std::size_t i = 0; i < ns && lo < ng; ++i) {
+    const std::uint32_t x = s[i];
+    lo = gallop_lower_bound(g, ng, lo, x);
+    if (lo >= ng) break;
+    if (g[lo] == x) {
+      const auto si = static_cast<std::uint32_t>(i);
+      const auto gi = static_cast<std::uint32_t>(lo);
+      out[n++] = swapped ? MatchPos{gi, si} : MatchPos{si, gi};
+      ++lo;
+    }
+  }
+  return n;
+}
+
+#ifdef LC_SET_INTERSECT_SIMD
+
+bool cpu_has_avx2() {
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+}
+
+/// 4x4 SSE2 block compare. Rotating b's lanes r times and comparing against a
+/// tests all 16 lane pairs in 4 compares: a-lane l matches b-lane (l+r)&3 of
+/// the block when bit l of rotation r's movemask is set. Rows are duplicate
+/// free, so each a-lane matches in at most one rotation, and draining the
+/// combined mask lowest-lane-first emits matches in ascending element order.
+std::size_t intersect_sse(const std::uint32_t* a, std::size_t na, const std::uint32_t* b,
+                          std::size_t nb, MatchPos* out) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t n = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    const auto mask = [&va](__m128i rot) {
+      return static_cast<unsigned>(
+          _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(va, rot))));
+    };
+    const unsigned m0 = mask(vb);
+    const unsigned m1 = mask(_mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1)));
+    const unsigned m2 = mask(_mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2)));
+    const unsigned m3 = mask(_mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3)));
+    unsigned any = m0 | m1 | m2 | m3;
+    while (any != 0) {
+      const unsigned lane = static_cast<unsigned>(std::countr_zero(any));
+      any &= any - 1;
+      const unsigned rot = ((m0 >> lane) & 1u) != 0   ? 0u
+                           : ((m1 >> lane) & 1u) != 0 ? 1u
+                           : ((m2 >> lane) & 1u) != 0 ? 2u
+                                                      : 3u;
+      out[n++] = MatchPos{static_cast<std::uint32_t>(i + lane),
+                          static_cast<std::uint32_t>(j + ((lane + rot) & 3u))};
+    }
+    // Advance whichever block has the smaller maximum (both on a tie): every
+    // element it could still match has been compared.
+    const std::uint32_t amax = a[i + 3];
+    const std::uint32_t bmax = b[j + 3];
+    if (amax <= bmax) i += 4;
+    if (bmax <= amax) j += 4;
+  }
+  return n + intersect_scalar(a, na, i, b, nb, j, out + n);
+}
+
+/// 8x8 AVX2 variant of intersect_sse; the rotation chain applies a +1 lane
+/// permute seven times, so a-lane l matches b-lane (l+r)&7 at rotation r.
+__attribute__((target("avx2"))) std::size_t intersect_avx2(const std::uint32_t* a,
+                                                           std::size_t na,
+                                                           const std::uint32_t* b,
+                                                           std::size_t nb, MatchPos* out) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t n = 0;
+  const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  while (i + 8 <= na && j + 8 <= nb) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vr = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    unsigned masks[8];
+    masks[0] = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(va, vr))));
+    unsigned any = masks[0];
+    for (unsigned r = 1; r < 8; ++r) {
+      vr = _mm256_permutevar8x32_epi32(vr, rot1);
+      masks[r] = static_cast<unsigned>(
+          _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(va, vr))));
+      any |= masks[r];
+    }
+    while (any != 0) {
+      const unsigned lane = static_cast<unsigned>(std::countr_zero(any));
+      any &= any - 1;
+      unsigned rot = 0;
+      while (((masks[rot] >> lane) & 1u) == 0) ++rot;
+      out[n++] = MatchPos{static_cast<std::uint32_t>(i + lane),
+                          static_cast<std::uint32_t>(j + ((lane + rot) & 7u))};
+    }
+    const std::uint32_t amax = a[i + 7];
+    const std::uint32_t bmax = b[j + 7];
+    if (amax <= bmax) i += 8;
+    if (bmax <= amax) j += 8;
+  }
+  return n + intersect_scalar(a, na, i, b, nb, j, out + n);
+}
+
+std::size_t intersect_simd(const std::uint32_t* a, std::size_t na, const std::uint32_t* b,
+                           std::size_t nb, MatchPos* out) {
+  if (cpu_has_avx2() && na >= 8 && nb >= 8) return intersect_avx2(a, na, b, nb, out);
+  return intersect_sse(a, na, b, nb, out);
+}
+
+#endif  // LC_SET_INTERSECT_SIMD
+
+/// Length ratio beyond which galloping beats the linear merges under kAuto.
+constexpr std::size_t kGallopRatio = 16;
+
+}  // namespace
+
+bool simd_compiled() {
+#ifdef LC_SET_INTERSECT_SIMD
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool simd_available() { return simd_compiled(); }
+
+IntersectKernel forced_kernel_from_env() {
+  static const IntersectKernel cached = [] {
+    const char* env = std::getenv("LC_INTERSECT_KERNEL");
+    if (env == nullptr || *env == '\0') return IntersectKernel::kAuto;
+    const std::string_view value(env);
+    if (value == "auto") return IntersectKernel::kAuto;
+    if (value == "scalar") return IntersectKernel::kScalar;
+    if (value == "galloping") return IntersectKernel::kGalloping;
+    if (value == "simd") return IntersectKernel::kSimd;
+    LC_CHECK_MSG(false, "LC_INTERSECT_KERNEL must be auto|scalar|galloping|simd");
+    return IntersectKernel::kAuto;
+  }();
+  return cached;
+}
+
+const char* kernel_name(IntersectKernel kernel) {
+  switch (kernel) {
+    case IntersectKernel::kAuto: return "auto";
+    case IntersectKernel::kScalar: return "scalar";
+    case IntersectKernel::kGalloping: return "galloping";
+    case IntersectKernel::kSimd: return "simd";
+  }
+  return "unknown";
+}
+
+std::size_t set_intersect_posns(std::span<const std::uint32_t> a,
+                                std::span<const std::uint32_t> b, MatchPos* out,
+                                IntersectKernel kernel) {
+  if (a.empty() || b.empty()) return 0;
+  const IntersectKernel forced = forced_kernel_from_env();
+  IntersectKernel chosen = (forced != IntersectKernel::kAuto) ? forced : kernel;
+  if (chosen == IntersectKernel::kAuto) {
+    const std::size_t lo = std::min(a.size(), b.size());
+    const std::size_t hi = std::max(a.size(), b.size());
+    if (hi >= lo * kGallopRatio) {
+      chosen = IntersectKernel::kGalloping;
+    } else {
+      chosen = simd_available() ? IntersectKernel::kSimd : IntersectKernel::kScalar;
+    }
+  }
+  if (chosen == IntersectKernel::kSimd && !simd_available()) {
+    chosen = IntersectKernel::kScalar;
+  }
+  switch (chosen) {
+    case IntersectKernel::kGalloping:
+      return intersect_galloping(a.data(), a.size(), b.data(), b.size(), out);
+    case IntersectKernel::kSimd:
+#ifdef LC_SET_INTERSECT_SIMD
+      return intersect_simd(a.data(), a.size(), b.data(), b.size(), out);
+#else
+      break;  // unreachable: rewritten to kScalar above
+#endif
+    case IntersectKernel::kAuto:
+    case IntersectKernel::kScalar:
+      break;
+  }
+  return intersect_scalar(a.data(), a.size(), 0, b.data(), b.size(), 0, out);
+}
+
+}  // namespace lc::numeric

@@ -94,7 +94,10 @@ INSTANTIATE_TEST_SUITE_P(MapKinds, SimilarityDeterminism,
 // The shard count partitions pass-2 work but must never leak into the output:
 // entries, scores and raw arena contents must be byte-identical to the serial
 // builder for every (shard, thread) combination, including S=1 (everything in
-// one shard), a prime S, and S well above the pool width.
+// one shard), a prime S, and S well above the pool width. The parallel legs
+// force BuildStrategy::kSharded (the session default is the gather build,
+// which ignores shard_count); the serial reference keeps the default, so this
+// doubles as a gather-vs-sharded equality check.
 TEST(SimilarityDeterminismSharded, ShardCountNeverChangesOutput) {
   for (const WeightedGraph& graph : {er_graph(), barbell_graph()}) {
     const SimilarityMap serial = build_similarity_map(graph);
@@ -104,6 +107,7 @@ TEST(SimilarityDeterminismSharded, ShardCountNeverChangesOutput) {
       for (std::size_t threads : {1u, 2u, 8u}) {
         parallel::ThreadPool pool(threads);
         SimilarityMapOptions options;
+        options.strategy = BuildStrategy::kSharded;
         options.shard_count = shards;
         const SimilarityMap map =
             build_similarity_map_parallel(graph, pool, nullptr, options);

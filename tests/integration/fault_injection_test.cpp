@@ -35,11 +35,13 @@ const graph::WeightedGraph& test_graph() {
 }
 
 LinkClusterer::Config make_config(std::size_t threads, PairMapKind kind,
-                                  ClusterMode mode) {
+                                  ClusterMode mode,
+                                  BuildStrategy strategy = BuildStrategy::kGatherSimd) {
   LinkClusterer::Config config;
   config.threads = threads;
   config.map_kind = kind;
   config.mode = mode;
+  config.build_strategy = strategy;
   return config;
 }
 
@@ -71,21 +73,34 @@ struct SiteCase {
   std::size_t threads;
   PairMapKind kind;
   ClusterMode mode;
+  /// The sharded-internal sites (pass-2 scatter, staging arena, assembly)
+  /// are only reachable when the config forces BuildStrategy::kSharded; the
+  /// session default builds through the gather path and its build.gather
+  /// site.
+  BuildStrategy strategy = BuildStrategy::kGatherSimd;
 };
 
 // Every site paired with a configuration whose code path reaches it.
 const SiteCase kThrowCases[] = {
     {"sim.pass1", 1, PairMapKind::kHash, ClusterMode::kFine},
-    {"sim.pass2.serial", 1, PairMapKind::kHash, ClusterMode::kFine},
-    {"sim.pass3", 1, PairMapKind::kHash, ClusterMode::kFine},
+    {"build.gather", 1, PairMapKind::kHash, ClusterMode::kFine},
     {"sweep.entry", 1, PairMapKind::kHash, ClusterMode::kFine},
     {"sim.pass1", 8, PairMapKind::kHash, ClusterMode::kFine},
-    {"sim.pass2.count", 8, PairMapKind::kHash, ClusterMode::kFine},
-    {"sim.pass2.fill", 8, PairMapKind::kHash, ClusterMode::kFine},
-    {"sim.pass2.shard", 8, PairMapKind::kHash, ClusterMode::kFine},
-    {"sim.staging.alloc", 8, PairMapKind::kHash, ClusterMode::kFine},
-    {"sim.pass3", 8, PairMapKind::kHash, ClusterMode::kFine},
-    {"sim.assemble", 8, PairMapKind::kHash, ClusterMode::kFine},
+    {"build.gather", 8, PairMapKind::kHash, ClusterMode::kFine},
+    {"sim.pass2.serial", 1, PairMapKind::kHash, ClusterMode::kFine,
+     BuildStrategy::kSharded},
+    {"sim.pass3", 1, PairMapKind::kHash, ClusterMode::kFine, BuildStrategy::kSharded},
+    {"sim.pass2.count", 8, PairMapKind::kHash, ClusterMode::kFine,
+     BuildStrategy::kSharded},
+    {"sim.pass2.fill", 8, PairMapKind::kHash, ClusterMode::kFine,
+     BuildStrategy::kSharded},
+    {"sim.pass2.shard", 8, PairMapKind::kHash, ClusterMode::kFine,
+     BuildStrategy::kSharded},
+    {"sim.staging.alloc", 8, PairMapKind::kHash, ClusterMode::kFine,
+     BuildStrategy::kSharded},
+    {"sim.pass3", 8, PairMapKind::kHash, ClusterMode::kFine, BuildStrategy::kSharded},
+    {"sim.assemble", 8, PairMapKind::kHash, ClusterMode::kFine,
+     BuildStrategy::kSharded},
     {"sim.flat.emit", 1, PairMapKind::kFlat, ClusterMode::kFine},
     {"sim.flat.emit", 8, PairMapKind::kFlat, ClusterMode::kFine},
     {"sweep.entry", 8, PairMapKind::kHash, ClusterMode::kFine},
@@ -104,7 +119,8 @@ TEST_F(FaultInjectionTest, ThrowAtEverySiteBecomesInternalStatus) {
     SCOPED_TRACE(testing::Message() << c.site << " threads=" << c.threads);
     fault::arm(c.site, fault::FaultKind::kThrow);
     const StatusOr<ClusterResult> run =
-        LinkClusterer(make_config(c.threads, c.kind, c.mode)).run(test_graph());
+        LinkClusterer(make_config(c.threads, c.kind, c.mode, c.strategy))
+            .run(test_graph());
     EXPECT_GE(fault::fire_count(), 1u) << "site never reached";
     ASSERT_FALSE(run.ok());
     EXPECT_EQ(run.status().code(), StatusCode::kInternal);
@@ -130,7 +146,8 @@ TEST_F(FaultInjectionTest, SnapshotSiteFiresWhenContextAttached) {
 TEST_F(FaultInjectionTest, BadAllocBecomesResourceExhausted) {
   fault::arm("sim.staging.alloc", fault::FaultKind::kBadAlloc);
   const StatusOr<ClusterResult> run =
-      LinkClusterer(make_config(8, PairMapKind::kHash, ClusterMode::kFine))
+      LinkClusterer(make_config(8, PairMapKind::kHash, ClusterMode::kFine,
+                                BuildStrategy::kSharded))
           .run(test_graph());
   EXPECT_GE(fault::fire_count(), 1u);
   ASSERT_FALSE(run.ok());
@@ -172,6 +189,29 @@ TEST_F(FaultInjectionTest, DisarmedRerunReproducesDendrogramExactly) {
   }
 }
 
+TEST_F(FaultInjectionTest, GatherFaultDisarmedRerunReproducesDendrogramExactly) {
+  // A fault inside the gather pass-2 block unwinds the default build (serial
+  // and through the pool), and a disarmed rerun reproduces the exact
+  // dendrogram — the per-worker output blocks hold no state that survives
+  // the unwound run.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    const LinkClusterer clusterer(
+        make_config(threads, PairMapKind::kHash, ClusterMode::kFine));
+    const StatusOr<ClusterResult> before = clusterer.run(test_graph());
+    ASSERT_TRUE(before.ok());
+    const std::uint64_t reference = dendrogram_digest(before.value().dendrogram);
+
+    fault::arm("build.gather", fault::FaultKind::kThrow);
+    EXPECT_FALSE(clusterer.run(test_graph()).ok());
+    fault::disarm();
+
+    const StatusOr<ClusterResult> after = clusterer.run(test_graph());
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(dendrogram_digest(after.value().dendrogram), reference);
+  }
+}
+
 TEST_F(FaultInjectionTest, DisarmedRerunReproducesCoarseDendrogramExactly) {
   // Same round trip through the coarse mode: a CAS-union fault mid-chunk
   // unwinds through the shared concurrent DSU, and a fresh run afterwards
@@ -200,7 +240,8 @@ TEST_F(FaultInjectionTest, SkipHitsDelaysTheFault) {
   // entry-point unwinding.
   fault::arm("sim.pass2.count", fault::FaultKind::kThrow, /*skip_hits=*/3);
   const StatusOr<ClusterResult> run =
-      LinkClusterer(make_config(8, PairMapKind::kHash, ClusterMode::kFine))
+      LinkClusterer(make_config(8, PairMapKind::kHash, ClusterMode::kFine,
+                                BuildStrategy::kSharded))
           .run(test_graph());
   ASSERT_FALSE(run.ok());
   EXPECT_EQ(run.status().code(), StatusCode::kInternal);

@@ -1,0 +1,165 @@
+// The set-intersection kernel family contract: every kernel — scalar merge,
+// galloping, SIMD (SSE/AVX2 when compiled in), and the auto dispatcher —
+// returns the identical match-position sequence as a trivial reference
+// two-pointer, on every input shape: empty sides, disjoint ranges, full
+// overlap, interleaved runs, randomized sorted-unique rows at skew ratios
+// from 1:1 to 1:1000, and every SIMD block-tail residue. The gather build's
+// bitwise-determinism claim rests on this interchangeability.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "numeric/set_intersect.hpp"
+#include "util/rng.hpp"
+
+namespace lc::numeric {
+namespace {
+
+/// Reference: textbook two-pointer merge, no early exit, no blocks.
+std::vector<MatchPos> reference_intersect(std::span<const std::uint32_t> a,
+                                          std::span<const std::uint32_t> b) {
+  std::vector<MatchPos> out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out.push_back(MatchPos{static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)});
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+/// Sorted duplicate-free row of `size` values with gap distribution
+/// controlled by `max_gap` (gap 1 keeps runs contiguous, large gaps spread).
+std::vector<std::uint32_t> make_row(Rng& rng, std::size_t size, std::uint32_t max_gap,
+                                    std::uint32_t start = 0) {
+  std::vector<std::uint32_t> row;
+  row.reserve(size);
+  std::uint32_t value = start;
+  for (std::size_t i = 0; i < size; ++i) {
+    value += 1 + static_cast<std::uint32_t>(rng.next_below(max_gap));
+    row.push_back(value);
+  }
+  return row;
+}
+
+std::vector<IntersectKernel> kernels_under_test() {
+  return {IntersectKernel::kAuto, IntersectKernel::kScalar, IntersectKernel::kGalloping,
+          IntersectKernel::kSimd};
+}
+
+void expect_all_kernels_match(std::span<const std::uint32_t> a,
+                              std::span<const std::uint32_t> b) {
+  const std::vector<MatchPos> expected = reference_intersect(a, b);
+  std::vector<MatchPos> got(std::min(a.size(), b.size()) + 1);
+  for (const IntersectKernel kernel : kernels_under_test()) {
+    const std::size_t n = set_intersect_posns(a, b, got.data(), kernel);
+    ASSERT_EQ(n, expected.size())
+        << kernel_name(kernel) << " |a|=" << a.size() << " |b|=" << b.size();
+    for (std::size_t x = 0; x < n; ++x) {
+      ASSERT_EQ(got[x], expected[x])
+          << kernel_name(kernel) << " at match " << x << " |a|=" << a.size()
+          << " |b|=" << b.size();
+    }
+  }
+}
+
+TEST(SetIntersect, EmptyAndTrivialInputs) {
+  const std::vector<std::uint32_t> some = {1, 5, 9};
+  const std::vector<std::uint32_t> empty;
+  expect_all_kernels_match(empty, empty);
+  expect_all_kernels_match(some, empty);
+  expect_all_kernels_match(empty, some);
+  expect_all_kernels_match(some, some);  // full overlap
+}
+
+TEST(SetIntersect, DisjointRangesAndEarlyExit) {
+  Rng rng(11);
+  const auto low = make_row(rng, 100, 3, 0);
+  const auto high = make_row(rng, 100, 3, 100000);
+  expect_all_kernels_match(low, high);   // a exhausts first
+  expect_all_kernels_match(high, low);   // b exhausts first
+}
+
+TEST(SetIntersect, InterleavedNoMatches) {
+  // Evens vs odds: maximal pointer ping-pong, zero matches.
+  std::vector<std::uint32_t> evens;
+  std::vector<std::uint32_t> odds;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    evens.push_back(2 * i);
+    odds.push_back(2 * i + 1);
+  }
+  expect_all_kernels_match(evens, odds);
+}
+
+TEST(SetIntersect, RandomizedShapesAndSkews) {
+  Rng rng(202);
+  // Sizes sweep the SIMD block residues (4- and 8-lane tails) and the
+  // galloping ratio threshold; gaps control overlap density.
+  const std::size_t sizes[] = {1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 64, 100, 257};
+  for (const std::size_t na : sizes) {
+    for (const std::size_t nb : sizes) {
+      for (const std::uint32_t gap : {2u, 8u, 64u}) {
+        const auto a = make_row(rng, na, gap);
+        const auto b = make_row(rng, nb, gap);
+        expect_all_kernels_match(a, b);
+      }
+    }
+  }
+}
+
+TEST(SetIntersect, ExtremeSkewBothOrientations) {
+  Rng rng(303);
+  const auto small = make_row(rng, 9, 400);
+  const auto big = make_row(rng, 3000, 2);  // overlapping value range
+  // Galloping iterates the smaller side whichever argument it is; positions
+  // must come back in the caller's (a, b) orientation either way.
+  expect_all_kernels_match(small, big);
+  expect_all_kernels_match(big, small);
+}
+
+TEST(SetIntersect, MatchesAscendInBothCoordinates) {
+  Rng rng(404);
+  const auto a = make_row(rng, 500, 4);
+  const auto b = make_row(rng, 500, 4);
+  std::vector<MatchPos> out(500);
+  for (const IntersectKernel kernel : kernels_under_test()) {
+    const std::size_t n = set_intersect_posns(a, b, out.data(), kernel);
+    ASSERT_GT(n, 0u) << kernel_name(kernel);
+    for (std::size_t x = 1; x < n; ++x) {
+      EXPECT_LT(out[x - 1].a_pos, out[x].a_pos) << kernel_name(kernel);
+      EXPECT_LT(out[x - 1].b_pos, out[x].b_pos) << kernel_name(kernel);
+      EXPECT_EQ(a[out[x].a_pos], b[out[x].b_pos]) << kernel_name(kernel);
+    }
+  }
+}
+
+TEST(SetIntersect, ForcedSimdDegradesGracefully) {
+  // kSimd must be safe to request unconditionally: without compiled/runtime
+  // SIMD support it falls back to the scalar merge, same output.
+  Rng rng(505);
+  const auto a = make_row(rng, 123, 3);
+  const auto b = make_row(rng, 77, 3);
+  expect_all_kernels_match(a, b);
+  if (!simd_compiled()) {
+    EXPECT_FALSE(simd_available());
+  }
+}
+
+TEST(SetIntersect, KernelNamesAreStable) {
+  EXPECT_STREQ(kernel_name(IntersectKernel::kAuto), "auto");
+  EXPECT_STREQ(kernel_name(IntersectKernel::kScalar), "scalar");
+  EXPECT_STREQ(kernel_name(IntersectKernel::kGalloping), "galloping");
+  EXPECT_STREQ(kernel_name(IntersectKernel::kSimd), "simd");
+}
+
+}  // namespace
+}  // namespace lc::numeric
