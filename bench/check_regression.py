@@ -42,6 +42,20 @@ Runs ``micro_core --json`` into a temp file (or takes a pre-generated file via
      checkpointing: at least one snapshot must have been written
      (checkpoint_writes >= 1, snapshot_bytes > 0). Skipped with a notice
      when the records predate the checkpoint fields.
+  5. The lazy sweep backend must beat the up-front sort it replaced, both
+     measured back-to-back in the same fresh run:
+       a. end-to-end: lazy_build_ms + sort_partition_ms + lazy_sweep_ms must
+          stay within --lazy-slack of build_ms + sort_ms + sweep_ms at T=1
+          (and at the widest thread count when the box has more than one
+          core — on a single-core box the T>1 legs are oversubscription,
+          same keying as gate 1);
+       b. sort-attributable time: sort_partition_ms + sort_blocked_ms (the
+          O(|L|) bucket scatter plus caller stalls on in-flight bucket
+          sorts — everything that did not hide behind the sweep) must stay
+          under --lazy-sort-frac x sort_ms at T=1;
+       c. the lazy coarse leg must actually skip tail buckets
+          (coarse_buckets_skipped >= 1) — the phi stop's compounding payoff.
+     Skipped with a notice when the records predate the lazy fields.
 
 Exit code 0 = pass, 1 = regression, 2 = usage/environment error.
 
@@ -92,6 +106,15 @@ def main() -> int:
                              "(ckpt-slack - 1) x the plain T=1 sweep time (default "
                              "1.05: at most 5%% always-on bookkeeping overhead from "
                              "an enabled checkpointer)")
+    parser.add_argument("--lazy-slack", type=float, default=1.05,
+                        help="multiplier on the sorted backend's build+sort+sweep that "
+                             "the lazy backend's build+partition+sweep must stay under "
+                             "(default 1.05: the backend that kills the global sort may "
+                             "not lose to it, modulo single-shot timing noise)")
+    parser.add_argument("--lazy-sort-frac", type=float, default=0.5,
+                        help="bound on the lazy backend's sort-attributable time "
+                             "(sort_partition_ms + sort_blocked_ms) as a fraction of "
+                             "the T=1 global sort_ms from the same run (default 0.5)")
     args = parser.parse_args()
 
     if args.fresh is None and args.bench_binary is None:
@@ -232,6 +255,51 @@ def main() -> int:
                 f"— checkpoint bookkeeping leaked into the sweep hot path")
     else:
         print("checkpoint gate: skipped (no ckpt_idle_overhead_ms in fresh records)")
+
+    # Gate 5: the lazy sweep backend vs the up-front sort, same fresh run.
+    if 1 in fresh and "lazy_sweep_ms" in fresh[1]:
+        gate_threads = [1]
+        widest = max(fresh)
+        if cores > 1 and widest != 1 and "lazy_sweep_ms" in fresh[widest]:
+            gate_threads.append(widest)
+        for t in gate_threads:
+            rec = fresh[t]
+            sorted_total = (float(rec["build_ms"]) + float(rec["sort_ms"]) +
+                            float(rec["sweep_ms"]))
+            lazy_total = (float(rec["lazy_build_ms"]) +
+                          float(rec["sort_partition_ms"]) +
+                          float(rec["lazy_sweep_ms"]))
+            bound = sorted_total * args.lazy_slack
+            verdict = "ok" if lazy_total <= bound else "REGRESSION"
+            print(f"lazy backend T={t}: lazy {lazy_total:.1f}  "
+                  f"sorted {sorted_total:.1f}  (bound {bound:.1f})  {verdict}")
+            if lazy_total > bound:
+                failures.append(
+                    f"T={t} lazy build+partition+sweep {lazy_total:.1f}ms > "
+                    f"{bound:.1f}ms ({args.lazy_slack:.2f}x sorted backend "
+                    f"{sorted_total:.1f}ms) — the lazy backend lost to the sort "
+                    f"it replaced")
+        rec = fresh[1]
+        sort_attr = float(rec["sort_partition_ms"]) + float(rec["sort_blocked_ms"])
+        bound = float(rec["sort_ms"]) * args.lazy_sort_frac
+        verdict = "ok" if sort_attr < bound else "REGRESSION"
+        print(f"lazy sort-attributable (T=1): partition+blocked {sort_attr:.1f}  "
+              f"bound {bound:.1f} ({args.lazy_sort_frac:.2f}x sort_ms)  {verdict}")
+        if sort_attr >= bound:
+            failures.append(
+                f"T=1 lazy sort-attributable time {sort_attr:.1f}ms >= "
+                f"{bound:.1f}ms ({args.lazy_sort_frac:.2f}x sort_ms "
+                f"{float(rec['sort_ms']):.1f}ms) — bucket sorts no longer hide "
+                f"behind the sweep")
+        skipped = int(rec.get("coarse_buckets_skipped", 0))
+        if skipped < 1:
+            failures.append(
+                "lazy coarse leg skipped no buckets — the phi stop stopped "
+                "paying for the unsorted tail")
+        else:
+            print(f"lazy coarse: {skipped} tail buckets never sorted  ok")
+    else:
+        print("lazy backend gate: skipped (no lazy_sweep_ms in fresh records)")
 
     if failures:
         for f in failures:

@@ -6,7 +6,10 @@
 // threads on a fixed seeded graph, checks both dendrograms are identical
 // across thread counts, and writes a BENCH_micro_core.json record (workload,
 // threads, wall_ms, peak_bytes, per-phase extras) for cross-commit
-// comparison.
+// comparison. wall_ms covers build + sort + fine sweep + coarse sweep — the
+// four phases every record times; the T=1-only side legs (checkpoint
+// overhead, sharded/thresholded builds, lazy backend, R-MAT) report their
+// own extra fields and are excluded from every wall_ms.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -27,6 +30,7 @@
 #include "core/dendrogram.hpp"
 #include "core/similarity.hpp"
 #include "core/sweep.hpp"
+#include "core/sweep_source.hpp"
 #include "graph/generators.hpp"
 #include "graph/stats.hpp"
 #include "parallel/thread_pool.hpp"
@@ -34,6 +38,7 @@
 #include "text/tokenizer.hpp"
 #include "util/memory.hpp"
 #include "util/rng.hpp"
+#include "workloads.hpp"
 #include "util/run_context.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
@@ -301,7 +306,9 @@ int run_json_mode(const std::string& path) {
 
     lc::bench::BenchRun run;
     run.threads = threads;
-    run.wall_ms = build_ms + sort_ms + sweep_ms;
+    // All four timed phases; the checkpoint legs above deliberately stay out
+    // (they are overhead measurements, not part of the hot path).
+    run.wall_ms = build_ms + sort_ms + sweep_ms + coarse_ms;
     run.peak_bytes = lc::read_memory_usage().rss_peak_kb * 1024;
     run.extra = lc::strprintf(
         "\"build_ms\": %.3f, \"build_pass1_ms\": %.3f, \"build_pass2_ms\": %.3f, "
@@ -368,6 +375,118 @@ int run_json_mode(const std::string& path) {
         static_cast<unsigned long long>(thresh_stats.pairs_exact));
     std::printf("gather vs sharded (T=1): %.1fms vs %.1fms; thresholded (>=0.08): %.1fms\n",
                 t1_build_ms, build_sharded_ms, build_thresh_ms);
+  }
+  // Lazy-backend A/B legs (--sweep-backend lazy): the same fine and coarse
+  // hot paths per thread count through a BucketSweepSource instead of the
+  // up-front sort_by_score. Placed after every main-loop RSS sample for the
+  // same reason as the sharded leg — a second similarity map is alive here
+  // and /proc peak RSS is process-monotone. The per-T lazy fields land on
+  // the matching per-T record. sort_partition_ms + sort_blocked_ms is the
+  // lazy backend's sort-attributable critical path (what replaces sort_ms);
+  // the rest of sort_bucket_ms overlapped the sweep on the prefetch thread.
+  {
+    std::size_t row = 0;
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+      lc::parallel::ThreadPool pool(threads);
+      lc::Stopwatch watch;
+      lc::core::SimilarityMap lazy_map =
+          lc::core::build_similarity_map_parallel(graph, pool);
+      const double lazy_build_ms = watch.lap() * 1e3;
+      lc::core::BucketSweepSource::Options bucket_options;
+      bucket_options.pool = &pool;
+      lc::core::BucketSweepSource fine_source(lazy_map, bucket_options);
+      watch.lap();
+      const lc::core::SweepResult lazy_result =
+          lc::core::sweep(graph, lazy_map, fine_source, index);
+      const double lazy_sweep_ms = watch.lap() * 1e3;
+      if (dendrogram_digest(lazy_result.dendrogram) != reference_digest) {
+        std::printf("lazy fine sweep changed the dendrogram: FAIL\n");
+        return 1;
+      }
+      const lc::core::SweepSourceStats fine_lazy = fine_source.stats();
+      // Coarse leg on a fresh unsorted map: the phi stop must leave the tail
+      // of L unsorted, so buckets_skipped > 0 is part of the contract.
+      lc::core::SimilarityMap coarse_map =
+          lc::core::build_similarity_map_parallel(graph, pool);
+      lc::core::BucketSweepSource coarse_source(coarse_map, bucket_options);
+      watch.lap();
+      const lc::core::CoarseResult lazy_coarse = lc::core::coarse_sweep(
+          graph, coarse_map, coarse_source, index, {}, &pool);
+      const double lazy_coarse_ms = watch.lap() * 1e3;
+      if (dendrogram_digest(lazy_coarse.dendrogram) != reference_coarse) {
+        std::printf("lazy coarse sweep changed the dendrogram: FAIL\n");
+        return 1;
+      }
+      const lc::core::SweepSourceStats coarse_lazy = coarse_source.stats();
+      if (coarse_lazy.buckets_skipped == 0) {
+        std::printf("lazy coarse sweep sorted every bucket (phi stop skipped nothing): FAIL\n");
+        return 1;
+      }
+      runs[row].extra += lc::strprintf(
+          ", \"lazy_build_ms\": %.3f, \"sort_partition_ms\": %.3f, "
+          "\"sort_bucket_ms\": %.3f, \"sort_blocked_ms\": %.3f, "
+          "\"buckets_sorted\": %llu, \"buckets_skipped\": %llu, "
+          "\"lazy_sweep_ms\": %.3f, \"lazy_coarse_ms\": %.3f, "
+          "\"coarse_buckets_skipped\": %llu",
+          lazy_build_ms, fine_lazy.partition_ms, fine_lazy.bucket_sort_ms,
+          fine_lazy.blocked_ms,
+          static_cast<unsigned long long>(fine_lazy.buckets_sorted),
+          static_cast<unsigned long long>(fine_lazy.buckets_skipped),
+          lazy_sweep_ms, lazy_coarse_ms,
+          static_cast<unsigned long long>(coarse_lazy.buckets_skipped));
+      std::printf(
+          "lazy T=%zu: build %.1f, partition %.1f, sweep %.1f (blocked %.1f, "
+          "bucket sorts %.1f over %llu buckets), coarse %.1f "
+          "(skipped %llu buckets)\n",
+          threads, lazy_build_ms, fine_lazy.partition_ms, lazy_sweep_ms,
+          fine_lazy.blocked_ms, fine_lazy.bucket_sort_ms,
+          static_cast<unsigned long long>(fine_lazy.buckets_sorted),
+          lazy_coarse_ms,
+          static_cast<unsigned long long>(coarse_lazy.buckets_skipped));
+      ++row;
+    }
+  }
+  // Workload-diversity leg: an R-MAT power-law graph (bench/workloads.hpp),
+  // whose hub-heavy degree distribution concentrates scores into few radix
+  // bins — the adversarial case for score-range bucketing. T=1, sorted vs
+  // lazy, digests must agree. Fields ride on the T=1 record: a fifth run
+  // record would collide with the per-thread keying in check_regression.py.
+  {
+    const lc::graph::WeightedGraph rmat = lc::bench::rmat_graph();
+    const lc::core::EdgeIndex rmat_index(rmat.edge_count(),
+                                         lc::core::EdgeOrder::kShuffled, 42);
+    lc::Stopwatch watch;
+    lc::core::SimilarityMap sorted_map = lc::core::build_similarity_map(rmat);
+    const double rmat_build_ms = watch.lap() * 1e3;
+    sorted_map.sort_by_score();
+    const double rmat_sort_ms = watch.lap() * 1e3;
+    const lc::core::SweepResult rmat_sorted = lc::core::sweep(rmat, sorted_map, rmat_index);
+    const double rmat_sweep_ms = watch.lap() * 1e3;
+    lc::core::SimilarityMap rmat_lazy_map = lc::core::build_similarity_map(rmat);
+    watch.lap();
+    lc::core::BucketSweepSource rmat_source(rmat_lazy_map);
+    const lc::core::SweepResult rmat_lazy =
+        lc::core::sweep(rmat, rmat_lazy_map, rmat_source, rmat_index);
+    const double rmat_lazy_ms = watch.lap() * 1e3;  // partition + sorts + sweep
+    if (dendrogram_digest(rmat_lazy.dendrogram) !=
+        dendrogram_digest(rmat_sorted.dendrogram)) {
+      std::printf("rmat: lazy dendrogram differs from sorted: FAIL\n");
+      return 1;
+    }
+    const lc::core::SweepSourceStats rmat_stats = rmat_source.stats();
+    runs.front().extra += lc::strprintf(
+        ", \"rmat_edges\": %zu, \"rmat_k1\": %zu, \"rmat_build_ms\": %.3f, "
+        "\"rmat_sort_ms\": %.3f, \"rmat_sweep_ms\": %.3f, "
+        "\"rmat_lazy_ms\": %.3f, \"rmat_partition_ms\": %.3f, "
+        "\"rmat_blocked_ms\": %.3f, \"rmat_fnv\": \"%016llx\"",
+        rmat.edge_count(), sorted_map.key_count(), rmat_build_ms, rmat_sort_ms,
+        rmat_sweep_ms, rmat_lazy_ms, rmat_stats.partition_ms, rmat_stats.blocked_ms,
+        static_cast<unsigned long long>(dendrogram_digest(rmat_sorted.dendrogram)));
+    std::printf(
+        "rmat (|E|=%zu, K1=%zu, T=1): sorted %.1f+%.1f+%.1f ms, lazy sweep "
+        "%.1f ms (partition %.1f, blocked %.1f)\n",
+        rmat.edge_count(), sorted_map.key_count(), rmat_build_ms, rmat_sort_ms,
+        rmat_sweep_ms, rmat_lazy_ms, rmat_stats.partition_ms, rmat_stats.blocked_ms);
   }
   std::printf("dendrogram identical across thread counts: %s\n", digests_match ? "yes" : "NO");
   std::printf("coarse dendrogram identical across thread counts: %s\n",

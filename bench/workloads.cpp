@@ -6,7 +6,9 @@
 #include "text/corpus.hpp"
 #include "text/tokenizer.hpp"
 #include "text/vocabulary.hpp"
+#include "util/check.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 
@@ -76,6 +78,44 @@ std::vector<Workload> build_workloads(const WorkloadOptions& options) {
     workloads.push_back(std::move(workload));
   }
   return workloads;
+}
+
+graph::WeightedGraph rmat_graph(const RmatOptions& options) {
+  LC_CHECK_MSG(options.scale >= 1 && options.scale <= 30, "rmat scale out of range");
+  LC_CHECK_MSG(options.a > 0 && options.b >= 0 && options.c >= 0 &&
+                   options.a + options.b + options.c < 1.0,
+               "rmat corner probabilities must satisfy a+b+c < 1");
+  const std::size_t n = std::size_t{1} << options.scale;
+  const std::size_t target_edges = n * options.edge_factor;
+  Rng rng(options.seed);
+  graph::GraphBuilder builder(n);
+  const double ab = options.a + options.b;
+  const double abc = ab + options.c;
+  for (std::size_t e = 0; e < target_edges; ++e) {
+    graph::VertexId u = 0;
+    graph::VertexId v = 0;
+    do {
+      u = 0;
+      v = 0;
+      for (std::size_t level = 0; level < options.scale; ++level) {
+        const double r = rng.next_double();
+        u <<= 1;
+        v <<= 1;
+        if (r >= abc) {         // bottom-right quadrant
+          u |= 1;
+          v |= 1;
+        } else if (r >= ab) {   // bottom-left
+          u |= 1;
+        } else if (r >= options.a) {  // top-right
+          v |= 1;
+        }                       // else top-left: both bits stay 0
+      }
+    } while (u == v);  // redraw self-loops so the edge budget is met exactly
+    // Unit weight per drawn edge; GraphBuilder accumulates duplicates, so
+    // hub-to-hub edges (drawn many times) end up proportionally heavier.
+    builder.add_edge(u, v, 1.0);
+  }
+  return builder.build();
 }
 
 }  // namespace lc::bench

@@ -44,4 +44,24 @@ WorkloadOptions workload_options_from_flags(const CliFlags& flags);
 /// alpha (with stats). Logs progress at info level.
 std::vector<Workload> build_workloads(const WorkloadOptions& options);
 
+/// R-MAT (Chakrabarti et al.) power-law graph: each edge lands by recursive
+/// quadrant descent over the 2^scale x 2^scale adjacency matrix with corner
+/// probabilities (a, b, c, 1-a-b-c). The skewed corners produce the heavy
+/// hub vertices and long-tailed degree distribution the word-association
+/// workloads lack — the stress case for score-bucketing, where ties and
+/// near-ties concentrate the pair list into few radix bins.
+struct RmatOptions {
+  std::size_t scale = 12;       ///< 2^scale vertices
+  std::size_t edge_factor = 8;  ///< target edges per vertex (pre-dedup)
+  double a = 0.57;              ///< Graph500 corner probabilities
+  double b = 0.19;
+  double c = 0.19;
+  std::uint64_t seed = 7;
+};
+
+/// Builds the R-MAT graph: duplicates collapse (their weights accumulate,
+/// giving a skewed weight distribution for free), self-loops are redrawn.
+/// Deterministic for a fixed option set.
+graph::WeightedGraph rmat_graph(const RmatOptions& options = {});
+
 }  // namespace lc::bench

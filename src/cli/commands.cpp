@@ -77,6 +77,9 @@ int cmd_cluster(int argc, const char* const* argv, std::ostream& out, std::ostre
   flags.add_int("seed", 42, "edge enumeration seed");
   flags.add_string("build-strategy", "gather",
                    "pass-2 formulation: gather | sharded (identical output)");
+  flags.add_string("sweep-backend", "lazy",
+                   "how L reaches the sweep: lazy (bucketed just-in-time "
+                   "sort) | sorted (up-front global sort); identical output");
   flags.add_string("newick", "", "write the dendrogram as Newick to this path");
   flags.add_string("merges", "", "write the merge list to this path");
   flags.add_int("deadline-ms", -1,
@@ -106,6 +109,11 @@ int cmd_cluster(int argc, const char* const* argv, std::ostream& out, std::ostre
     err << "error: --build-strategy must be gather or sharded\n";
     return 1;
   }
+  const std::string sweep_backend = flags.get_string("sweep-backend");
+  if (sweep_backend != "lazy" && sweep_backend != "sorted") {
+    err << "error: --sweep-backend must be lazy or sorted\n";
+    return 1;
+  }
   const auto graph = load_graph(flags.get_string("input"), err);
   if (!graph.has_value()) return 2;
 
@@ -115,6 +123,8 @@ int cmd_cluster(int argc, const char* const* argv, std::ostream& out, std::ostre
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   config.build_strategy = build_strategy == "sharded" ? core::BuildStrategy::kSharded
                                                       : core::BuildStrategy::kGatherSimd;
+  config.sweep_backend = sweep_backend == "sorted" ? core::SweepBackend::kSorted
+                                                   : core::SweepBackend::kLazyBucket;
   config.coarse.gamma = flags.get_double("gamma");
   config.coarse.phi = static_cast<std::size_t>(flags.get_int("phi"));
   config.coarse.delta0 = static_cast<std::uint64_t>(std::max<std::int64_t>(1, flags.get_int("delta0")));

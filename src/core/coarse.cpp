@@ -5,6 +5,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/concurrent_dsu.hpp"
+#include "core/sweep_source.hpp"
 #include "util/check.hpp"
 #include "util/fault_inject.hpp"
 #include "util/run_context.hpp"
@@ -81,21 +82,19 @@ double rollback_estimate(std::uint64_t xi_prev2, std::size_t beta_prev2, bool ha
 }  // namespace
 
 CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
-                          const EdgeIndex& index, const CoarseOptions& options,
-                          parallel::ThreadPool* pool, sim::WorkLedger* ledger,
-                          lc::RunContext* ctx, Checkpointer* checkpointer,
-                          const CoarseCheckpoint* resume) {
+                          SweepSource& source, const EdgeIndex& index,
+                          const CoarseOptions& options, parallel::ThreadPool* pool,
+                          sim::WorkLedger* ledger, lc::RunContext* ctx,
+                          Checkpointer* checkpointer, const CoarseCheckpoint* resume) {
   LC_CHECK_MSG(index.size() == graph.edge_count(), "edge index must match the graph");
   LC_CHECK_MSG(options.gamma >= 1.0, "gamma must be >= 1");
   LC_CHECK_MSG(options.delta0 >= 1, "initial chunk size must be positive");
   LC_CHECK_MSG(options.eta0 > 1.0, "head growth factor must exceed 1");
-  for (std::size_t i = 1; i < map.entries.size(); ++i) {
-    LC_CHECK_MSG(map.entries[i - 1].score >= map.entries[i].score,
-                 "similarity map must be sorted (call sort_by_score())");
-  }
+  LC_CHECK_MSG(source.size() == map.entries.size(),
+               "sweep source must cover the similarity map");
 
   const std::size_t edge_count = graph.edge_count();
-  const std::size_t entry_count = map.entries.size();
+  const std::size_t entry_count = source.size();
   const std::size_t threads = (pool != nullptr) ? pool->thread_count() : 1;
 
   CoarseResult result;
@@ -351,12 +350,15 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
     const std::uint64_t target_end =
         xi + std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::llround(delta)));
     const std::uint64_t chunk_start = xi;
-    double last_score = map.entries[p].score;
+    double last_score = source.at(p).score;
     chunk_pairs.clear();
     std::size_t entries_consumed = 0;
     PollTicker collect_ticker(ctx);
     while (p < entry_count) {
-      const SimilarityEntry& entry = map.entries[p];
+      // at() materializes lazily; rollbacks and reuse jumps only revisit
+      // positions at or below the high-water mark, so a lazy source never
+      // re-sorts — and everything past the phi stop stays unsorted forever.
+      const SimilarityEntry& entry = source.at(p);
       const std::uint64_t l = entry.count;
       if (entries_consumed > 0 && xi + l >= target_end) break;
       collect_ticker.checkpoint(1 + l);
@@ -496,7 +498,7 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
       xi = jump.xi;
       p = jump.p;
       const double score =
-          (p > 0 && p <= entry_count) ? map.entries[p - 1].score : 0.0;
+          (p > 0 && p <= entry_count) ? source.at(p - 1).score : 0.0;
       accept_level(jump.beta, score, EpochKind::kReused, chunk_jump);
       ++result.reuse_count;
     }
@@ -577,6 +579,16 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
     }
   }
   return result;
+}
+
+CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
+                          const EdgeIndex& index, const CoarseOptions& options,
+                          parallel::ThreadPool* pool, sim::WorkLedger* ledger,
+                          lc::RunContext* ctx, Checkpointer* checkpointer,
+                          const CoarseCheckpoint* resume) {
+  SortedSweepSource source(map);
+  return coarse_sweep(graph, map, source, index, options, pool, ledger, ctx,
+                      checkpointer, resume);
 }
 
 }  // namespace lc::core

@@ -60,6 +60,7 @@ namespace lc::core {
 
 class Checkpointer;        // core/checkpoint.hpp
 struct CoarseCheckpoint;   // core/checkpoint.hpp
+class SweepSource;         // core/sweep_source.hpp
 
 struct CoarseOptions {
   double gamma = 2.0;        ///< max cluster-count ratio between levels
@@ -106,8 +107,12 @@ struct CoarseResult {
                                           ///< (unsplittable single entries)
 };
 
-/// Runs coarse-grained sweeping. `map` must be sorted. With a non-null
-/// `pool`, chunks are processed with pool->thread_count() threads (§VI-B);
+/// Runs coarse-grained sweeping over `source`, the descending-score view of
+/// `map`'s entries (core/sweep_source.hpp; `map` supplies the pair arenas).
+/// The phi stop means a lazy source never sorts the tail of L — the two
+/// speedups compound. With a non-null `pool`, chunks are processed with
+/// pool->thread_count() threads (§VI-B); the source must not use the pool
+/// after construction, since chunk application keeps it busy;
 /// `ledger` (optional, requires pool) records per-round work for simulated
 /// scaling. `ctx` (optional, not owned) is polled at chunk granularity and
 /// charged for the shared parent array, per-chunk merge journals, and the
@@ -121,6 +126,18 @@ struct CoarseResult {
 /// machine from a stored boundary. Both are output-neutral at every thread
 /// count: find() results are partition-invariant, so a snapshot taken under
 /// one -T resumes bitwise-identically under another.
+CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
+                          SweepSource& source, const EdgeIndex& index,
+                          const CoarseOptions& options = {},
+                          parallel::ThreadPool* pool = nullptr,
+                          sim::WorkLedger* ledger = nullptr,
+                          lc::RunContext* ctx = nullptr,
+                          Checkpointer* checkpointer = nullptr,
+                          const CoarseCheckpoint* resume = nullptr);
+
+/// Convenience overload for a map already ordered by sort_by_score():
+/// equivalent to passing a SortedSweepSource, and asserts sortedness like
+/// that source's constructor does.
 CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
                           const EdgeIndex& index, const CoarseOptions& options = {},
                           parallel::ThreadPool* pool = nullptr,

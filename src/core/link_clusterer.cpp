@@ -18,10 +18,10 @@ LinkClusterer::LinkClusterer(Config config) : config_(std::move(config)) {
 
 RunFingerprint LinkClusterer::fingerprint(const graph::WeightedGraph& graph,
                                           const Config& config) {
-  // Thread count, map kind, build strategy, and pool shape are deliberately
-  // absent: the output is bitwise-invariant to them, so a snapshot may
-  // resume under a different parallel configuration than the one that wrote
-  // it.
+  // Thread count, map kind, build strategy, sweep backend, and pool shape
+  // are deliberately absent: the output is bitwise-invariant to them, so a
+  // snapshot may resume under a different parallel configuration than the
+  // one that wrote it.
   RunFingerprint fp;
   fp.graph_digest = graph_fingerprint(graph);
   fp.mode = static_cast<std::uint8_t>(config.mode);
@@ -77,7 +77,21 @@ ClusterResult LinkClusterer::cluster(const graph::WeightedGraph& graph) const {
     map = build_similarity_map(graph, map_options);
   }
   check_stop(config_.ctx);
-  map.sort_by_score(pool.get());  // pool-parallel merge sort when threads > 1
+  // Order L behind the backend seam: the sorted backend pays the full
+  // radix/merge sort here; the lazy backend pays only the O(|L|) bucket
+  // partition and sorts each bucket as the sweep reaches it (buckets past a
+  // stop are never sorted at all). Both feed the sweeps the identical
+  // descending-score sequence.
+  std::unique_ptr<SweepSource> source;
+  if (config_.sweep_backend == SweepBackend::kSorted) {
+    map.sort_by_score(pool.get());  // pool-parallel radix sort when threads > 1
+    source = std::make_unique<SortedSweepSource>(map);
+  } else {
+    BucketSweepSource::Options bucket_options;
+    bucket_options.bucket_count = config_.sweep_buckets;
+    bucket_options.pool = pool.get();
+    source = std::make_unique<BucketSweepSource>(map, bucket_options);
+  }
   result.timings.initialization_seconds = watch.lap();
   result.k1 = map.key_count();
   result.k2 = map.incident_pair_count();
@@ -100,7 +114,7 @@ ClusterResult LinkClusterer::cluster(const graph::WeightedGraph& graph) const {
     const FineCheckpoint* fine_resume =
         loaded.has_value() && loaded->fine.has_value() ? &*loaded->fine : nullptr;
     SweepResult sweep_result =
-        sweep(graph, map, result.edge_index, {},
+        sweep(graph, map, *source, result.edge_index, {},
               -std::numeric_limits<double>::infinity(), config_.ctx, ckpt,
               fine_resume);
     result.timings.sweeping_seconds = watch.lap();
@@ -111,14 +125,15 @@ ClusterResult LinkClusterer::cluster(const graph::WeightedGraph& graph) const {
     const CoarseCheckpoint* coarse_resume =
         loaded.has_value() && loaded->coarse.has_value() ? &*loaded->coarse : nullptr;
     CoarseResult coarse_result =
-        coarse_sweep(graph, map, result.edge_index, config_.coarse, pool.get(),
-                     config_.ledger, config_.ctx, ckpt, coarse_resume);
+        coarse_sweep(graph, map, *source, result.edge_index, config_.coarse,
+                     pool.get(), config_.ledger, config_.ctx, ckpt, coarse_resume);
     result.timings.sweeping_seconds = watch.lap();
     result.dendrogram = coarse_result.dendrogram;  // copy; full detail kept below
     result.final_labels = coarse_result.final_labels;
     result.stats = coarse_result.stats;
     result.coarse = std::move(coarse_result);
   }
+  result.sweep_source = source->stats();
   return result;
 }
 

@@ -20,6 +20,7 @@
 #include "core/edge_index.hpp"
 #include "core/similarity.hpp"
 #include "core/sweep.hpp"
+#include "core/sweep_source.hpp"
 #include "graph/graph.hpp"
 #include "sim/work_ledger.hpp"
 #include "util/status.hpp"
@@ -36,7 +37,10 @@ enum class ClusterMode {
 };
 
 struct ClusterTimings {
-  double initialization_seconds = 0.0;  ///< Algorithm 1 (similarity map + sort)
+  /// Algorithm 1 (similarity map) plus ordering L: the full sort on the
+  /// sorted backend, only the O(|L|) bucket partition on the lazy one —
+  /// lazy bucket sorts land in sweeping_seconds as the sweep reaches them.
+  double initialization_seconds = 0.0;
   double sweeping_seconds = 0.0;        ///< Algorithm 2 or coarse sweep
   [[nodiscard]] double total_seconds() const {
     return initialization_seconds + sweeping_seconds;
@@ -51,6 +55,7 @@ struct ClusterResult {
   ClusterTimings timings;
   std::size_t k1 = 0;                 ///< similarity-map keys
   std::uint64_t k2 = 0;               ///< incident edge pairs
+  SweepSourceStats sweep_source;      ///< lazy-backend sort accounting
   std::optional<CoarseResult> coarse; ///< populated in coarse mode
 };
 
@@ -68,6 +73,13 @@ class LinkClusterer {
     /// byte-identical maps, so this is a pure performance knob and is
     /// excluded from the checkpoint fingerprint.
     BuildStrategy build_strategy = BuildStrategy::kGatherSimd;
+    /// How the sorted pair list L reaches the sweep (core/sweep_source.hpp).
+    /// Every backend consumes the identical order, so this too is a pure
+    /// performance knob, excluded from the checkpoint fingerprint — a
+    /// snapshot written under one backend resumes under the other.
+    SweepBackend sweep_backend = SweepBackend::kLazyBucket;
+    /// Lazy-backend bucket target (0 = LC_SWEEP_BUCKETS env / auto).
+    std::size_t sweep_buckets = 0;
     sim::WorkLedger* ledger = nullptr;  ///< optional work accounting (not owned)
     /// Optional cooperative run control (not owned): cancellation, deadline,
     /// and memory budget (see util/run_context.hpp). Checked at chunk

@@ -1324,11 +1324,6 @@ SimilarityMap build_gather(const WeightedGraph& graph, const std::vector<double>
 }  // namespace
 
 void SimilarityMap::sort_by_score(parallel::ThreadPool* pool) {
-  const auto by_score = [](const SimilarityEntry& a, const SimilarityEntry& b) {
-    if (a.score != b.score) return a.score > b.score;
-    if (a.u != b.u) return a.u < b.u;
-    return a.v < b.v;
-  };
   if (pool != nullptr && pool->thread_count() > 1 && keys_sorted_) {
     // Scores are non-negative, so the raw IEEE bits order like the values and
     // the flipped bits order descending. The radix sort is stable and the
@@ -1336,13 +1331,12 @@ void SimilarityMap::sort_by_score(parallel::ThreadPool* pool) {
     // comparator's tie-break — the result is the exact permutation the
     // comparison path below produces, for every thread count.
     parallel::parallel_radix_sort(*pool, entries, [](const SimilarityEntry& e) {
-      const double score = e.score == 0.0 ? 0.0 : e.score;  // collapse -0.0
-      return ~std::bit_cast<std::uint64_t>(score);
+      return flipped_score_key(e.score);
     });
   } else if (pool != nullptr && pool->thread_count() > 1) {
-    parallel::parallel_sort(*pool, entries.begin(), entries.end(), by_score);
+    parallel::parallel_sort(*pool, entries.begin(), entries.end(), score_order);
   } else {
-    std::sort(entries.begin(), entries.end(), by_score);
+    std::sort(entries.begin(), entries.end(), score_order);
   }
   keys_sorted_ = false;
 }

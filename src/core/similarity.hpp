@@ -52,6 +52,7 @@
 // without running the kernel.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -82,6 +83,26 @@ struct SimilarityEntry {
   std::uint64_t offset = 0;  ///< start of this key's slice in the shared arenas
   std::uint32_t count = 0;   ///< number of common neighbors (slice length)
 };
+
+/// The strict total order sort_by_score() establishes over the pair list L:
+/// score descending, ties broken by (u, v) ascending. Exposed so alternative
+/// sweep backends (core/sweep_source.hpp) can reproduce the exact global
+/// order bucket by bucket — any correct sort under a strict total order
+/// yields the same unique permutation.
+[[nodiscard]] inline bool score_order(const SimilarityEntry& a, const SimilarityEntry& b) {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.u != b.u) return a.u < b.u;
+  return a.v < b.v;
+}
+
+/// The flipped IEEE-754 bits of a (non-negative) score: ascending key order
+/// is exactly descending score order, with -0.0 collapsed onto 0.0 so the
+/// two zero encodings share a key. This is the radix key sort_by_score()
+/// sorts on; the bucketed sweep backend partitions L on the same bits so its
+/// bucket ranges nest inside the sorted order.
+[[nodiscard]] inline std::uint64_t flipped_score_key(double score) {
+  return ~std::bit_cast<std::uint64_t>(score == 0.0 ? 0.0 : score);
+}
 
 /// How map M is stored while being built (DESIGN.md ablation).
 enum class PairMapKind {

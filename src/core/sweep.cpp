@@ -2,6 +2,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/cluster_array.hpp"
+#include "core/sweep_source.hpp"
 #include "util/check.hpp"
 #include "util/fault_inject.hpp"
 #include "util/run_context.hpp"
@@ -9,14 +10,13 @@
 namespace lc::core {
 
 SweepResult sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
-                  const EdgeIndex& index, const PairObserver& observer,
-                  double min_similarity, lc::RunContext* ctx,
-                  Checkpointer* checkpointer, const FineCheckpoint* resume) {
+                  SweepSource& source, const EdgeIndex& index,
+                  const PairObserver& observer, double min_similarity,
+                  lc::RunContext* ctx, Checkpointer* checkpointer,
+                  const FineCheckpoint* resume) {
   LC_CHECK_MSG(index.size() == graph.edge_count(), "edge index must match the graph");
-  for (std::size_t i = 1; i < map.entries.size(); ++i) {
-    LC_CHECK_MSG(map.entries[i - 1].score >= map.entries[i].score,
-                 "similarity map must be sorted (call sort_by_score())");
-  }
+  LC_CHECK_MSG(source.size() == map.entries.size(),
+               "sweep source must cover the similarity map");
 
   SweepResult result;
   result.dendrogram = Dendrogram(graph.edge_count());
@@ -59,42 +59,55 @@ SweepResult sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
           ? kDuePollStride
           : 1;
   std::size_t since_due_poll = due_stride;  // poll at the first boundary
-  for (std::size_t e = start_entry; e < map.entries.size(); ++e) {
-    const SimilarityEntry& entry = map.entries[e];
-    if (entry.score < min_similarity) break;  // entries are sorted: all done
-    LC_FAULT_POINT("sweep.entry");
-    ticker.checkpoint(1 + entry.count);
-    // The build pre-resolved every incident pair (e_uk, e_vk) into the pair
-    // arena, so the hot loop is a flat scan: no graph lookups at all.
-    for (const EdgePairRef& pair : map.pairs(entry)) {
-      const MergeOutcome outcome =
-          clusters.merge(index.index_of(pair.first), index.index_of(pair.second));
-      if (outcome.merged) {
-        ++level;
-        const EdgeIdx from = (outcome.c1 == outcome.target) ? outcome.c2 : outcome.c1;
-        result.dendrogram.add_event(level, from, outcome.target, entry.score);
+  const std::size_t entry_count = source.size();
+  bool done = false;
+  for (std::size_t e = start_entry; e < entry_count && !done;) {
+    // One ready span at a time: the readiness check (and, on a lazy source,
+    // any just-in-time bucket sort) happens out here, so the per-entry loop
+    // below stays as flat as the direct map.entries scan it replaced.
+    const std::span<const SimilarityEntry> ready = source.window(e);
+    const SimilarityEntry* const base = ready.data() - e;
+    const std::size_t ready_end = e + ready.size();
+    for (; e < ready_end; ++e) {
+      const SimilarityEntry& entry = base[e];
+      if (entry.score < min_similarity) {  // descending order: all done
+        done = true;
+        break;
       }
-      if (observer) observer(ordinal, outcome.changes);
-      ++ordinal;
-    }
-    // Entry boundaries are the fine sweep's chunk boundaries: every pair of
-    // the entry is merged, so the state is a complete prefix of the run.
-    if (checkpointer != nullptr && ++since_due_poll >= due_stride) {
-      since_due_poll = 0;
-      if (checkpointer->due()) {
-        FineCheckpoint state;
-        state.entry_pos = e + 1;
-        state.level = level;
-        state.ordinal = ordinal;
-        state.stats.pairs_processed = ordinal;
-        state.stats.merges_effective = level;
-        state.stats.c_accesses = base_accesses + clusters.accesses();
-        state.stats.c_changes = base_changes + clusters.total_changes();
-        state.cluster_c = clusters.snapshot();
-        state.events = result.dendrogram.events();
-        // A failed snapshot is recorded on the checkpointer but never aborts
-        // the sweep it was protecting.
-        (void)checkpointer->write_fine(state);
+      LC_FAULT_POINT("sweep.entry");
+      ticker.checkpoint(1 + entry.count);
+      // The build pre-resolved every incident pair (e_uk, e_vk) into the pair
+      // arena, so the hot loop is a flat scan: no graph lookups at all.
+      for (const EdgePairRef& pair : map.pairs(entry)) {
+        const MergeOutcome outcome =
+            clusters.merge(index.index_of(pair.first), index.index_of(pair.second));
+        if (outcome.merged) {
+          ++level;
+          const EdgeIdx from = (outcome.c1 == outcome.target) ? outcome.c2 : outcome.c1;
+          result.dendrogram.add_event(level, from, outcome.target, entry.score);
+        }
+        if (observer) observer(ordinal, outcome.changes);
+        ++ordinal;
+      }
+      // Entry boundaries are the fine sweep's chunk boundaries: every pair of
+      // the entry is merged, so the state is a complete prefix of the run.
+      if (checkpointer != nullptr && ++since_due_poll >= due_stride) {
+        since_due_poll = 0;
+        if (checkpointer->due()) {
+          FineCheckpoint state;
+          state.entry_pos = e + 1;
+          state.level = level;
+          state.ordinal = ordinal;
+          state.stats.pairs_processed = ordinal;
+          state.stats.merges_effective = level;
+          state.stats.c_accesses = base_accesses + clusters.accesses();
+          state.stats.c_changes = base_changes + clusters.total_changes();
+          state.cluster_c = clusters.snapshot();
+          state.events = result.dendrogram.events();
+          // A failed snapshot is recorded on the checkpointer but never aborts
+          // the sweep it was protecting.
+          (void)checkpointer->write_fine(state);
+        }
       }
     }
   }
@@ -105,6 +118,15 @@ SweepResult sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
   result.stats.c_accesses = base_accesses + clusters.accesses();
   result.stats.c_changes = base_changes + clusters.total_changes();
   return result;
+}
+
+SweepResult sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
+                  const EdgeIndex& index, const PairObserver& observer,
+                  double min_similarity, lc::RunContext* ctx,
+                  Checkpointer* checkpointer, const FineCheckpoint* resume) {
+  SortedSweepSource source(map);
+  return sweep(graph, map, source, index, observer, min_similarity, ctx,
+               checkpointer, resume);
 }
 
 }  // namespace lc::core

@@ -23,6 +23,7 @@ namespace lc::core {
 
 class Checkpointer;      // core/checkpoint.hpp
 struct FineCheckpoint;   // core/checkpoint.hpp
+class SweepSource;       // core/sweep_source.hpp
 
 struct SweepStats {
   std::uint64_t pairs_processed = 0;  ///< incident edge pairs merged (== K2)
@@ -42,12 +43,14 @@ struct SweepResult {
   SweepStats stats;
 };
 
-/// Runs the sweep. `map` must already be sorted (sort_by_score()); this is
-/// asserted. The similarity map is read-only; the edge index supplies the
-/// paper's randomized edge enumeration. Entries with score < `min_similarity`
-/// are never processed (an early-stop knob: the resulting partition equals
-/// labels_at_threshold(min_similarity) of a full run, at a fraction of the
-/// cost — the fine-grained cousin of the coarse mode's phi stop).
+/// Runs the sweep over `source`, the descending-score view of `map`'s
+/// entries (core/sweep_source.hpp — `map` itself supplies the pair arenas
+/// and need not be pre-sorted; the source owns ordering). The edge index
+/// supplies the paper's randomized edge enumeration. Entries with score <
+/// `min_similarity` are never processed (an early-stop knob: the resulting
+/// partition equals labels_at_threshold(min_similarity) of a full run, at a
+/// fraction of the cost — the fine-grained cousin of the coarse mode's phi
+/// stop; with a lazy source the cut-off tail is never even sorted).
 ///
 /// `ctx` (optional, not owned) is polled at chunk granularity: a pending
 /// cancellation / deadline unwinds the sweep via lc::StoppedError. Null has
@@ -59,6 +62,17 @@ struct SweepResult {
 /// boundary. Both are output-neutral: any combination of checkpoint writes,
 /// kills, and resumes yields the bitwise-identical SweepResult of one
 /// uninterrupted run.
+SweepResult sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
+                  SweepSource& source, const EdgeIndex& index,
+                  const PairObserver& observer = {},
+                  double min_similarity = -std::numeric_limits<double>::infinity(),
+                  lc::RunContext* ctx = nullptr,
+                  Checkpointer* checkpointer = nullptr,
+                  const FineCheckpoint* resume = nullptr);
+
+/// Convenience overload for a map already ordered by sort_by_score():
+/// equivalent to passing a SortedSweepSource, and asserts sortedness like
+/// that source's constructor does.
 SweepResult sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
                   const EdgeIndex& index, const PairObserver& observer = {},
                   double min_similarity = -std::numeric_limits<double>::infinity(),

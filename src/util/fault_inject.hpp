@@ -14,8 +14,8 @@
 // Armed sites (see the LC_FAULT_POINT call sites):
 //   sim.pass1, sim.pass2.serial, sim.pass2.count, sim.pass2.fill,
 //   sim.pass2.shard, sim.pass3, sim.assemble, sim.staging.alloc,
-//   build.gather, sim.flat.emit, sweep.entry, coarse.chunk, coarse.apply,
-//   coarse.cas_union,
+//   build.gather, sim.flat.emit, sweep.entry, sweep.bucket, coarse.chunk,
+//   coarse.apply, coarse.cas_union,
 //   coarse.journal, coarse.snapshot, baseline.matrix, baseline.nbm,
 //   snapshot.serialize, snapshot.write, snapshot.rename, snapshot.load
 #pragma once

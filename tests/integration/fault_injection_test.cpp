@@ -104,6 +104,12 @@ const SiteCase kThrowCases[] = {
     {"sim.flat.emit", 1, PairMapKind::kFlat, ClusterMode::kFine},
     {"sim.flat.emit", 8, PairMapKind::kFlat, ClusterMode::kFine},
     {"sweep.entry", 8, PairMapKind::kHash, ClusterMode::kFine},
+    // sweep.bucket sits inside BucketSweepSource::sort_bucket — the default
+    // lazy backend reaches it on the caller thread (first bucket) and on the
+    // prefetch thread (later buckets, rethrown at the handoff).
+    {"sweep.bucket", 1, PairMapKind::kHash, ClusterMode::kFine},
+    {"sweep.bucket", 8, PairMapKind::kHash, ClusterMode::kFine},
+    {"sweep.bucket", 8, PairMapKind::kHash, ClusterMode::kCoarse},
     {"coarse.chunk", 1, PairMapKind::kHash, ClusterMode::kCoarse},
     {"coarse.apply", 1, PairMapKind::kHash, ClusterMode::kCoarse},
     {"coarse.cas_union", 1, PairMapKind::kHash, ClusterMode::kCoarse},

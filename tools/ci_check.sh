@@ -5,8 +5,9 @@
 # -DLC_SIMD=OFF so the portable scalar/galloping intersect paths get a full
 # sanitized run of their own. A third leg builds under TSan and runs
 # just the concurrency suites (the lock-free union-find stress test, the
-# thread pool, the coarse/parallel determinism tests, and the checkpoint
-# resume tests, which cross thread counts) — the full suite under TSan is
+# thread pool, the coarse/parallel determinism tests, the checkpoint
+# resume tests, which cross thread counts, and the sweep-source suite, whose
+# lazy backend hands bucket sorts to a prefetch thread) — the full suite under TSan is
 # prohibitively slow and the serial tests cannot race. Any sanitizer report
 # fails the build because CMakeLists.txt sets -fno-sanitize-recover=all.
 #
@@ -58,10 +59,11 @@ echo "== thread: build =="
 cmake --build "${build_dir}" -j "${jobs}" \
   --target core_concurrent_dsu_test parallel_thread_pool_test \
            core_coarse_test core_similarity_determinism_test \
-           core_similarity_gather_test core_checkpoint_test
+           core_similarity_gather_test core_checkpoint_test \
+           core_sweep_source_test
 echo "== thread: test (concurrency suites) =="
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
-  -R 'ConcurrentDsu|ThreadPool|Coarse|Determinism|Gather|Checkpoint'
+  -R 'ConcurrentDsu|ThreadPool|Coarse|Determinism|Gather|Checkpoint|SweepSource'
 
 # ---- Kill/resume smoke: crash a checkpointing run with SIGKILL, resume it,
 # and demand the dendrogram the crash interrupted. Uses the ASan binary so
@@ -102,8 +104,12 @@ smoke() {
 
 # Fine: sleep after 400 entry boundaries — hundreds of snapshots are already
 # on disk by then. Coarse: the loop head commits a snapshot before each
-# coarse.chunk hit, so three skips guarantee one.
+# coarse.chunk hit, so three skips guarantee one. The default sweep backend
+# is lazy, so these two legs kill and resume bucketed lazy-sort runs — the
+# resume lands mid-bucket and must skip the sorts of every bucket before it.
 smoke fine  "sweep.entry:sleep:400:60000"
 smoke coarse "coarse.chunk:sleep:3:60000" --delta0 32
+# The sorted backend stays selectable; keep its kill/resume path covered too.
+smoke fine  "sweep.entry:sleep:400:60000" --sweep-backend sorted
 
 echo "ci_check: all sanitizer suites and the kill/resume smoke passed"
