@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "bench_json.hpp"
 #include "core/checkpoint.hpp"
 #include "core/cluster_array.hpp"
+#include "core/link_clusterer.hpp"
 #include "core/coarse.hpp"
 #include "core/dendrogram.hpp"
 #include "core/similarity.hpp"
@@ -34,6 +36,7 @@
 #include "graph/generators.hpp"
 #include "graph/stats.hpp"
 #include "parallel/thread_pool.hpp"
+#include "serve/run_supervisor.hpp"
 #include "text/porter.hpp"
 #include "text/tokenizer.hpp"
 #include "util/memory.hpp"
@@ -256,6 +259,7 @@ int run_json_mode(const std::string& path) {
       double write_ms = 0.0;
       std::uint64_t snapshot_bytes = 0;
       std::uint64_t writes = 0;
+      std::uint64_t write_failures = 0;
       for (int rep = 0; rep < 3; ++rep) {
         lc::core::Checkpointer checkpointer(write_policy, fp);
         watch.lap();
@@ -274,15 +278,18 @@ int run_json_mode(const std::string& path) {
           write_ms = checkpointer.write_seconds_total() * 1e3;
           snapshot_bytes = checkpointer.last_snapshot_bytes();
           writes = checkpointer.snapshots_written();
+          write_failures = checkpointer.write_failures();
         }
       }
       checkpoint_extra = lc::strprintf(
           ", \"sweep_plain_ms\": %.3f, \"ckpt_idle_overhead_ms\": %.3f, "
           "\"sweep_ckpt_ms\": %.3f, \"checkpoint_ms\": %.3f, "
-          "\"snapshot_bytes\": %llu, \"checkpoint_writes\": %llu",
+          "\"snapshot_bytes\": %llu, \"checkpoint_writes\": %llu, "
+          "\"checkpoint_write_failures\": %llu",
           plain_min_ms, idle_overhead_ms, armed_min_ms, write_ms,
           static_cast<unsigned long long>(snapshot_bytes),
-          static_cast<unsigned long long>(writes));
+          static_cast<unsigned long long>(writes),
+          static_cast<unsigned long long>(write_failures));
       std::error_code cleanup_error;
       std::filesystem::remove_all(dir, cleanup_error);
     }
@@ -487,6 +494,80 @@ int run_json_mode(const std::string& path) {
         "%.1f ms (partition %.1f, blocked %.1f)\n",
         rmat.edge_count(), sorted_map.key_count(), rmat_build_ms, rmat_sort_ms,
         rmat_sweep_ms, rmat_lazy_ms, rmat_stats.partition_ms, rmat_stats.blocked_ms);
+  }
+  // Serve-overhead leg (T=1): the same full fine run through the supervised
+  // serving boundary (serve/run_supervisor.hpp — worker thread, RunContext,
+  // RunReport bookkeeping) vs a direct LinkClusterer::run(). The supervisor
+  // is pure orchestration, so its tax must stay within noise of the direct
+  // call; check_regression.py holds supervised to a few percent of direct.
+  // Both sides are a min over repetitions, and the supervised dendrogram
+  // must stay bitwise identical to the direct one.
+  {
+    lc::core::LinkClusterer::Config serve_config;
+    serve_config.threads = 1;
+    const auto shared_graph =
+        std::make_shared<const lc::graph::WeightedGraph>(graph);
+    lc::Stopwatch watch;
+    lc::serve::RunSupervisor supervisor;
+    double direct_min_ms = std::numeric_limits<double>::infinity();
+    double serve_min_ms = std::numeric_limits<double>::infinity();
+    std::vector<double> serve_delta_ms;
+    std::uint64_t direct_digest = 0;
+    // Direct and supervised reps run as adjacent pairs, and the reported
+    // overhead is the smaller of the median per-pair delta and min-minus-min
+    // (the same drift-robust estimator pair as the checkpoint idle leg
+    // above): box slowdowns land on both sides of the comparison, and a
+    // single interrupted rep cannot fake a regression.
+    for (int rep = 0; rep < 5; ++rep) {
+      watch.lap();
+      const lc::StatusOr<lc::core::ClusterResult> direct =
+          lc::core::LinkClusterer(serve_config).run(graph);
+      const double direct_rep_ms = watch.lap() * 1e3;
+      if (!direct.ok()) {
+        std::printf("serve leg: direct run failed (%s): FAIL\n",
+                    direct.status().message().c_str());
+        return 1;
+      }
+      direct_min_ms = std::min(direct_min_ms, direct_rep_ms);
+      direct_digest = dendrogram_digest(direct->dendrogram);
+
+      lc::serve::RunSpec spec;
+      spec.config = serve_config;
+      spec.graph = shared_graph;
+      watch.lap();
+      const lc::Status launched = supervisor.launch(std::move(spec));
+      supervisor.wait(0);
+      const double serve_rep_ms = watch.lap() * 1e3;
+      if (!launched.ok() ||
+          supervisor.report().state != lc::serve::RunState::kDone) {
+        std::printf("serve leg: supervised run did not finish kDone: FAIL\n");
+        return 1;
+      }
+      serve_min_ms = std::min(serve_min_ms, serve_rep_ms);
+      serve_delta_ms.push_back(serve_rep_ms - direct_rep_ms);
+    }
+    std::nth_element(serve_delta_ms.begin(),
+                     serve_delta_ms.begin() +
+                         static_cast<std::ptrdiff_t>(serve_delta_ms.size() / 2),
+                     serve_delta_ms.end());
+    const double serve_overhead_ms =
+        std::max(0.0, std::min(serve_delta_ms[serve_delta_ms.size() / 2],
+                               serve_min_ms - direct_min_ms));
+    const std::shared_ptr<const lc::core::ClusterResult> supervised =
+        supervisor.result();
+    if (supervised == nullptr ||
+        dendrogram_digest(supervised->dendrogram) != direct_digest) {
+      std::printf("serve leg: supervised dendrogram differs from direct: FAIL\n");
+      return 1;
+    }
+    runs.front().extra += lc::strprintf(
+        ", \"direct_run_ms\": %.3f, \"serve_run_ms\": %.3f, "
+        "\"serve_overhead_ms\": %.3f",
+        direct_min_ms, serve_min_ms, serve_overhead_ms);
+    std::printf(
+        "serve overhead (T=1): direct %.1fms, supervised %.1fms, "
+        "overhead %+.1fms\n",
+        direct_min_ms, serve_min_ms, serve_overhead_ms);
   }
   std::printf("dendrogram identical across thread counts: %s\n", digests_match ? "yes" : "NO");
   std::printf("coarse dendrogram identical across thread counts: %s\n",

@@ -1,6 +1,8 @@
 #include "cli/commands.hpp"
 
 #include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -17,6 +19,8 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
+#include "serve/server.hpp"
+#include "serve/signals.hpp"
 #include "text/association.hpp"
 #include "text/corpus.hpp"
 #include "text/tokenizer.hpp"
@@ -90,7 +94,13 @@ int cmd_cluster(int argc, const char* const* argv, std::ostream& out, std::ostre
                    "write crash-consistent snapshots of sweep progress here");
   flags.add_int("checkpoint-every-ms", 30000,
                 "minimum milliseconds between snapshots (0 = every chunk)");
+  flags.add_int("snapshot-retries", 2,
+                "transient snapshot-write failures retried per commit "
+                "(exponential backoff)");
   flags.add_bool("resume", false, "continue from the snapshot in --checkpoint-dir");
+  flags.add_string("min-similarity", "",
+                   "drop merges below this similarity; under the gather build "
+                   "the pruned pairs are never materialized");
   if (!flags.parse(argc, argv) || flags.get_string("input").empty()) {
     err << "usage: linkcluster cluster --input graph.edges [--mode fine|coarse] ...\n";
     return 1;
@@ -132,7 +142,19 @@ int cmd_cluster(int argc, const char* const* argv, std::ostream& out, std::ostre
   config.checkpoint.directory = flags.get_string("checkpoint-dir");
   config.checkpoint.interval_ms =
       static_cast<std::uint64_t>(std::max<std::int64_t>(0, flags.get_int("checkpoint-every-ms")));
+  config.checkpoint.write_retries =
+      static_cast<std::uint32_t>(std::max<std::int64_t>(0, flags.get_int("snapshot-retries")));
   config.resume = flags.get_bool("resume");
+  const std::string min_similarity = flags.get_string("min-similarity");
+  if (!min_similarity.empty()) {
+    char* end = nullptr;
+    const double floor = std::strtod(min_similarity.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      err << "error: --min-similarity expects a number\n";
+      return 1;
+    }
+    config.min_similarity = floor;
+  }
 
   RunContext ctx;
   const std::int64_t deadline_ms = flags.get_int("deadline-ms");
@@ -141,7 +163,16 @@ int cmd_cluster(int argc, const char* const* argv, std::ostream& out, std::ostre
   if (max_memory_mb > 0) {
     ctx.set_memory_budget(static_cast<std::uint64_t>(max_memory_mb) * 1024 * 1024);
   }
-  if (deadline_ms >= 0 || max_memory_mb > 0) config.ctx = &ctx;
+  // The context is always attached: SIGTERM/SIGINT land as a cooperative
+  // cancel, so an interrupted batch run flushes a final checkpoint and exits
+  // through the same stop-report path as a tripped deadline or budget.
+  config.ctx = &ctx;
+  serve::install_stop_handlers();
+  serve::SignalWatcher watcher(
+      [&ctx](int signo) {
+        ctx.request_cancel(signo == SIGINT ? "interrupted (SIGINT)"
+                                           : "terminated (SIGTERM)");
+      });
 
   if (config.checkpoint.enabled()) {
     out << (config.resume ? "resuming from " : "checkpointing to ")
@@ -193,6 +224,12 @@ int cmd_cluster(int argc, const char* const* argv, std::ostream& out, std::ostre
                          static_cast<double>(std::max<std::uint64_t>(1, result.coarse->pairs_total)))
         << " of pairs processed\n";
   }
+  if (result.ckpt.has_value() && (result.ckpt->write_failures > 0 || result.ckpt->degraded)) {
+    err << "warning: " << result.ckpt->write_failures
+        << " snapshot write(s) failed after retries"
+        << (result.ckpt->degraded ? "; checkpointing gave up (in-memory only)" : "")
+        << "\n";
+  }
 
   const std::string newick_path = flags.get_string("newick");
   if (!newick_path.empty()) {
@@ -215,6 +252,77 @@ int cmd_cluster(int argc, const char* const* argv, std::ostream& out, std::ostre
     out << "wrote " << merges_path << "\n";
   }
   return 0;
+}
+
+int cmd_serve(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+  CliFlags flags;
+  flags.add_string("input", "", "edge-list file to preload (optional)");
+  flags.add_string("checkpoint-dir", "",
+                   "snapshot + autorecovery state for supervised runs");
+  flags.add_int("checkpoint-every-ms", 30000,
+                "minimum milliseconds between snapshots (0 = every chunk)");
+  flags.add_int("snapshot-retries", 2,
+                "transient snapshot-write failures retried per commit");
+  flags.add_int("degrade-after", 5,
+                "consecutive snapshot failures before checkpointing gives up "
+                "(0 = never)");
+  flags.add_bool("degrade-on-oom", false,
+                 "re-run budget-tripped requests with a similarity floor, "
+                 "then coarse mode, instead of failing them");
+  flags.add_double("degrade-min-score", 0.4,
+                   "similarity floor armed by degraded attempts");
+  flags.add_bool("autorecover", true,
+                 "resume the interrupted run --checkpoint-dir describes "
+                 "(disable with --no-autorecover)");
+  flags.add_int("threads", 1, "default worker threads per run");
+  flags.add_int("listen", 0,
+                "also accept line-protocol TCP clients on 127.0.0.1:PORT");
+  if (!flags.parse(argc, argv)) {
+    err << "usage: linkcluster serve [--checkpoint-dir DIR] [--listen PORT] ...\n";
+    return 1;
+  }
+
+  serve::ServerOptions options;
+  options.checkpoint_dir = flags.get_string("checkpoint-dir");
+  options.checkpoint_every_ms =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(0, flags.get_int("checkpoint-every-ms")));
+  options.snapshot_retries =
+      static_cast<std::uint32_t>(std::max<std::int64_t>(0, flags.get_int("snapshot-retries")));
+  options.degrade_after =
+      static_cast<std::uint32_t>(std::max<std::int64_t>(0, flags.get_int("degrade-after")));
+  options.degrade_on_oom = flags.get_bool("degrade-on-oom");
+  options.degrade_min_score = flags.get_double("degrade-min-score");
+  options.autorecover = flags.get_bool("autorecover");
+  options.threads =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, flags.get_int("threads")));
+
+  serve::Server server(options, &err);
+  serve::install_stop_handlers();
+
+  if (Status recovered = server.autorecover(); !recovered.ok()) {
+    // Recovery refusing to run is a warning, not a fatal: the server still
+    // serves fresh requests.
+    err << "warning: " << recovered.to_string() << "\n";
+  }
+  const std::string input = flags.get_string("input");
+  if (!input.empty()) {
+    std::string response;
+    server.handle_line("load path=" + serve::quote_value(input), &response);
+    out << response << std::flush;
+  }
+
+  int listen_fd = -1;
+  const std::int64_t port = flags.get_int("listen");
+  if (port > 0) {
+    StatusOr<int> fd_or = serve::listen_on(static_cast<int>(port));
+    if (!fd_or.ok()) {
+      err << "error: " << fd_or.status().to_string() << "\n";
+      return 2;
+    }
+    listen_fd = *fd_or;
+    err << "listening on 127.0.0.1:" << port << "\n";
+  }
+  return serve::serve_fds(server, listen_fd, /*use_stdin=*/true, err);
 }
 
 int cmd_communities(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
@@ -378,6 +486,8 @@ void print_usage(std::ostream& out) {
          "subcommands:\n"
          "  stats        graph statistics (|V|, |E|, K1, K2, K3, density)\n"
          "  cluster      run link clustering; optionally export the dendrogram\n"
+         "  serve        long-lived supervised server (line protocol on stdin,\n"
+         "               optional --listen TCP; retries, degradation, autorecovery)\n"
          "  communities  maximum-partition-density link communities\n"
          "  generate     write a synthetic benchmark graph\n"
          "  assoc        build a word-association graph from a corpus file (§III)\n"
@@ -396,6 +506,7 @@ int run_command(int argc, const char* const* argv, std::ostream& out, std::ostre
   const char* const* sub_argv = argv + 1;
   if (command == "stats") return cmd_stats(sub_argc, sub_argv, out, err);
   if (command == "cluster") return cmd_cluster(sub_argc, sub_argv, out, err);
+  if (command == "serve") return cmd_serve(sub_argc, sub_argv, out, err);
   if (command == "communities") return cmd_communities(sub_argc, sub_argv, out, err);
   if (command == "generate") return cmd_generate(sub_argc, sub_argv, out, err);
   if (command == "assoc") return cmd_assoc(sub_argc, sub_argv, out, err);

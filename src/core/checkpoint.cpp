@@ -1,8 +1,10 @@
 #include "core/checkpoint.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <exception>
 #include <filesystem>
+#include <thread>
 
 #include "util/stopwatch.hpp"
 
@@ -292,6 +294,17 @@ std::string snapshot_path(const std::string& directory) {
   return (std::filesystem::path(directory) / "checkpoint.lcsnap").string();
 }
 
+std::uint64_t backoff_delay_ms(const CheckpointPolicy& policy,
+                               std::uint32_t attempt) {
+  if (policy.backoff_initial_ms == 0) return 0;
+  std::uint64_t delay = policy.backoff_initial_ms;
+  for (std::uint32_t i = 0; i < attempt; ++i) {
+    if (delay >= policy.backoff_max_ms / 2 + 1) return policy.backoff_max_ms;
+    delay *= 2;
+  }
+  return std::min(delay, policy.backoff_max_ms);
+}
+
 std::uint64_t graph_fingerprint(const graph::WeightedGraph& graph) {
   std::uint64_t hash = snapshot::fnv1a64(nullptr, 0);
   const auto mix = [&hash](std::uint64_t word) {
@@ -315,40 +328,83 @@ Checkpointer::Checkpointer(CheckpointPolicy policy, RunFingerprint fingerprint)
                     static_cast<std::int64_t>(policy_.interval_ms))) {}
 
 bool Checkpointer::due() const {
-  if (!policy_.enabled()) return false;
+  if (!policy_.enabled() || degraded_) return false;
   if (policy_.max_snapshots > 0 && written_ >= policy_.max_snapshots) return false;
   if (policy_.interval_ms == 0) return true;
   return std::chrono::steady_clock::now() >= next_due_;
 }
 
-Status Checkpointer::write(std::uint32_t section_id, snapshot::SectionWriter body) {
-  Stopwatch watch;
-  Status status;
+Status Checkpointer::attempt_commit(std::uint32_t section_id,
+                                    const snapshot::SectionWriter& body) {
   try {
     std::error_code ec;
     std::filesystem::create_directories(policy_.directory, ec);
     if (ec) {
-      status = Status::internal("checkpoint: cannot create " + policy_.directory +
-                                ": " + ec.message());
-    } else {
-      snapshot::SectionWriter fingerprint;
-      write_fingerprint(fingerprint, fingerprint_);
-      snapshot::SnapshotWriter writer;
-      writer.add_section(kFingerprintSection, std::move(fingerprint));
-      writer.add_section(section_id, std::move(body));
-      status = writer.commit(path_);
-      if (status.ok()) last_bytes_ = writer.committed_bytes();
+      return Status::internal("checkpoint: cannot create " + policy_.directory +
+                              ": " + ec.message());
     }
+    snapshot::SectionWriter fingerprint;
+    write_fingerprint(fingerprint, fingerprint_);
+    snapshot::SnapshotWriter writer;
+    writer.add_section(kFingerprintSection, std::move(fingerprint));
+    writer.add_section(section_id, body);  // copy: retries reuse the payload
+    Status status = writer.commit(path_);
+    if (status.ok()) last_bytes_ = writer.committed_bytes();
+    return status;
   } catch (const std::bad_alloc&) {
-    status = Status::resource_exhausted("checkpoint: allocation failed");
+    return Status::resource_exhausted("checkpoint: allocation failed");
   } catch (const std::exception& error) {
-    status = Status::internal(std::string("checkpoint: ") + error.what());
+    return Status::internal(std::string("checkpoint: ") + error.what());
+  }
+}
+
+void Checkpointer::record_failure(const Status& status) {
+  ++write_failures_;
+  ++consecutive_failures_;
+  if (error_ring_.size() < kErrorRing) {
+    error_ring_.push_back(status);
+  } else {
+    error_ring_[ring_head_] = status;
+    ring_head_ = (ring_head_ + 1) % kErrorRing;
+  }
+  if (policy_.degrade_after > 0 &&
+      consecutive_failures_ >= policy_.degrade_after) {
+    degraded_ = true;
+  }
+}
+
+std::vector<Status> Checkpointer::recent_errors() const {
+  std::vector<Status> out;
+  out.reserve(error_ring_.size());
+  for (std::size_t i = 0; i < error_ring_.size(); ++i) {
+    out.push_back(error_ring_[(ring_head_ + i) % error_ring_.size()]);
+  }
+  return out;
+}
+
+Status Checkpointer::write(std::uint32_t section_id, snapshot::SectionWriter body) {
+  Stopwatch watch;
+  Status status = attempt_commit(section_id, body);
+  for (std::uint32_t retry = 0; !status.ok() && retry < policy_.write_retries;
+       ++retry) {
+    // Only transient failures (EIO, torn tmp, exotic exceptions) can heal by
+    // retrying; a full memory budget will not free itself while we sleep.
+    if (!status_is_retryable(status.code())) break;
+    const std::uint64_t delay = backoff_delay_ms(policy_, retry);
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<std::int64_t>(delay)));
+    }
+    ++retries_used_;
+    status = attempt_commit(section_id, body);
   }
   write_seconds_ += watch.seconds();
   if (status.ok()) {
     ++written_;
+    consecutive_failures_ = 0;
     last_error_ = Status();
   } else {
+    record_failure(status);
     last_error_ = status;
   }
   next_due_ = std::chrono::steady_clock::now() +

@@ -45,8 +45,29 @@ struct CheckpointPolicy {
                                       ///< 0 = snapshot at every boundary
   std::uint64_t max_snapshots = 0;    ///< stop after this many (0 = unlimited;
                                       ///< lets tests pin the snapshot position)
+
+  // Retry policy for a failed commit (disk full, EIO, torn tmp): each
+  // snapshot gets up to 1 + write_retries attempts with capped exponential
+  // backoff between them. Snapshots insure the run, they must never stall
+  // it indefinitely — so the retry budget is small and the delays bounded.
+  std::uint32_t write_retries = 2;        ///< extra attempts after a failure
+  std::uint64_t backoff_initial_ms = 10;  ///< delay before the first retry
+  std::uint64_t backoff_max_ms = 1000;    ///< cap on any single delay
+
+  // After this many *consecutive* failed snapshots (each already retried),
+  // the checkpointer degrades to "in-memory only": due() stays false, no
+  // further write attempts are made, and the health surface reports
+  // degraded. 0 disables degradation (keep trying forever).
+  std::uint32_t degrade_after = 5;
+
   [[nodiscard]] bool enabled() const { return !directory.empty(); }
 };
+
+/// Backoff before retry `attempt` (0-based): backoff_initial_ms doubled per
+/// attempt, capped at backoff_max_ms. Pure so the bound is testable without
+/// sleeping.
+[[nodiscard]] std::uint64_t backoff_delay_ms(const CheckpointPolicy& policy,
+                                             std::uint32_t attempt);
 
 /// Snapshot file inside `directory` (the ".prev"/".tmp" siblings derive from
 /// this path).
@@ -124,14 +145,20 @@ struct CoarseCheckpoint {
 };
 
 /// Writes snapshots per a CheckpointPolicy. The sweeps ask due() at chunk
-/// boundaries and hand over their state; a failed write is recorded (see
-/// last_error()) but never stops the run — losing a snapshot must not lose
-/// the run it was insuring.
+/// boundaries and hand over their state; a failed write is retried with
+/// bounded backoff, then recorded (see recent_errors()) but never stops the
+/// run — losing a snapshot must not lose the run it was insuring. After
+/// `degrade_after` consecutive failed snapshots the checkpointer goes
+/// degraded ("in-memory only"): due() stays false so a dead disk cannot keep
+/// taxing the sweep with doomed write+backoff cycles.
 class Checkpointer {
  public:
+  /// Failed writes are kept in a ring of the most recent kErrorRing.
+  static constexpr std::size_t kErrorRing = 8;
+
   Checkpointer(CheckpointPolicy policy, RunFingerprint fingerprint);
 
-  /// True when the policy wants a snapshot now.
+  /// True when the policy wants a snapshot now (never when degraded).
   [[nodiscard]] bool due() const;
 
   Status write_fine(const FineCheckpoint& state);
@@ -142,10 +169,30 @@ class Checkpointer {
   [[nodiscard]] std::uint64_t snapshots_written() const { return written_; }
   [[nodiscard]] std::uint64_t last_snapshot_bytes() const { return last_bytes_; }
   [[nodiscard]] double write_seconds_total() const { return write_seconds_; }
+  /// Most recent error (empty/OK after a successful write). Kept for the
+  /// CLI exit-3 report; recent_errors() has the history.
   [[nodiscard]] const Status& last_error() const { return last_error_; }
+
+  /// The most recent failed snapshots, oldest first (≤ kErrorRing entries).
+  [[nodiscard]] std::vector<Status> recent_errors() const;
+  /// Snapshots that failed after exhausting their retry budget.
+  [[nodiscard]] std::uint64_t write_failures() const { return write_failures_; }
+  /// Retry attempts across all snapshots (0 when every commit succeeded
+  /// first try).
+  [[nodiscard]] std::uint64_t write_retries_used() const { return retries_used_; }
+  /// Failed snapshots since the last success.
+  [[nodiscard]] std::uint64_t consecutive_failures() const {
+    return consecutive_failures_;
+  }
+  /// True once degrade_after consecutive snapshots failed: checkpointing is
+  /// off for the rest of the run, progress is in-memory only.
+  [[nodiscard]] bool degraded() const { return degraded_; }
 
  private:
   Status write(std::uint32_t section_id, snapshot::SectionWriter body);
+  Status attempt_commit(std::uint32_t section_id,
+                        const snapshot::SectionWriter& body);
+  void record_failure(const Status& status);
 
   CheckpointPolicy policy_;
   RunFingerprint fingerprint_;
@@ -155,6 +202,12 @@ class Checkpointer {
   std::uint64_t last_bytes_ = 0;
   double write_seconds_ = 0.0;
   Status last_error_;
+  std::vector<Status> error_ring_;  ///< ring buffer, oldest at ring_head_
+  std::size_t ring_head_ = 0;
+  std::uint64_t write_failures_ = 0;
+  std::uint64_t retries_used_ = 0;
+  std::uint64_t consecutive_failures_ = 0;
+  bool degraded_ = false;
 };
 
 /// A validated snapshot: exactly one of `fine` / `coarse` is set, matching

@@ -338,6 +338,16 @@ CoarseResult coarse_sweep(const graph::WeightedGraph& graph, const SimilarityMap
   };
 
   while (p < entry_count && beta > options.phi) {
+    // The loop head is the coarse machine's safe state Q*: the journal is
+    // empty and every register is consistent, so a cooperative stop landing
+    // here can flush a final checkpoint before unwinding (bypassing due() —
+    // it is the run's last chance to persist progress). Stops raised
+    // mid-chunk by the inner tickers unwind without one; the last timed
+    // snapshot still covers them.
+    if (ctx != nullptr && ctx->stop_requested() && checkpointer != nullptr &&
+        checkpointer->policy().enabled() && !checkpointer->degraded()) {
+      (void)checkpointer->write_coarse(capture_checkpoint());
+    }
     check_stop(ctx);
     if (checkpointer != nullptr && checkpointer->due()) {
       // A failed snapshot is recorded on the checkpointer but never aborts

@@ -28,7 +28,7 @@ RunFingerprint LinkClusterer::fingerprint(const graph::WeightedGraph& graph,
   fp.edge_order = static_cast<std::uint8_t>(config.edge_order);
   fp.measure = static_cast<std::uint8_t>(config.measure);
   fp.seed = config.seed;
-  fp.min_similarity = -std::numeric_limits<double>::infinity();
+  fp.min_similarity = config.min_similarity;
   fp.gamma = config.coarse.gamma;
   fp.phi = config.coarse.phi;
   fp.delta0 = config.coarse.delta0;
@@ -71,6 +71,13 @@ ClusterResult LinkClusterer::cluster(const graph::WeightedGraph& graph) const {
   SimilarityMapOptions map_options{config_.map_kind, config_.measure};
   map_options.ctx = config_.ctx;
   map_options.strategy = config_.build_strategy;
+  // An armed similarity floor prunes the build itself under the gather
+  // strategy (min_score is gather-only; sharded/flat build the full map and
+  // the fine sweep's cut below is the backstop).
+  if (config_.min_similarity > -std::numeric_limits<double>::infinity() &&
+      config_.build_strategy == BuildStrategy::kGatherSimd) {
+    map_options.min_score = config_.min_similarity;
+  }
   if (pool != nullptr) {
     map = build_similarity_map_parallel(graph, *pool, config_.ledger, map_options);
   } else {
@@ -115,8 +122,7 @@ ClusterResult LinkClusterer::cluster(const graph::WeightedGraph& graph) const {
         loaded.has_value() && loaded->fine.has_value() ? &*loaded->fine : nullptr;
     SweepResult sweep_result =
         sweep(graph, map, *source, result.edge_index, {},
-              -std::numeric_limits<double>::infinity(), config_.ctx, ckpt,
-              fine_resume);
+              config_.min_similarity, config_.ctx, ckpt, fine_resume);
     result.timings.sweeping_seconds = watch.lap();
     result.dendrogram = std::move(sweep_result.dendrogram);
     result.final_labels = std::move(sweep_result.final_labels);
@@ -134,6 +140,16 @@ ClusterResult LinkClusterer::cluster(const graph::WeightedGraph& graph) const {
     result.coarse = std::move(coarse_result);
   }
   result.sweep_source = source->stats();
+  if (ckpt != nullptr) {
+    CheckpointRunStats stats;
+    stats.snapshots_written = ckpt->snapshots_written();
+    stats.write_failures = ckpt->write_failures();
+    stats.retries_used = ckpt->write_retries_used();
+    stats.degraded = ckpt->degraded();
+    stats.last_snapshot_bytes = ckpt->last_snapshot_bytes();
+    stats.write_seconds = ckpt->write_seconds_total();
+    result.ckpt = stats;
+  }
   return result;
 }
 

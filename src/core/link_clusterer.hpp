@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <optional>
 
@@ -47,6 +48,18 @@ struct ClusterTimings {
   }
 };
 
+/// What checkpointing cost (and lost) during one run — the Checkpointer's
+/// counters, surfaced so callers (the serve health command, micro_core's
+/// checkpoint_write_failures column) can see silent snapshot loss.
+struct CheckpointRunStats {
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t write_failures = 0;   ///< snapshots lost after retries
+  std::uint64_t retries_used = 0;     ///< commit retries across snapshots
+  bool degraded = false;              ///< checkpointer gave up (in-memory only)
+  std::uint64_t last_snapshot_bytes = 0;
+  double write_seconds = 0.0;
+};
+
 struct ClusterResult {
   Dendrogram dendrogram;
   std::vector<EdgeIdx> final_labels;
@@ -57,6 +70,7 @@ struct ClusterResult {
   std::uint64_t k2 = 0;               ///< incident edge pairs
   SweepSourceStats sweep_source;      ///< lazy-backend sort accounting
   std::optional<CoarseResult> coarse; ///< populated in coarse mode
+  std::optional<CheckpointRunStats> ckpt;  ///< populated when checkpointing ran
 };
 
 class LinkClusterer {
@@ -80,6 +94,14 @@ class LinkClusterer {
     SweepBackend sweep_backend = SweepBackend::kLazyBucket;
     /// Lazy-backend bucket target (0 = LC_SWEEP_BUCKETS env / auto).
     std::size_t sweep_buckets = 0;
+    /// Similarity floor. Fine mode stops the sweep at the first entry below
+    /// it (the dendrogram simply ends at the threshold); under the gather
+    /// build strategy it additionally arms the pSCAN-style min_score bound
+    /// so pruned pairs are never materialized — the memory-degradation path
+    /// (serve --degrade-on-oom, DESIGN.md §14) relies on exactly that.
+    /// Part of the checkpoint fingerprint: a thresholded run is a different
+    /// run. Default -inf keeps historical digests and snapshots unchanged.
+    double min_similarity = -std::numeric_limits<double>::infinity();
     sim::WorkLedger* ledger = nullptr;  ///< optional work accounting (not owned)
     /// Optional cooperative run control (not owned): cancellation, deadline,
     /// and memory budget (see util/run_context.hpp). Checked at chunk

@@ -1195,8 +1195,36 @@ SimilarityMap build_gather(const WeightedGraph& graph, const std::vector<double>
   // entry reservation is an upper bound; its untouched tail pages are never
   // dirtied, so only the commons-sized charge is accounted.) Released when
   // this function returns.
-  MemoryCharge block_charge(
-      ctx, k2 * (sizeof(graph::VertexId) + sizeof(EdgePairRef)), "sim.gather.blocks");
+  //
+  // Without pruning the commons count is exactly k2, charged up front. With a
+  // min_score floor armed the k2 bound grossly overstates what survives, so
+  // each worker charges its survivors incrementally instead — a degraded
+  // re-run with a floor must cost fewer accounted bytes than the full build
+  // it replaces, or the OOM-degradation ladder (DESIGN.md §14) could never
+  // fit a budget the full build trips.
+  constexpr std::uint64_t kPairBytes = sizeof(graph::VertexId) + sizeof(EdgePairRef);
+  struct BlockCharge {
+    RunContext* ctx = nullptr;
+    std::uint64_t bytes = 0;
+    BlockCharge() = default;
+    BlockCharge(BlockCharge&& other) noexcept : ctx(other.ctx), bytes(other.bytes) {
+      other.ctx = nullptr;
+      other.bytes = 0;
+    }
+    BlockCharge& operator=(BlockCharge&&) = delete;
+    BlockCharge(const BlockCharge&) = delete;
+    BlockCharge& operator=(const BlockCharge&) = delete;
+    ~BlockCharge() {
+      if (ctx != nullptr) ctx->release_memory(bytes);
+    }
+  };
+  MemoryCharge block_charge;
+  std::vector<BlockCharge> block_charges(t_count);
+  if (!prune) {
+    block_charge = MemoryCharge(ctx, k2 * kPairBytes, "sim.gather.blocks");
+  } else if (ctx != nullptr) {
+    for (BlockCharge& charge : block_charges) charge.ctx = ctx;
+  }
   const GatherJob job{graph,          h1, h2, wmax, options.measure, options.kernel,
                       options.min_score, prune};
   std::vector<GatherOut> outs(t_count);
@@ -1225,11 +1253,21 @@ SimilarityMap build_gather(const WeightedGraph& graph, const std::vector<double>
     PollTicker ticker(ctx);
     GatherScratch& s = scratch[t];
     GatherOut& o = outs[t];
+    BlockCharge& charge = block_charges[t];
+    std::uint64_t charged_commons = 0;
     std::uint64_t work = 0;
     for (std::size_t ui = bounds[t]; ui < bounds[t + 1]; ++ui) {
       ticker.checkpoint(1 + wedges[ui]);
       gather_vertex(job, static_cast<VertexId>(ui), s, o);
       work += 1 + wedges[ui];
+      if (charge.ctx != nullptr && o.commons.size() > charged_commons) {
+        const std::uint64_t delta = o.commons.size() - charged_commons;
+        charged_commons = o.commons.size();
+        // Count before charging: charge_memory records the bytes even when
+        // it throws, and the destructor must release what was recorded.
+        charge.bytes += delta * kPairBytes;
+        charge.ctx->charge_memory(delta * kPairBytes, "sim.gather.blocks");
+      }
     }
     return work;
   };

@@ -61,7 +61,9 @@ SweepResult sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
   std::size_t since_due_poll = due_stride;  // poll at the first boundary
   const std::size_t entry_count = source.size();
   bool done = false;
-  for (std::size_t e = start_entry; e < entry_count && !done;) {
+  std::size_t e = start_entry;
+  try {
+  for (; e < entry_count && !done;) {
     // One ready span at a time: the readiness check (and, on a lazy source,
     // any just-in-time bucket sort) happens out here, so the per-entry loop
     // below stays as flat as the direct map.entries scan it replaced.
@@ -74,6 +76,11 @@ SweepResult sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
         done = true;
         break;
       }
+      // Signal-driven cancellation must land promptly even when the ticker's
+      // item counter is far from its next poll (a fault-injected sleep can
+      // burn a second per entry while the ticker waits out thousands of
+      // items). stop_requested() is one relaxed-fail atomic load, safe here.
+      if (ctx != nullptr && ctx->stop_requested()) ctx->throw_if_stopped();
       LC_FAULT_POINT("sweep.entry");
       ticker.checkpoint(1 + entry.count);
       // The build pre-resolved every incident pair (e_uk, e_vk) into the pair
@@ -110,6 +117,29 @@ SweepResult sweep(const graph::WeightedGraph& graph, const SimilarityMap& map,
         }
       }
     }
+  }
+  } catch (const StoppedError&) {
+    // Every StoppedError in the loop above is raised before entry e's pairs
+    // merge (stop check, fault point, ticker poll, window() bucket work), so
+    // the state is the complete prefix [0, e) — exactly a checkpoint. Flush
+    // it so a cancelled/over-deadline run resumes where it stopped instead
+    // of replaying from the last timed snapshot; due()/max_snapshots are
+    // bypassed because this is the run's last chance to persist progress.
+    if (checkpointer != nullptr && checkpointer->policy().enabled() &&
+        !checkpointer->degraded()) {
+      FineCheckpoint state;
+      state.entry_pos = e;
+      state.level = level;
+      state.ordinal = ordinal;
+      state.stats.pairs_processed = ordinal;
+      state.stats.merges_effective = level;
+      state.stats.c_accesses = base_accesses + clusters.accesses();
+      state.stats.c_changes = base_changes + clusters.total_changes();
+      state.cluster_c = clusters.snapshot();
+      state.events = result.dendrogram.events();
+      (void)checkpointer->write_fine(state);
+    }
+    throw;
   }
 
   result.final_labels = clusters.root_labels();

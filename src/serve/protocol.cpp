@@ -1,0 +1,129 @@
+#include "serve/protocol.hpp"
+
+#include <cctype>
+#include <utility>
+#include <vector>
+
+namespace lc::serve {
+namespace {
+
+bool needs_quoting(std::string_view value) {
+  if (value.empty()) return true;
+  for (const char c : value) {
+    if (c == ' ' || c == '"' || c == '\\' || c == '\t') return true;
+  }
+  return false;
+}
+
+/// Splits a request line into tokens, honoring double quotes with backslash
+/// escapes inside them. Returns false on an unterminated quote or a
+/// dangling escape.
+bool tokenize(std::string_view line, std::vector<std::string>* tokens) {
+  std::string current;
+  bool in_token = false;
+  bool in_quote = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quote) {
+      if (c == '\\') {
+        if (i + 1 >= line.size()) return false;
+        current += line[++i];
+      } else if (c == '"') {
+        in_quote = false;
+      } else {
+        current += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quote = true;
+      in_token = true;
+    } else if (c == ' ' || c == '\t' || c == '\r') {
+      if (in_token) tokens->push_back(std::move(current));
+      current.clear();
+      in_token = false;
+    } else {
+      current += c;
+      in_token = true;
+    }
+  }
+  if (in_quote) return false;
+  if (in_token) tokens->push_back(std::move(current));
+  return true;
+}
+
+}  // namespace
+
+std::string Request::get(const std::string& key, const std::string& fallback) const {
+  const auto it = args.find(key);
+  return it == args.end() ? fallback : it->second;
+}
+
+StatusOr<Request> parse_request(std::string_view line) {
+  Request request;
+  std::vector<std::string> tokens;
+  if (!tokenize(line, &tokens)) {
+    return Status::invalid_argument("protocol: unterminated quote in request");
+  }
+  if (tokens.empty() || tokens.front().front() == '#') return request;
+  request.command = std::move(tokens.front());
+  for (char& c : request.command) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::invalid_argument("protocol: argument '" + token +
+                                      "' is not key=value");
+    }
+    request.args[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return request;
+}
+
+const char* status_code_token(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+  }
+  return "internal";
+}
+
+std::string quote_value(std::string_view value) {
+  if (!needs_quoting(value)) return std::string(value);
+  std::string quoted = "\"";
+  for (const char c : value) {
+    if (c == '"' || c == '\\') quoted += '\\';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string format_error(const Status& status) {
+  std::string line = "err code=";
+  line += status_code_token(status.code());
+  line += " class=";
+  line += error_class_name(status_error_class(status.code()));
+  line += " retryable=";
+  line += status_is_retryable(status.code()) ? '1' : '0';
+  line += " msg=";
+  line += quote_value(status.message().empty() ? status.to_string()
+                                               : status.message());
+  return line;
+}
+
+}  // namespace lc::serve

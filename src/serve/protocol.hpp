@@ -1,0 +1,56 @@
+// Line-oriented request/response protocol for `lc serve` (DESIGN.md §14).
+//
+// One request per line:   <command> [key=value]...
+// One response per line:  ok [key=value]...
+//                      |  err code=<token> class=<class> retryable=<0|1> msg="..."
+//
+// Commands and values are space-separated tokens; a value containing spaces
+// is double-quoted with backslash escapes ("\"" and "\\"). The format is
+// deliberately greppable and shell-composable — the chaos smoke in
+// tools/ci_check.sh drives a server through a fifo with printf alone.
+//
+// The error line carries the lc::Status taxonomy (util/status.hpp): `code`
+// is the machine token of the StatusCode ("deadline_exceeded"), `class` the
+// ErrorClass ("cancel" | "transient" | "resource" | "input"), and
+// `retryable` tells a client whether resubmitting the identical request can
+// succeed — the contract the supervised run loop itself follows.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace lc::serve {
+
+/// A parsed request line.
+struct Request {
+  std::string command;                       ///< first token, lowercased
+  std::map<std::string, std::string> args;   ///< key=value pairs, last wins
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return args.find(key) != args.end();
+  }
+  /// Value of `key`, or `fallback` when absent.
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const;
+};
+
+/// Parses one request line. Blank lines and lines starting with '#' come
+/// back OK with an empty command (the caller skips them). A token without
+/// '=' after the command, an empty key, or an unterminated quote is a
+/// kInvalidArgument.
+[[nodiscard]] StatusOr<Request> parse_request(std::string_view line);
+
+/// StatusCode as a single protocol token: "deadline_exceeded", never spaces.
+[[nodiscard]] const char* status_code_token(StatusCode code);
+
+/// The "err ..." response line (no trailing newline) for a non-OK status.
+[[nodiscard]] std::string format_error(const Status& status);
+
+/// Escapes a value for a key=value field: quoted iff it contains a space,
+/// quote, or backslash; empty values are quoted too ("").
+[[nodiscard]] std::string quote_value(std::string_view value);
+
+}  // namespace lc::serve

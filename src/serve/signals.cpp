@@ -1,0 +1,59 @@
+#include "serve/signals.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <utility>
+
+namespace lc::serve {
+namespace {
+
+std::atomic<int> g_stop_signal{0};
+
+extern "C" void stop_signal_handler(int signo) {
+  // Async-signal-safe: one atomic store, nothing else. SA_RESETHAND already
+  // restored the default action, so the next delivery terminates.
+  int expected = 0;
+  g_stop_signal.compare_exchange_strong(expected, signo,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_stop_handlers() {
+  struct sigaction action = {};
+  action.sa_handler = stop_signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = static_cast<int>(SA_RESETHAND);
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+int stop_signal() { return g_stop_signal.load(std::memory_order_acquire); }
+
+void reset_stop_signal() { g_stop_signal.store(0, std::memory_order_release); }
+
+SignalWatcher::SignalWatcher(std::function<void(int)> on_signal,
+                             std::chrono::milliseconds period)
+    : on_signal_(std::move(on_signal)), period_(period) {
+  thread_ = std::thread([this] {
+    while (!stop_.load(std::memory_order_acquire)) {
+      const int signo = stop_signal();
+      if (signo != 0) {
+        if (on_signal_) on_signal_(signo);
+        fired_.store(true, std::memory_order_release);
+        return;
+      }
+      std::this_thread::sleep_for(period_);
+    }
+  });
+}
+
+SignalWatcher::~SignalWatcher() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+bool SignalWatcher::fired() const { return fired_.load(std::memory_order_acquire); }
+
+}  // namespace lc::serve

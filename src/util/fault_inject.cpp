@@ -26,17 +26,19 @@ std::string g_site;                        // NOLINT(runtime/string)
 FaultKind g_kind = FaultKind::kNone;
 std::uint64_t g_skip_remaining = 0;
 std::uint32_t g_sleep_ms = 0;
+std::uint64_t g_max_fires = 0;  // 0 = unlimited
 std::atomic<std::uint64_t> g_fired{0};
 
 }  // namespace
 
 void arm(std::string_view site, FaultKind kind, std::uint64_t skip_hits,
-         std::uint32_t sleep_ms) {
+         std::uint32_t sleep_ms, std::uint64_t max_fires) {
   std::lock_guard<std::mutex> lock(g_mutex);
   g_site.assign(site);
   g_kind = kind;
   g_skip_remaining = skip_hits;
   g_sleep_ms = sleep_ms;
+  g_max_fires = max_fires;
   g_fired.store(0, std::memory_order_relaxed);
   g_armed.store(kind != FaultKind::kNone, std::memory_order_release);
 }
@@ -45,8 +47,8 @@ bool arm_from_env() {
   const char* raw = std::getenv("LC_FAULT_POINT");
   if (raw == nullptr || raw[0] == '\0') return false;
   const std::vector<std::string_view> parts = split(raw, ':');
-  LC_CHECK_MSG(parts.size() >= 2 && parts.size() <= 4,
-               "LC_FAULT_POINT must be site:kind[:skip_hits[:sleep_ms]]");
+  LC_CHECK_MSG(parts.size() >= 2 && parts.size() <= 5,
+               "LC_FAULT_POINT must be site:kind[:skip_hits[:sleep_ms[:max_fires]]]");
   LC_CHECK_MSG(!parts[0].empty(), "LC_FAULT_POINT site must be non-empty");
   FaultKind kind = FaultKind::kNone;
   if (parts[1] == "throw") {
@@ -67,7 +69,7 @@ bool arm_from_env() {
     LC_CHECK_MSG(end != nullptr && *end == '\0' && !token.empty(),
                  "LC_FAULT_POINT skip_hits must be a decimal integer");
   }
-  if (parts.size() == 4) {
+  if (parts.size() >= 4) {
     const std::string token(parts[3]);
     char* end = nullptr;
     const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
@@ -76,7 +78,15 @@ bool arm_from_env() {
                  "LC_FAULT_POINT sleep_ms must be a 32-bit decimal integer");
     sleep_ms = static_cast<std::uint32_t>(value);
   }
-  arm(parts[0], kind, skip_hits, sleep_ms);
+  std::uint64_t max_fires = 0;
+  if (parts.size() == 5) {
+    const std::string token(parts[4]);
+    char* end = nullptr;
+    max_fires = std::strtoull(token.c_str(), &end, 10);
+    LC_CHECK_MSG(end != nullptr && *end == '\0' && !token.empty(),
+                 "LC_FAULT_POINT max_fires must be a decimal integer");
+  }
+  arm(parts[0], kind, skip_hits, sleep_ms, max_fires);
   return true;
 }
 
@@ -87,6 +97,7 @@ void disarm() {
   g_kind = FaultKind::kNone;
   g_skip_remaining = 0;
   g_sleep_ms = 0;
+  g_max_fires = 0;
 }
 
 bool any_armed() { return g_armed.load(std::memory_order_acquire); }
@@ -103,6 +114,10 @@ void maybe_fire(const char* site) {
     if (g_skip_remaining > 0) {
       --g_skip_remaining;
       return;
+    }
+    if (g_max_fires > 0 &&
+        g_fired.load(std::memory_order_relaxed) >= g_max_fires) {
+      return;  // spent: the site behaves as if healthy again
     }
     kind = g_kind;
     sleep_ms = g_sleep_ms;

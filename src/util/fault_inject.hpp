@@ -33,14 +33,16 @@ enum class FaultKind : std::uint8_t {
 };
 
 /// Arms one site (replacing any previous arming). The fault fires on the
-/// (skip_hits + 1)-th pass through the site and on every pass after that.
+/// (skip_hits + 1)-th pass through the site and on every pass after that,
+/// unless max_fires > 0 caps it: after max_fires firings the site falls
+/// silent again (how the retry tests model "fail K times, then succeed").
 void arm(std::string_view site, FaultKind kind, std::uint64_t skip_hits = 0,
-         std::uint32_t sleep_ms = 0);
+         std::uint32_t sleep_ms = 0, std::uint64_t max_fires = 0);
 
 /// Arms from the LC_FAULT_POINT environment variable, letting tests inject a
 /// fault into a whole child process (the ci_check.sh kill/resume smoke test
 /// parks a run mid-sweep this way before SIGKILLing it). The format is
-///   LC_FAULT_POINT=site:kind[:skip_hits[:sleep_ms]]
+///   LC_FAULT_POINT=site:kind[:skip_hits[:sleep_ms[:max_fires]]]
 /// with kind one of throw | bad_alloc | sleep. Returns true when a fault was
 /// armed; unset or empty is false, and a malformed value aborts via LC_CHECK
 /// (a typo silently not faulting would pass the test it was meant to break).

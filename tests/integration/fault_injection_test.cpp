@@ -329,6 +329,93 @@ TEST_F(SnapshotFaultTest, CrashBetweenRenamesLeavesLoadablePrev) {
             dendrogram_digest(reference.value().dendrogram));
 }
 
+TEST_F(SnapshotFaultTest, TransientWriteFaultIsHealedByRetry) {
+  // The fault fires twice and then falls silent (max_fires) — exactly a
+  // transient I/O glitch. Two retries with backoff recover the snapshot:
+  // no failure is recorded, the file lands on disk, and the result is the
+  // reference bit for bit.
+  const StatusOr<ClusterResult> reference =
+      LinkClusterer(make_config(1, PairMapKind::kHash, ClusterMode::kFine))
+          .run(test_graph());
+  ASSERT_TRUE(reference.ok());
+
+  LinkClusterer::Config config = checkpointing_config(/*max_snapshots=*/1);
+  config.checkpoint.write_retries = 2;
+  config.checkpoint.backoff_initial_ms = 1;  // bounded: 1 + 2 ms of backoff
+  config.checkpoint.backoff_max_ms = 8;
+  fault::arm("snapshot.write", fault::FaultKind::kThrow, /*skip_hits=*/0,
+             /*sleep_ms=*/0, /*max_fires=*/2);
+  const StatusOr<ClusterResult> run = LinkClusterer(config).run(test_graph());
+  EXPECT_EQ(fault::fire_count(), 2u);
+  fault::disarm();
+
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  ASSERT_TRUE(run.value().ckpt.has_value());
+  EXPECT_EQ(run.value().ckpt->retries_used, 2u);
+  EXPECT_EQ(run.value().ckpt->write_failures, 0u);
+  EXPECT_FALSE(run.value().ckpt->degraded);
+  EXPECT_GE(run.value().ckpt->snapshots_written, 1u);
+  EXPECT_TRUE(std::filesystem::exists(snapshot_path(dir_.string())));
+  EXPECT_EQ(dendrogram_digest(run.value().dendrogram),
+            dendrogram_digest(reference.value().dendrogram));
+}
+
+TEST_F(SnapshotFaultTest, TransientRenameFaultIsHealedByRetry) {
+  LinkClusterer::Config config = checkpointing_config(/*max_snapshots=*/1);
+  config.checkpoint.write_retries = 1;
+  config.checkpoint.backoff_initial_ms = 0;  // immediate retry
+  fault::arm("snapshot.rename", fault::FaultKind::kThrow, /*skip_hits=*/0,
+             /*sleep_ms=*/0, /*max_fires=*/1);
+  const StatusOr<ClusterResult> run = LinkClusterer(config).run(test_graph());
+  EXPECT_EQ(fault::fire_count(), 1u);
+  fault::disarm();
+
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  ASSERT_TRUE(run.value().ckpt.has_value());
+  EXPECT_EQ(run.value().ckpt->retries_used, 1u);
+  EXPECT_EQ(run.value().ckpt->write_failures, 0u);
+  EXPECT_TRUE(std::filesystem::exists(snapshot_path(dir_.string())));
+}
+
+TEST_F(SnapshotFaultTest, ExhaustedRetriesDegradeButNeverFailTheRun) {
+  // The fault never heals. One commit burns its retries and records the
+  // failure; degrade_after=1 flips the checkpointer to in-memory-only, so
+  // no further snapshot is attempted — and the run still returns the exact
+  // reference dendrogram.
+  const StatusOr<ClusterResult> reference =
+      LinkClusterer(make_config(1, PairMapKind::kHash, ClusterMode::kFine))
+          .run(test_graph());
+  ASSERT_TRUE(reference.ok());
+
+  LinkClusterer::Config config = checkpointing_config(/*max_snapshots=*/0);
+  config.checkpoint.write_retries = 2;
+  config.checkpoint.backoff_initial_ms = 0;
+  config.checkpoint.degrade_after = 1;
+  fault::arm("snapshot.write", fault::FaultKind::kThrow);
+  const StatusOr<ClusterResult> run = LinkClusterer(config).run(test_graph());
+  // 1 attempt + 2 retries, then the degraded checkpointer stops trying.
+  EXPECT_EQ(fault::fire_count(), 3u);
+  fault::disarm();
+
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  ASSERT_TRUE(run.value().ckpt.has_value());
+  EXPECT_EQ(run.value().ckpt->write_failures, 1u);
+  EXPECT_EQ(run.value().ckpt->retries_used, 2u);
+  EXPECT_TRUE(run.value().ckpt->degraded);
+  EXPECT_EQ(run.value().ckpt->snapshots_written, 0u);
+  EXPECT_EQ(dendrogram_digest(run.value().dendrogram),
+            dendrogram_digest(reference.value().dendrogram));
+
+  // Disarmed rerun from scratch: digest-identical, snapshots healthy again.
+  // (Capped — an uncapped every-entry snapshot rerun is all disk time.)
+  config.checkpoint.max_snapshots = 2;
+  StatusOr<ClusterResult> rerun = LinkClusterer(config).run(test_graph());
+  ASSERT_TRUE(rerun.ok());
+  EXPECT_FALSE(rerun.value().ckpt->degraded);
+  EXPECT_EQ(dendrogram_digest(rerun.value().dendrogram),
+            dendrogram_digest(reference.value().dendrogram));
+}
+
 TEST_F(SnapshotFaultTest, LoadFaultSurfacesAsStatusOnResume) {
   ASSERT_TRUE(
       LinkClusterer(checkpointing_config(/*max_snapshots=*/1)).run(test_graph()).ok());

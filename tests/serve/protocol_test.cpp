@@ -1,0 +1,100 @@
+// Line-protocol parsing and formatting (serve/protocol.hpp).
+#include "serve/protocol.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lc::serve {
+namespace {
+
+TEST(ParseRequest, CommandAndArgs) {
+  StatusOr<Request> parsed = parse_request("run mode=coarse threads=4");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->command, "run");
+  EXPECT_EQ(parsed->get("mode"), "coarse");
+  EXPECT_EQ(parsed->get("threads"), "4");
+  EXPECT_FALSE(parsed->has("seed"));
+  EXPECT_EQ(parsed->get("seed", "42"), "42");
+}
+
+TEST(ParseRequest, CommandIsLowercased) {
+  StatusOr<Request> parsed = parse_request("PING");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->command, "ping");
+}
+
+TEST(ParseRequest, BlankAndCommentLinesAreEmptyOk) {
+  for (const char* line : {"", "   ", "# a comment", "  # indented comment"}) {
+    StatusOr<Request> parsed = parse_request(line);
+    ASSERT_TRUE(parsed.ok()) << "line: '" << line << "'";
+    EXPECT_TRUE(parsed->command.empty()) << "line: '" << line << "'";
+  }
+}
+
+TEST(ParseRequest, QuotedValuesWithEscapes) {
+  StatusOr<Request> parsed =
+      parse_request(R"(load path="/tmp/my graph.edges" note="a \"b\" \\c")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->get("path"), "/tmp/my graph.edges");
+  EXPECT_EQ(parsed->get("note"), "a \"b\" \\c");
+}
+
+TEST(ParseRequest, LastDuplicateKeyWins) {
+  StatusOr<Request> parsed = parse_request("run threads=1 threads=8");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->get("threads"), "8");
+}
+
+TEST(ParseRequest, BareTokenAfterCommandIsAnError) {
+  EXPECT_FALSE(parse_request("run fast").ok());
+  EXPECT_EQ(parse_request("run fast").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseRequest, UnterminatedQuoteIsAnError) {
+  EXPECT_FALSE(parse_request("load path=\"unfinished").ok());
+}
+
+TEST(ParseRequest, EmptyKeyIsAnError) {
+  EXPECT_FALSE(parse_request("run =value").ok());
+}
+
+TEST(QuoteValue, PlainTokensPassThrough) {
+  EXPECT_EQ(quote_value("fine"), "fine");
+  EXPECT_EQ(quote_value("/tmp/graph.edges"), "/tmp/graph.edges");
+}
+
+TEST(QuoteValue, QuotesWhenNeeded) {
+  EXPECT_EQ(quote_value(""), "\"\"");
+  EXPECT_EQ(quote_value("two words"), "\"two words\"");
+  EXPECT_EQ(quote_value("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(quote_value("a\\b"), "\"a\\\\b\"");
+}
+
+TEST(QuoteValue, RoundTripsThroughTheParser) {
+  const std::string nasty = "spaces \"quotes\" and \\backslashes\\";
+  StatusOr<Request> parsed = parse_request("x v=" + quote_value(nasty));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->get("v"), nasty);
+}
+
+TEST(StatusCodeToken, SingleTokenPerCode) {
+  EXPECT_STREQ(status_code_token(StatusCode::kCancelled), "cancelled");
+  EXPECT_STREQ(status_code_token(StatusCode::kDeadlineExceeded), "deadline_exceeded");
+  EXPECT_STREQ(status_code_token(StatusCode::kResourceExhausted), "resource_exhausted");
+  EXPECT_STREQ(status_code_token(StatusCode::kInvalidArgument), "invalid_argument");
+  EXPECT_STREQ(status_code_token(StatusCode::kUnavailable), "unavailable");
+  EXPECT_STREQ(status_code_token(StatusCode::kInternal), "internal");
+}
+
+TEST(FormatError, CarriesTheFullTaxonomy) {
+  const std::string line = format_error(Status::deadline_exceeded("deadline passed"));
+  EXPECT_EQ(line,
+            "err code=deadline_exceeded class=resource retryable=0 "
+            "msg=\"deadline passed\"");
+  const std::string busy = format_error(Status::unavailable("busy"));
+  EXPECT_EQ(busy, "err code=unavailable class=transient retryable=1 msg=busy");
+}
+
+}  // namespace
+}  // namespace lc::serve

@@ -72,5 +72,50 @@ TEST(StatusOr, MoveOnlyValueMovesOut) {
   EXPECT_EQ(taken, (std::vector<int>{1, 2, 3}));
 }
 
+TEST(Status, UnavailableFactory) {
+  const Status busy = Status::unavailable("a run is already in flight");
+  EXPECT_EQ(busy.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(busy.to_string(), "unavailable: a run is already in flight");
+  EXPECT_STREQ(status_code_name(StatusCode::kUnavailable), "unavailable");
+}
+
+TEST(ErrorClass, TaxonomyPartitionsTheCodes) {
+  EXPECT_EQ(status_error_class(StatusCode::kOk), ErrorClass::kNone);
+  EXPECT_EQ(status_error_class(StatusCode::kCancelled), ErrorClass::kCancel);
+  EXPECT_EQ(status_error_class(StatusCode::kDeadlineExceeded), ErrorClass::kResource);
+  EXPECT_EQ(status_error_class(StatusCode::kResourceExhausted), ErrorClass::kResource);
+  EXPECT_EQ(status_error_class(StatusCode::kInvalidArgument), ErrorClass::kInput);
+  EXPECT_EQ(status_error_class(StatusCode::kInternal), ErrorClass::kTransient);
+  EXPECT_EQ(status_error_class(StatusCode::kUnavailable), ErrorClass::kTransient);
+}
+
+TEST(ErrorClass, RetryableIsExactlyTransient) {
+  // Retry chases flaky effects (I/O, busy server); resubmitting a cancelled
+  // or over-budget request unchanged cannot succeed.
+  EXPECT_TRUE(status_is_retryable(StatusCode::kInternal));
+  EXPECT_TRUE(status_is_retryable(StatusCode::kUnavailable));
+  EXPECT_FALSE(status_is_retryable(StatusCode::kOk));
+  EXPECT_FALSE(status_is_retryable(StatusCode::kCancelled));
+  EXPECT_FALSE(status_is_retryable(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(status_is_retryable(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(status_is_retryable(StatusCode::kInvalidArgument));
+}
+
+TEST(ErrorClass, DegradableIsExactlyResource) {
+  EXPECT_TRUE(status_is_degradable(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(status_is_degradable(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(status_is_degradable(StatusCode::kCancelled));
+  EXPECT_FALSE(status_is_degradable(StatusCode::kInternal));
+  EXPECT_FALSE(status_is_degradable(StatusCode::kInvalidArgument));
+}
+
+TEST(ErrorClass, Names) {
+  EXPECT_STREQ(error_class_name(ErrorClass::kNone), "none");
+  EXPECT_STREQ(error_class_name(ErrorClass::kCancel), "cancel");
+  EXPECT_STREQ(error_class_name(ErrorClass::kTransient), "transient");
+  EXPECT_STREQ(error_class_name(ErrorClass::kResource), "resource");
+  EXPECT_STREQ(error_class_name(ErrorClass::kInput), "input");
+}
+
 }  // namespace
 }  // namespace lc

@@ -60,10 +60,13 @@ cmake --build "${build_dir}" -j "${jobs}" \
   --target core_concurrent_dsu_test parallel_thread_pool_test \
            core_coarse_test core_similarity_determinism_test \
            core_similarity_gather_test core_checkpoint_test \
-           core_sweep_source_test
+           core_sweep_source_test serve_server_test
 echo "== thread: test (concurrency suites) =="
+# The serve suite rides along: every test crosses the RunSupervisor's
+# worker-thread handoff (launch/report/wait/cancel from the protocol thread
+# against the run on the worker), which is exactly what TSan is for.
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
-  -R 'ConcurrentDsu|ThreadPool|Coarse|Determinism|Gather|Checkpoint|SweepSource'
+  -R 'ConcurrentDsu|ThreadPool|Coarse|Determinism|Gather|Checkpoint|SweepSource|ServerTest|Signals|RunSupervisor'
 
 # ---- Kill/resume smoke: crash a checkpointing run with SIGKILL, resume it,
 # and demand the dendrogram the crash interrupted. Uses the ASan binary so
@@ -112,4 +115,110 @@ smoke coarse "coarse.chunk:sleep:3:60000" --delta0 32
 # The sorted backend stays selectable; keep its kill/resume path covered too.
 smoke fine  "sweep.entry:sleep:400:60000" --sweep-backend sorted
 
-echo "ci_check: all sanitizer suites and the kill/resume smoke passed"
+# ---- Batch SIGTERM smoke: a termination signal must turn into a cooperative
+# cancel (exit 3), leave a final checkpoint behind, and --resume must finish
+# the run byte for byte. The park is short (1 s) because sleep_for resumes
+# after EINTR — the signal is observed at the next entry boundary, not
+# mid-sleep.
+sigterm_smoke() {
+  local work
+  work="$(mktemp -d)"
+  local bin="${prefix}-address/tools/linkcluster"
+  echo "== smoke: batch SIGTERM -> final checkpoint -> resume (${work}) =="
+  "${bin}" generate --type er --n 600 --p 0.02 --seed 7 --output "${work}/g.edges"
+  "${bin}" cluster --input "${work}/g.edges" --merges "${work}/ref.merges"
+  LC_FAULT_POINT="sweep.entry:sleep:400:1000" \
+    "${bin}" cluster --input "${work}/g.edges" \
+      --checkpoint-dir "${work}/ckpt" --checkpoint-every-ms 0 \
+      --merges "${work}/killed.merges" &
+  local pid=$!
+  local snapshot="${work}/ckpt/checkpoint.lcsnap"
+  for _ in $(seq 1 300); do
+    [ -f "${snapshot}" ] && break
+    sleep 0.1
+  done
+  if [ ! -f "${snapshot}" ]; then
+    echo "sigterm smoke: no snapshot appeared before the signal" >&2
+    exit 1
+  fi
+  kill -TERM "${pid}"
+  local rc=0
+  wait "${pid}" || rc=$?
+  if [ "${rc}" -ne 3 ]; then
+    echo "sigterm smoke: expected exit 3 (cancelled), got ${rc}" >&2
+    exit 1
+  fi
+  "${bin}" cluster --input "${work}/g.edges" \
+    --checkpoint-dir "${work}/ckpt" --resume --merges "${work}/resumed.merges"
+  cmp "${work}/ref.merges" "${work}/resumed.merges"
+  echo "sigterm smoke: resume after SIGTERM reproduced the dendrogram"
+  rm -rf "${work}"
+}
+sigterm_smoke
+
+# ---- Serve chaos: the scripted sequence from DESIGN.md §14. One server
+# takes a failed run (deadline trips) and must keep serving; a second is
+# SIGKILLed mid-sweep and a restart on the same --checkpoint-dir must
+# autorecover the interrupted run and write the byte-identical merge list.
+# Uses the ASan binary throughout so both server lifetimes are sanitized.
+serve_chaos() {
+  local work
+  work="$(mktemp -d)"
+  local bin="${prefix}-address/tools/linkcluster"
+  echo "== smoke: serve containment + kill/autorecover (${work}) =="
+  "${bin}" generate --type er --n 600 --p 0.02 --seed 7 --output "${work}/g.edges"
+  "${bin}" cluster --input "${work}/g.edges" --merges "${work}/ref.merges"
+
+  # Leg 1 — containment: a deadline-tripped run comes back as a structured
+  # error and the same session immediately serves the next run to completion.
+  printf 'load path=%s\nrun deadline_ms=0\nwait\nrun merges=%s\nwait\nhealth\nshutdown\n' \
+      "${work}/g.edges" "${work}/ok.merges" \
+    | "${bin}" serve > "${work}/contain.out" 2> "${work}/contain.err"
+  grep -q 'state=failed.*code=deadline_exceeded class=resource' "${work}/contain.out"
+  grep -q 'runs_total=2 runs_failed=1' "${work}/contain.out"
+  cmp "${work}/ref.merges" "${work}/ok.merges"
+  echo "serve smoke: failed run contained, server kept serving"
+
+  # Leg 2 — crash autorecovery: park the supervised run mid-sweep (snapshots
+  # already on disk), SIGKILL the server, restart it on the same checkpoint
+  # dir, and let startup autorecovery finish the run. The fifo keeps the
+  # first server's stdin open while it is parked.
+  mkfifo "${work}/in"
+  LC_FAULT_POINT="sweep.entry:sleep:400:60000" \
+    "${bin}" serve --checkpoint-dir "${work}/ckpt" --checkpoint-every-ms 0 \
+      < "${work}/in" > "${work}/serve1.out" 2> "${work}/serve1.err" &
+  local pid=$!
+  exec 9> "${work}/in"
+  printf 'load path=%s\nrun merges=%s\n' \
+    "${work}/g.edges" "${work}/recovered.merges" >&9
+  local snapshot="${work}/ckpt/checkpoint.lcsnap"
+  for _ in $(seq 1 300); do
+    [ -f "${snapshot}" ] && break
+    sleep 0.1
+  done
+  kill -9 "${pid}" 2>/dev/null || true
+  wait "${pid}" 2>/dev/null || true
+  exec 9>&-
+  if [ ! -f "${snapshot}" ]; then
+    echo "serve smoke: no snapshot appeared before the kill" >&2
+    exit 1
+  fi
+  if [ ! -f "${work}/ckpt/run.manifest" ]; then
+    echo "serve smoke: the killed server left no run manifest" >&2
+    exit 1
+  fi
+  printf 'wait\nhealth\nshutdown\n' \
+    | "${bin}" serve --checkpoint-dir "${work}/ckpt" \
+        > "${work}/serve2.out" 2> "${work}/serve2.err"
+  grep -q 'recovered=1' "${work}/serve2.out"
+  cmp "${work}/ref.merges" "${work}/recovered.merges"
+  if [ -f "${work}/ckpt/run.manifest" ]; then
+    echo "serve smoke: autorecovery left the manifest behind after success" >&2
+    exit 1
+  fi
+  echo "serve smoke: SIGKILL mid-sweep autorecovered byte-identically"
+  rm -rf "${work}"
+}
+serve_chaos
+
+echo "ci_check: all sanitizer suites, kill/resume, SIGTERM, and serve chaos smokes passed"

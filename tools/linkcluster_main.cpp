@@ -1,5 +1,6 @@
 // Thin entry point for the `linkcluster` command-line tool; all logic lives
 // in src/cli/commands.cpp so the test suite can exercise it directly.
+#include <cstdio>
 #include <iostream>
 
 #include "cli/commands.hpp"
@@ -11,5 +12,9 @@ int main(int argc, char** argv) {
   // mid-sweep via the LC_FAULT_POINT environment variable.
   lc::fault::arm_from_env();
 #endif
+  // Line-buffer stdout even when piped: `serve` clients read one response
+  // line per request, and the chaos harness drives the server through a
+  // fifo — a block-buffered reply would deadlock it.
+  std::setvbuf(stdout, nullptr, _IOLBF, 1 << 16);
   return lc::cli::run_command(argc, argv, std::cout, std::cerr);
 }
