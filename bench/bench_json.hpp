@@ -6,9 +6,12 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/fault_inject.hpp"
 
 namespace lc::bench {
 
@@ -41,9 +44,30 @@ inline std::string bench_context_json() {
 #if defined(__OPTIMIZE__)
   flags += " -O";
 #endif
+  // The fault plan active in this process — or merely present in the
+  // environment, since a bench that never arms it still ran under an
+  // operator who intended fault injection. Non-empty means the numbers are
+  // contaminated: check_regression.py refuses such a fresh run outright.
+  std::string plan = lc::fault::active_plan();
+  if (plan.empty()) {
+    for (const char* var : {"LC_FAULT_PLAN", "LC_FAULT_POINT"}) {
+      const char* value = std::getenv(var);
+      if (value != nullptr && value[0] != '\0') {
+        plan = value;
+        break;
+      }
+    }
+  }
+  std::string escaped;
+  escaped.reserve(plan.size());
+  for (const char c : plan) {
+    if (c == '"' || c == '\\') escaped += '\\';
+    if (static_cast<unsigned char>(c) >= 0x20) escaped += c;
+  }
   return "\"hardware_concurrency\": " +
          std::to_string(std::thread::hardware_concurrency()) +
-         ", \"compiler\": \"" + compiler + "\", \"build\": \"" + flags + "\"";
+         ", \"compiler\": \"" + compiler + "\", \"build\": \"" + flags +
+         "\", \"fault_plan\": \"" + escaped + "\"";
 }
 
 /// Writes {"name", "workload", "context": {...}, "runs": [{threads, wall_ms,

@@ -57,6 +57,10 @@ Runs ``micro_core --json`` into a temp file (or takes a pre-generated file via
           (coarse_buckets_skipped >= 1) — the phi stop's compounding payoff.
      Skipped with a notice when the records predate the lazy fields.
 
+Before any gate runs, the fresh run's recorded ``context.fault_plan`` must be
+empty: a bench produced under an active (or environment-requested)
+LC_FAULT_PLAN / LC_FAULT_POINT is contaminated and is refused with exit 2.
+
 Exit code 0 = pass, 1 = regression, 2 = usage/environment error.
 
 Usage:
@@ -149,6 +153,17 @@ def main() -> int:
         baseline, _ = load_doc(args.baseline)
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"check_regression: {exc}", file=sys.stderr)
+        return 2
+
+    # Gate 0: refuse a contaminated fresh run. The bench records the active
+    # (or environment-requested) fault plan in its context; any non-empty
+    # value means injected faults may have shaped the numbers, and comparing
+    # them against a healthy baseline proves nothing either way.
+    fault_plan = str(fresh_ctx.get("fault_plan", "") or "")
+    if fault_plan:
+        print(f"check_regression: fresh run is contaminated by an active "
+              f"fault plan ({fault_plan!r}) — unset LC_FAULT_PLAN / "
+              f"LC_FAULT_POINT and re-run the bench", file=sys.stderr)
         return 2
 
     failures = []

@@ -1,5 +1,7 @@
 #include "cli/commands.hpp"
 
+#include "cli/chaos.hpp"
+
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
@@ -491,6 +493,8 @@ void print_usage(std::ostream& out) {
          "  communities  maximum-partition-density link communities\n"
          "  generate     write a synthetic benchmark graph\n"
          "  assoc        build a word-association graph from a corpus file (§III)\n"
+         "  chaos        seeded fault/crash torture schedules against cluster\n"
+         "               and serve children; replay failures with --seed N\n"
          "\n"
          "run `linkcluster <subcommand> --help` for flags\n";
 }
@@ -510,6 +514,7 @@ int run_command(int argc, const char* const* argv, std::ostream& out, std::ostre
   if (command == "communities") return cmd_communities(sub_argc, sub_argv, out, err);
   if (command == "generate") return cmd_generate(sub_argc, sub_argv, out, err);
   if (command == "assoc") return cmd_assoc(sub_argc, sub_argv, out, err);
+  if (command == "chaos") return cmd_chaos(sub_argc, sub_argv, out, err);
   if (command == "--help" || command == "help" || command == "-h") {
     print_usage(out);
     return 0;

@@ -325,7 +325,16 @@ Checkpointer::Checkpointer(CheckpointPolicy policy, RunFingerprint fingerprint)
       path_(snapshot_path(policy_.directory)),
       next_due_(std::chrono::steady_clock::now() +
                 std::chrono::milliseconds(
-                    static_cast<std::int64_t>(policy_.interval_ms))) {}
+                    static_cast<std::int64_t>(policy_.interval_ms))) {
+  if (policy_.enabled()) {
+    // A stale ".tmp" is the residue of a crash mid-commit (SIGKILL between
+    // the open and the publish rename). It carries no committed data, so
+    // clear it up front rather than leaving it for the next commit to
+    // overwrite — a degraded run may never commit again.
+    std::error_code ec;
+    std::filesystem::remove(path_ + ".tmp", ec);
+  }
+}
 
 bool Checkpointer::due() const {
   if (!policy_.enabled() || degraded_) return false;
@@ -442,9 +451,21 @@ StatusOr<LoadedCheckpoint> load_checkpoint(const std::string& directory,
     const std::string prev = primary + ".prev";
     StatusOr<snapshot::Snapshot> fallback = snapshot::Snapshot::load(prev);
     if (!fallback.ok()) {
-      return Status::invalid_argument(
-          "no loadable checkpoint in " + directory + " (primary: " +
-          loaded.status().message() + "; prev: " + fallback.status().message() + ")");
+      const std::string detail =
+          " (primary: " + loaded.status().message() +
+          "; prev: " + fallback.status().message() + ")";
+      std::error_code ec;
+      const bool files_present = std::filesystem::exists(primary, ec) ||
+                                 std::filesystem::exists(prev, ec);
+      if (files_present) {
+        // Snapshot files are on disk but none validates: storage-level
+        // corruption, not a caller mistake. Resource-class so serve-mode
+        // recovery degrades loudly instead of silently starting fresh.
+        return Status::resource_exhausted(
+            "checkpoint storage corrupt in " + directory + detail);
+      }
+      return Status::invalid_argument("no loadable checkpoint in " + directory +
+                                      detail);
     }
     loaded = std::move(fallback);
     source = prev;

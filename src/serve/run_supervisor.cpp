@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/dendrogram_io.hpp"
+#include "util/fault_inject.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 
@@ -249,9 +250,25 @@ Status RunSupervisor::launch(RunSpec spec) {
     thread_active_ = true;
   }
   if (thread_.joinable()) thread_.join();  // reap the previous worker
-  thread_ = std::thread([this, spec = std::move(spec), run_id]() mutable {
-    worker(std::move(spec), run_id);
-  });
+  try {
+    LC_FAULT_POINT("serve.worker.spawn");
+    thread_ = std::thread([this, spec = std::move(spec), run_id]() mutable {
+      worker(std::move(spec), run_id);
+    });
+  } catch (const std::exception& error) {
+    // std::thread itself throws std::system_error when the OS is out of
+    // threads (the serve.worker.spawn fault site models the same failure).
+    // Roll the launch back so the server stays serviceable: the run never
+    // started, so the slot must not stay occupied.
+    std::lock_guard<std::mutex> lock(mutex_);
+    thread_active_ = false;
+    report_.state = RunState::kFailed;
+    report_.status = Status::internal(std::string("cannot spawn worker: ") +
+                                      error.what());
+    ++runs_failed_;
+    finished_cv_.notify_all();
+    return report_.status;
+  }
   return Status();
 }
 
@@ -300,7 +317,13 @@ void RunSupervisor::worker(RunSpec spec, std::uint64_t run_id) {
       m.threads = spec.config.threads;
       m.graph_path = spec.graph_path;
       m.merges_path = spec.merges_path;
-      (void)m.write(manifest);
+      try {
+        LC_FAULT_POINT("serve.manifest.write");
+        (void)m.write(manifest);
+      } catch (const std::exception&) {
+        // Swallowed by design: losing the manifest only costs autorecovery
+        // of this run, never the run itself.
+      }
     }
 
     auto ctx = std::make_shared<RunContext>();

@@ -18,9 +18,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <csignal>
+
 #include "core/checkpoint.hpp"
 #include "graph/io.hpp"
 #include "serve/signals.hpp"
+#include "util/fault_inject.hpp"
 #include "util/strings.hpp"
 
 namespace lc::serve {
@@ -307,6 +310,8 @@ std::string Server::cmd_health(const Request&) {
   line += report.checkpoint_degraded ? '1' : '0';
   line += " recovered=";
   line += recovered_ ? '1' : '0';
+  line += " checkpoint_corrupt=";
+  line += checkpoint_corrupt_ ? '1' : '0';
   return line;
 }
 
@@ -428,9 +433,19 @@ Status Server::autorecover() {
   bool resume = false;
   if (std::filesystem::exists(snapshot) ||
       std::filesystem::exists(snapshot + ".prev")) {
-    resume = core::load_checkpoint(options_.checkpoint_dir, manifest.fingerprint,
-                                   graph->edge_count())
-                 .ok();
+    StatusOr<core::LoadedCheckpoint> resumed = core::load_checkpoint(
+        options_.checkpoint_dir, manifest.fingerprint, graph->edge_count());
+    if (!resumed.ok() &&
+        status_error_class(resumed.status().code()) == ErrorClass::kResource) {
+      // Both the primary and ".prev" are on disk yet neither validates:
+      // storage-level double corruption. Quietly re-running from scratch
+      // would destroy the evidence (the next commit overwrites the files),
+      // so refuse, flag health (checkpoint_corrupt=1), and keep serving —
+      // the operator decides whether to clear the directory.
+      checkpoint_corrupt_ = true;
+      return resumed.status();
+    }
+    resume = resumed.ok();
   }
   config.resume = resume;
 
@@ -470,6 +485,13 @@ StatusOr<int> listen_on(int port) {
   return fd;
 }
 
+int listen_port(int fd) {
+  sockaddr_in addr = {};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) return 0;
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
 namespace {
 
 struct Connection {
@@ -477,7 +499,13 @@ struct Connection {
   int out_fd = -1;
   bool owns_fd = false;  ///< accepted socket: close on teardown
   std::string buffer;
+  bool discarding = false;  ///< oversized line: drop bytes through next '\n'
 };
+
+/// An unterminated request line larger than this is abuse or a broken
+/// client, not a command; the server answers with a structured error and
+/// discards through the next newline instead of buffering without bound.
+constexpr std::size_t kMaxLineBytes = 64 * 1024;
 
 void write_all(int fd, const std::string& data) {
   std::size_t offset = 0;
@@ -494,6 +522,10 @@ void write_all(int fd, const std::string& data) {
 }  // namespace
 
 int serve_fds(Server& server, int listen_fd, bool use_stdin, std::ostream& log) {
+  // A client that disconnects between poll() and our reply turns the write
+  // into a SIGPIPE; default disposition would kill the whole server. Ignore
+  // it so write_all() sees EPIPE and simply drops the dead peer.
+  ::signal(SIGPIPE, SIG_IGN);
   std::vector<Connection> connections;
   if (use_stdin) connections.push_back(Connection{STDIN_FILENO, STDOUT_FILENO, false, {}});
   bool shutting_down = false;
@@ -533,7 +565,17 @@ int serve_fds(Server& server, int listen_fd, bool use_stdin, std::ostream& log) 
 
     if (listen_fd >= 0 && (fds.back().revents & POLLIN) != 0) {
       const int client = ::accept(listen_fd, nullptr, nullptr);
-      if (client >= 0) connections.push_back(Connection{client, client, true, {}});
+      if (client >= 0) {
+        try {
+          LC_FAULT_POINT("serve.accept");
+          connections.push_back(Connection{client, client, true, {}});
+        } catch (const std::exception& error) {
+          // Containment: a fault between accept and registration costs that
+          // one client its connection, never the accept loop.
+          log << "serve: accept: " << error.what() << "\n";
+          ::close(client);
+        }
+      }
     }
 
     for (std::size_t i = connections.size(); i-- > 0;) {
@@ -549,16 +591,44 @@ int serve_fds(Server& server, int listen_fd, bool use_stdin, std::ostream& log) 
       }
       conn.buffer.append(chunk, static_cast<std::size_t>(n));
       std::size_t start = 0;
+      if (conn.discarding) {
+        const std::size_t nl = conn.buffer.find('\n');
+        if (nl == std::string::npos) {
+          conn.buffer.clear();
+          continue;  // still inside the oversized line
+        }
+        conn.discarding = false;
+        start = nl + 1;
+      }
       for (std::size_t nl = conn.buffer.find('\n', start);
            nl != std::string::npos && !shutting_down;
            nl = conn.buffer.find('\n', start)) {
         const std::string line = conn.buffer.substr(start, nl - start);
         start = nl + 1;
         std::string response;
-        if (!server.handle_line(line, &response)) shutting_down = true;
+        if (line.size() > kMaxLineBytes) {
+          response = err_line(Status::invalid_argument(
+                         "request line exceeds " +
+                         std::to_string(kMaxLineBytes) + " bytes")) +
+                     "\n";
+        } else if (!server.handle_line(line, &response)) {
+          shutting_down = true;
+        }
         write_all(conn.out_fd, response);
       }
       conn.buffer.erase(0, start);
+      if (!shutting_down && conn.buffer.size() > kMaxLineBytes) {
+        // The unterminated tail already exceeds the cap: answer now, stop
+        // buffering, and drop everything through the line's eventual end.
+        // The connection itself survives — only the request is rejected.
+        write_all(conn.out_fd,
+                  err_line(Status::invalid_argument(
+                      "request line exceeds " + std::to_string(kMaxLineBytes) +
+                      " bytes")) +
+                      "\n");
+        conn.buffer.clear();
+        conn.discarding = true;
+      }
     }
   }
 

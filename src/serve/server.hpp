@@ -72,6 +72,9 @@ class Server {
   [[nodiscard]] RunSupervisor& supervisor() { return supervisor_; }
   [[nodiscard]] const ServerOptions& options() const { return options_; }
   [[nodiscard]] bool graph_loaded() const { return graph_ != nullptr; }
+  /// True when autorecovery found snapshot files that all failed checksum
+  /// validation (also surfaced as health's checkpoint_corrupt=1).
+  [[nodiscard]] bool checkpoint_corrupt() const { return checkpoint_corrupt_; }
 
  private:
   std::string cmd_ping(const Request& request);
@@ -91,11 +94,16 @@ class Server {
   std::shared_ptr<const graph::WeightedGraph> graph_;
   std::string graph_path_;
   std::uint64_t graph_digest_ = 0;
-  bool recovered_ = false;  ///< autorecover() relaunched a run
+  bool recovered_ = false;           ///< autorecover() relaunched a run
+  bool checkpoint_corrupt_ = false;  ///< autorecover() hit double corruption
 };
 
 /// Binds a TCP listener on 127.0.0.1:`port`. Returns the listening fd.
 [[nodiscard]] StatusOr<int> listen_on(int port);
+
+/// The local port a listen_on() fd is bound to (0 on error) — lets tests
+/// bind port 0 and discover the kernel-assigned port.
+[[nodiscard]] int listen_port(int fd);
 
 /// The production serve loop: poll() over stdin (when `use_stdin`) and
 /// `listen_fd` (>= 0 accepts line-protocol TCP clients), dispatching into

@@ -1,64 +1,180 @@
-// Compile-time-gated fault injection for the robustness tests.
+// Runtime chaos engine: multi-site fault plans for the robustness tests and
+// the `lc chaos` torture harness.
 //
-// LC_FAULT_POINT("site") marks a named site inside a clustering phase. In a
-// normal build the macro expands to nothing — zero code, zero cost. When the
-// library is compiled with -DLC_FAULT_INJECT (CMake option LC_FAULT_INJECT,
-// used by tools/ci_check.sh and the fault-injection ctest), each point calls
-// fault::maybe_fire(), and a test can arm exactly one site to
-//   - kThrow:    throw std::runtime_error (a worker-task exception),
-//   - kBadAlloc: throw std::bad_alloc (an allocation failure),
-//   - kSleep:    stall for sleep_ms (trips an armed RunContext deadline),
-// proving every unwind path — ThreadPool capture/rethrow, StoppedError
-// conversion, CLI exit codes — without a single process death.
+// Two families of injection point exist:
 //
-// Armed sites (see the LC_FAULT_POINT call sites):
-//   sim.pass1, sim.pass2.serial, sim.pass2.count, sim.pass2.fill,
-//   sim.pass2.shard, sim.pass3, sim.assemble, sim.staging.alloc,
-//   build.gather, sim.flat.emit, sweep.entry, sweep.bucket, coarse.chunk,
-//   coarse.apply, coarse.cas_union,
-//   coarse.journal, coarse.snapshot, baseline.matrix, baseline.nbm,
-//   snapshot.serialize, snapshot.write, snapshot.rename, snapshot.load
+//   * Phase sites — LC_FAULT_POINT("site") markers inside the clustering
+//     phases. In a normal build the macro expands to nothing (zero code,
+//     zero cost on the hot path); compiling with -DLC_FAULT_INJECT (CMake
+//     option LC_FAULT_INJECT, used by tools/ci_check.sh) turns each marker
+//     into a maybe_fire() call that can throw std::runtime_error, throw
+//     std::bad_alloc, or sleep — proving every unwind path (ThreadPool
+//     capture/rethrow, StoppedError conversion, CLI exit codes) without a
+//     process death.
+//
+//   * Runtime sites — always compiled, because they sit off the measured
+//     hot path: the snapshot file-ops seam of util/snapshot_io.hpp
+//     (io.write / io.fsync / io.rename / io.corrupt, consumed through
+//     consume_io()) and the memory accountant (memory.charge, a direct
+//     maybe_fire() call inside RunContext::charge_memory). These make the
+//     retry/backoff ring, the ".prev" fallback, checksum validation, and
+//     the degrade-to-in-memory paths reachable in ANY build — `lc chaos`
+//     does not need a fault-injection compile.
+//
+// A *fault plan* arms any number of sites simultaneously. Each clause
+// carries a kind, a deterministic seeded firing probability, a skip window
+// and a fire cap, so correlated and repeated failures ("every third fsync
+// fails", "writes fail with 50% probability after the first two") are
+// expressible. Plans parse from the LC_FAULT_PLAN environment variable
+// (or a file via LC_FAULT_PLAN=@path); see parse_plan() for the grammar.
+// The legacy single-site LC_FAULT_POINT=site:kind[:skip[:sleep[:max]]]
+// variable is still honoured as a one-clause plan.
+//
+// The authoritative list of sites is the programmatic registry returned by
+// site_registry() — arm()/parse_plan() reject unknown names against it, so
+// this header cannot drift from the call sites.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
 
 namespace lc::fault {
 
 enum class FaultKind : std::uint8_t {
   kNone = 0,
+  // Phase/runtime kinds, delivered by maybe_fire():
   kThrow,     ///< throw std::runtime_error("injected fault at <site>")
   kBadAlloc,  ///< throw std::bad_alloc
-  kSleep,     ///< sleep sleep_ms, then continue (deadline trip)
+  kSleep,     ///< sleep sleep_ms, then continue (deadline trip / kill park)
+  // I/O kinds, delivered by consume_io() through the snapshot_io FileOps
+  // seam (never thrown — the seam turns them into failing syscalls):
+  kShortWrite,   ///< fwrite reports fewer bytes than asked (io.write)
+  kWriteError,   ///< fwrite fails outright with EIO (io.write)
+  kFsyncError,   ///< fflush/fsync fails with EIO (io.fsync)
+  kRenameError,  ///< rename fails with EIO (io.rename)
+  kCorrupt,      ///< flip one byte of the published file (io.corrupt)
 };
 
-/// Arms one site (replacing any previous arming). The fault fires on the
-/// (skip_hits + 1)-th pass through the site and on every pass after that,
-/// unless max_fires > 0 caps it: after max_fires firings the site falls
-/// silent again (how the retry tests model "fail K times, then succeed").
+/// Canonical token for `kind` ("throw", "short_write", ...).
+[[nodiscard]] const char* kind_name(FaultKind kind);
+
+/// How a site delivers its fault, which decides the kinds it accepts.
+enum class SiteClass : std::uint8_t {
+  kPhase,    ///< LC_FAULT_POINT marker; fires only under -DLC_FAULT_INJECT
+  kRuntime,  ///< direct maybe_fire() call; fires in every build
+  kIo,       ///< consume_io() through the snapshot FileOps seam; every build
+};
+
+struct SiteInfo {
+  const char* name;
+  SiteClass cls;
+  const char* summary;
+};
+
+/// Every registered site, the single source of truth for docs and
+/// validation. Phase sites mirror the LC_FAULT_POINT call sites exactly.
+[[nodiscard]] const std::vector<SiteInfo>& site_registry();
+
+/// Registry entry for `name`, or nullptr when unknown.
+[[nodiscard]] const SiteInfo* find_site(std::string_view name);
+
+/// True when `kind` may be armed at `site` (I/O kinds only at their
+/// matching io.* site, phase kinds anywhere else).
+[[nodiscard]] bool kind_allowed_at(const SiteInfo& site, FaultKind kind);
+
+/// One armed site inside a plan.
+struct FaultClause {
+  std::string site;
+  FaultKind kind = FaultKind::kNone;
+  double probability = 1.0;      ///< chance each eligible hit fires
+  std::uint64_t skip_hits = 0;   ///< healthy passes before eligibility
+  std::uint64_t max_fires = 0;   ///< 0 = unlimited; else fall silent after
+  std::uint32_t sleep_ms = 0;    ///< kSleep only
+};
+
+/// A parsed fault plan: any number of simultaneously armed clauses plus the
+/// seed of the deterministic probability stream (each clause derives its own
+/// generator from seed ^ fnv(site), so plans replay identically).
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultClause> clauses;
+
+  [[nodiscard]] bool empty() const { return clauses.empty(); }
+  /// Canonical text form, parseable by parse_plan().
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses the plan grammar:
+///
+///   plan    := clause (';' clause)*
+///   clause  := 'seed=' u64
+///            | site ':' kind (':' option)*
+///   option  := 'p=' float | 'skip=' u64 | 'max=' u64 | 'sleep=' u32ms
+///   kind    := throw | bad_alloc | sleep | short_write | write_error
+///            | fsync_error | rename_error | corrupt
+///
+/// e.g. "seed=7; io.write:write_error:p=0.5:max=2; sweep.entry:sleep:sleep=500".
+/// Unknown sites, unknown kinds, and kind/site mismatches are errors.
+[[nodiscard]] StatusOr<FaultPlan> parse_plan(std::string_view text);
+
+/// Arms `plan` (replacing anything armed). Error on unknown site or a kind
+/// the site cannot deliver; an empty plan just disarms.
+[[nodiscard]] Status arm_plan(const FaultPlan& plan);
+
+/// Arms one site (replacing any previous plan) — the original test-suite
+/// API, equivalent to a one-clause plan with probability 1. The fault fires
+/// on the (skip_hits + 1)-th pass through the site and on every pass after
+/// that, unless max_fires > 0 caps it: after max_fires firings the site
+/// falls silent again (how the retry tests model "fail K times, then
+/// succeed"). Aborts via LC_CHECK on an unregistered site.
 void arm(std::string_view site, FaultKind kind, std::uint64_t skip_hits = 0,
          std::uint32_t sleep_ms = 0, std::uint64_t max_fires = 0);
 
-/// Arms from the LC_FAULT_POINT environment variable, letting tests inject a
-/// fault into a whole child process (the ci_check.sh kill/resume smoke test
-/// parks a run mid-sweep this way before SIGKILLing it). The format is
-///   LC_FAULT_POINT=site:kind[:skip_hits[:sleep_ms[:max_fires]]]
-/// with kind one of throw | bad_alloc | sleep. Returns true when a fault was
-/// armed; unset or empty is false, and a malformed value aborts via LC_CHECK
-/// (a typo silently not faulting would pass the test it was meant to break).
+/// Arms from the environment, letting a parent inject faults into a whole
+/// child process (the `lc chaos` driver and the ci_check.sh smokes do).
+/// LC_FAULT_PLAN takes the plan grammar above — or "@/path/to/plan.txt" to
+/// read the plan text from a file — and wins over the legacy
+/// LC_FAULT_POINT=site:kind[:skip_hits[:sleep_ms[:max_fires]]] form.
+/// Returns true when anything was armed; a malformed value aborts via
+/// LC_CHECK (a typo silently not faulting would pass the test it was meant
+/// to break).
 bool arm_from_env();
 
 /// Disarms everything.
 void disarm();
 
-/// True while a site is armed.
+/// True while any clause is armed.
 [[nodiscard]] bool any_armed();
 
-/// Times the armed fault actually fired since the last arm().
+/// Total fires across all clauses since the last arm.
 [[nodiscard]] std::uint64_t fire_count();
 
-/// Called by LC_FAULT_POINT. Fast path (nothing armed) is one atomic load.
+/// Fires charged to one site since the last arm.
+[[nodiscard]] std::uint64_t fire_count(std::string_view site);
+
+/// Canonical text of the armed plan ("" when nothing is armed). Recorded in
+/// bench context so gating tooling can refuse contaminated runs.
+[[nodiscard]] std::string active_plan();
+
+/// True when this build compiled the LC_FAULT_POINT markers in — i.e. a
+/// plan clause on a kPhase site can actually fire. Runtime and I/O sites
+/// fire regardless.
+[[nodiscard]] bool phase_points_compiled();
+
+/// Called by LC_FAULT_POINT markers and runtime sites. Fast path (nothing
+/// armed) is one relaxed atomic load. Delivers kThrow/kBadAlloc/kSleep;
+/// I/O kinds armed at other sites are never delivered here.
 void maybe_fire(const char* site);
+
+/// Called by the snapshot FileOps seam at the io.* sites. Returns the kind
+/// that fired (kNone when healthy). When `draw` is non-null it receives a
+/// value from the clause's deterministic stream (io.corrupt uses it to pick
+/// the byte to flip). Fast path is one relaxed atomic load.
+[[nodiscard]] FaultKind consume_io(const char* site, std::uint64_t* draw = nullptr);
 
 }  // namespace lc::fault
 

@@ -1,5 +1,6 @@
 #include "util/run_context.hpp"
 
+#include "util/fault_inject.hpp"
 #include "util/strings.hpp"
 
 namespace lc {
@@ -28,6 +29,10 @@ Status RunContext::status() const {
 }
 
 void RunContext::charge_memory(std::uint64_t bytes, const char* site) {
+  // Runtime fault site (fires in every build): a kBadAlloc clause here is
+  // the chaos engine's ENOMEM — it surfaces exactly like a failed major
+  // allocation and drives the same kResourceExhausted/degradation paths.
+  fault::maybe_fire("memory.charge");
   const std::uint64_t now =
       memory_charged_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   std::uint64_t peak = memory_peak_.load(std::memory_order_relaxed);

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -62,7 +63,76 @@ struct FileCloser {
   }
 };
 
+std::atomic<FileOps*> g_file_ops_override{nullptr};
+
 }  // namespace
+
+std::size_t FileOps::write(std::FILE* file, const void* data, std::size_t size) {
+  std::uint64_t draw = 0;
+  switch (fault::consume_io("io.write", &draw)) {
+    case fault::FaultKind::kWriteError:
+      errno = EIO;
+      return 0;
+    case fault::FaultKind::kShortWrite: {
+      // Land half the payload so the tmp file is plausibly torn, not empty.
+      const std::size_t half = size / 2;
+      if (half > 0) std::fwrite(data, 1, half, file);
+      errno = EIO;
+      return half;
+    }
+    default:
+      break;
+  }
+  return std::fwrite(data, 1, size, file);
+}
+
+int FileOps::flush_and_sync(std::FILE* file) {
+  if (fault::consume_io("io.fsync") == fault::FaultKind::kFsyncError) {
+    errno = EIO;
+    return -1;
+  }
+  if (std::fflush(file) != 0) return -1;
+  return ::fsync(::fileno(file));
+}
+
+int FileOps::rename_file(const char* from, const char* to) {
+  if (fault::consume_io("io.rename") == fault::FaultKind::kRenameError) {
+    errno = EIO;
+    return -1;
+  }
+  return std::rename(from, to);
+}
+
+void FileOps::post_publish(const std::string& path) {
+  std::uint64_t draw = 0;
+  if (fault::consume_io("io.corrupt", &draw) != fault::FaultKind::kCorrupt) {
+    return;
+  }
+  // Flip one byte at a seeded offset: the commit already reported success,
+  // so only load()'s checksums stand between this and a wrong resume.
+  FileCloser file(std::fopen(path.c_str(), "r+b"));
+  if (file.file == nullptr) return;
+  if (std::fseek(file.file, 0, SEEK_END) != 0) return;
+  const long size = std::ftell(file.file);
+  if (size <= 0) return;
+  const long offset =
+      static_cast<long>(draw % static_cast<std::uint64_t>(size));
+  if (std::fseek(file.file, offset, SEEK_SET) != 0) return;
+  const int byte = std::fgetc(file.file);
+  if (byte == EOF) return;
+  if (std::fseek(file.file, offset, SEEK_SET) != 0) return;
+  std::fputc(byte ^ 0xFF, file.file);
+}
+
+FileOps& file_ops() {
+  static FileOps default_ops;
+  FileOps* override = g_file_ops_override.load(std::memory_order_acquire);
+  return override != nullptr ? *override : default_ops;
+}
+
+FileOps* set_file_ops(FileOps* ops) {
+  return g_file_ops_override.exchange(ops, std::memory_order_acq_rel);
+}
 
 std::uint64_t fnv1a64(const void* data, std::size_t size, std::uint64_t seed) {
   const auto* bytes = static_cast<const unsigned char*>(data);
@@ -125,6 +195,17 @@ Status SnapshotWriter::commit(const std::string& path) {
   const std::string blob = serialize();
   const std::string tmp = path + ".tmp";
   const std::string prev = path + ".prev";
+  FileOps& ops = file_ops();
+  // A *failed* commit must not orphan its torn tmp file — only a crash may
+  // leave one (and the Checkpointer sweeps that residue at startup). The
+  // guard unlinks the tmp on every error return; publishing disarms it.
+  struct TmpCleaner {
+    const std::string& tmp;
+    bool keep = false;
+    ~TmpCleaner() {
+      if (!keep) std::remove(tmp.c_str());
+    }
+  } cleaner{tmp};
   {
     FileCloser out(std::fopen(tmp.c_str(), "wb"));
     if (out.file == nullptr) {
@@ -134,17 +215,20 @@ Status SnapshotWriter::commit(const std::string& path) {
     // Crash window: the tmp file is open and possibly half-written; the
     // primary and .prev are untouched.
     LC_FAULT_POINT("snapshot.write");
-    if (std::fwrite(blob.data(), 1, blob.size(), out.file) != blob.size()) {
-      return Status::internal("snapshot: short write to " + tmp);
+    const std::size_t wrote = ops.write(out.file, blob.data(), blob.size());
+    if (wrote != blob.size()) {
+      return Status::internal("snapshot: short write to " + tmp + " (" +
+                              std::to_string(wrote) + " of " +
+                              std::to_string(blob.size()) + " bytes)");
     }
-    if (std::fflush(out.file) != 0 || ::fsync(::fileno(out.file)) != 0) {
+    if (ops.flush_and_sync(out.file) != 0) {
       return Status::internal("snapshot: cannot flush " + tmp + ": " +
                               std::strerror(errno));
     }
   }
   std::error_code ec;
   if (std::filesystem::exists(path, ec)) {
-    if (std::rename(path.c_str(), prev.c_str()) != 0) {
+    if (ops.rename_file(path.c_str(), prev.c_str()) != 0) {
       return Status::internal("snapshot: cannot rotate " + path + " to " + prev +
                               ": " + std::strerror(errno));
     }
@@ -152,10 +236,12 @@ Status SnapshotWriter::commit(const std::string& path) {
   // Crash window: the primary is gone but .prev holds the last good
   // snapshot; readers fall back to it.
   LC_FAULT_POINT("snapshot.rename");
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (ops.rename_file(tmp.c_str(), path.c_str()) != 0) {
     return Status::internal("snapshot: cannot publish " + tmp + " as " + path +
                             ": " + std::strerror(errno));
   }
+  cleaner.keep = true;  // the rename consumed the tmp
+  ops.post_publish(path);
   committed_bytes_ = blob.size();
   return Status();
 }

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -40,6 +41,43 @@
 namespace lc::snapshot {
 
 inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Pluggable file operations behind SnapshotWriter::commit — the seam the
+/// chaos engine injects disk faults through. The default implementation
+/// performs the real calls after consulting fault::consume_io() at the
+/// io.write / io.fsync / io.rename / io.corrupt sites, so LC_FAULT_PLAN
+/// clauses on those sites fail snapshot commits in every build (no
+/// -DLC_FAULT_INJECT needed — snapshot I/O is off the measured hot path).
+/// Tests may install their own ops (set_file_ops) to count or reorder calls.
+class FileOps {
+ public:
+  virtual ~FileOps() = default;
+
+  /// fwrite semantics: bytes actually written; fewer than `size` (with
+  /// errno set) is a short write.
+  virtual std::size_t write(std::FILE* file, const void* data, std::size_t size);
+
+  /// fflush + fsync; 0 on success, -1 with errno set on failure.
+  virtual int flush_and_sync(std::FILE* file);
+
+  /// ::rename semantics (used for both the rotate-to-.prev and the publish
+  /// rename).
+  virtual int rename_file(const char* from, const char* to);
+
+  /// Called once after a successful publish with the final path. The
+  /// default delivers io.corrupt by flipping one deterministic byte in
+  /// place — the commit "succeeded" but the disk lied; only load()'s
+  /// checksums can catch it.
+  virtual void post_publish(const std::string& path);
+};
+
+/// The ops commit() uses (the fault-aware default until set_file_ops
+/// installs another).
+[[nodiscard]] FileOps& file_ops();
+
+/// Installs `ops` (nullptr restores the default); returns the previous
+/// override (nullptr when the default was active).
+FileOps* set_file_ops(FileOps* ops);
 
 /// FNV-1a over `size` bytes, seedable for incremental use. Shared with the
 /// dendrogram merge-list footer (core/dendrogram_io.cpp).
@@ -83,9 +121,11 @@ class SnapshotWriter {
 
   /// Serializes and durably replaces `path` per the protocol above. On
   /// failure the primary and ".prev" files are untouched (a stale ".tmp"
-  /// may remain; the next commit overwrites it). Fault sites:
+  /// may remain; the next commit overwrites it). Phase fault sites:
   /// "snapshot.serialize", "snapshot.write" (while the tmp file is open),
-  /// "snapshot.rename" (between the two renames — the torn window).
+  /// "snapshot.rename" (between the two renames — the torn window). Disk
+  /// faults (short write, EIO, rename failure, post-publish corruption)
+  /// inject through the FileOps seam above at the io.* sites.
   [[nodiscard]] Status commit(const std::string& path);
 
   /// Bytes of the last successful commit's file.

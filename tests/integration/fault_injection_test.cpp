@@ -3,11 +3,18 @@
 // clustering phase and proves the failure surfaces as a non-OK Status from
 // LinkClusterer::run() — never a process death — and that a disarmed rerun
 // reproduces the exact pre-fault dendrogram.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <bit>
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -17,6 +24,9 @@
 #include "core/dendrogram.hpp"
 #include "core/link_clusterer.hpp"
 #include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "serve/run_supervisor.hpp"
+#include "serve/server.hpp"
 #include "util/fault_inject.hpp"
 #include "util/run_context.hpp"
 #include "util/status.hpp"
@@ -428,6 +438,153 @@ TEST_F(SnapshotFaultTest, LoadFaultSurfacesAsStatusOnResume) {
   EXPECT_GE(fault::fire_count(), 1u);
   ASSERT_FALSE(resumed.ok());
   EXPECT_EQ(resumed.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(FaultInjectionTest, MultiSitePlanFiresEachWindowInOrder) {
+  // Two phase sites armed simultaneously, each with a one-fire window. The
+  // first run dies in the similarity build, the second survives it (that
+  // clause is spent) and dies at the sweep, the third finds every window
+  // spent and completes with the reference dendrogram.
+  const LinkClusterer clusterer(
+      make_config(1, PairMapKind::kHash, ClusterMode::kFine));
+  const StatusOr<ClusterResult> reference = clusterer.run(test_graph());
+  ASSERT_TRUE(reference.ok());
+
+  const StatusOr<fault::FaultPlan> plan =
+      fault::parse_plan("build.gather:throw:max=1;sweep.entry:throw:max=1");
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  ASSERT_TRUE(fault::arm_plan(*plan).ok());
+
+  const StatusOr<ClusterResult> first = clusterer.run(test_graph());
+  ASSERT_FALSE(first.ok());
+  EXPECT_NE(first.status().message().find("build.gather"), std::string::npos)
+      << first.status().to_string();
+
+  const StatusOr<ClusterResult> second = clusterer.run(test_graph());
+  ASSERT_FALSE(second.ok());
+  EXPECT_NE(second.status().message().find("sweep.entry"), std::string::npos)
+      << second.status().to_string();
+
+  const StatusOr<ClusterResult> third = clusterer.run(test_graph());
+  ASSERT_TRUE(third.ok()) << third.status().to_string();
+  EXPECT_EQ(fault::fire_count(), 2u);
+  EXPECT_EQ(dendrogram_digest(third.value().dendrogram),
+            dendrogram_digest(reference.value().dendrogram));
+}
+
+class ServeFaultTest : public FaultInjectionTest {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("lc_fault_serve_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    graph_path_ = (dir_ / "graph.edges").string();
+    const graph::IoResult io = graph::write_edge_list(
+        graph::erdos_renyi(80, 0.1, {13, graph::WeightPolicy::kUniform}),
+        graph_path_);
+    ASSERT_TRUE(io.ok) << io.error;
+  }
+  void TearDown() override {
+    fault::disarm();
+    std::filesystem::remove_all(dir_);
+  }
+
+  static std::string ask(serve::Server& server, const std::string& line) {
+    std::string response;
+    server.handle_line(line, &response);
+    if (!response.empty() && response.back() == '\n') response.pop_back();
+    return response;
+  }
+
+  std::filesystem::path dir_;
+  std::string graph_path_;
+};
+
+TEST_F(ServeFaultTest, WorkerSpawnFaultIsContainedAndTheNextRunLaunches) {
+  serve::Server server({});
+  ASSERT_EQ(ask(server, "load path=" + graph_path_).substr(0, 2), "ok");
+
+  fault::arm("serve.worker.spawn", fault::FaultKind::kThrow, /*skip_hits=*/0,
+             /*sleep_ms=*/0, /*max_fires=*/1);
+  const std::string refused = ask(server, "run");
+  EXPECT_EQ(refused.rfind("err code=internal", 0), 0u) << refused;
+  EXPECT_EQ(fault::fire_count(), 1u);
+
+  // The supervisor is idle again (not wedged "running" with no thread), so
+  // the next launch — with the one-fire window spent — goes through.
+  const std::string launched = ask(server, "run");
+  EXPECT_EQ(launched.rfind("ok run=", 0), 0u) << launched;
+  EXPECT_NE(ask(server, "wait").find("state=done"), std::string::npos);
+}
+
+TEST_F(ServeFaultTest, ManifestWriteFaultNeverFailsTheRun) {
+  // The manifest is recovery insurance; losing it must not lose the run.
+  serve::ServerOptions options;
+  options.checkpoint_dir = (dir_ / "ckpt").string();
+  serve::Server server(options);
+  ASSERT_EQ(ask(server, "load path=" + graph_path_).substr(0, 2), "ok");
+
+  fault::arm("serve.manifest.write", fault::FaultKind::kThrow);
+  ASSERT_EQ(ask(server, "run").substr(0, 2), "ok");
+  EXPECT_NE(ask(server, "wait").find("state=done"), std::string::npos);
+  EXPECT_GE(fault::fire_count(), 1u);
+  EXPECT_FALSE(std::filesystem::exists(
+      serve::RunSupervisor::manifest_path(options.checkpoint_dir)));
+}
+
+TEST_F(ServeFaultTest, AcceptFaultDropsOneClientNotTheListener) {
+  StatusOr<int> listener = serve::listen_on(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().to_string();
+  const int port = serve::listen_port(*listener);
+  ASSERT_GT(port, 0);
+
+  serve::Server server({});
+  std::ostringstream log;
+  fault::arm("serve.accept", fault::FaultKind::kThrow, /*skip_hits=*/0,
+             /*sleep_ms=*/0, /*max_fires=*/1);
+  std::thread loop(
+      [&] { serve::serve_fds(server, *listener, /*use_stdin=*/false, log); });
+
+  const auto connect_local = [port]() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    return fd;
+  };
+  const auto send_all = [](int fd, const std::string& data) {
+    EXPECT_EQ(::send(fd, data.data(), data.size(), 0),
+              static_cast<ssize_t>(data.size()));
+  };
+  const auto recv_line = [](int fd) {
+    std::string line;
+    char byte = 0;
+    while (::recv(fd, &byte, 1, 0) == 1 && byte != '\n') line.push_back(byte);
+    return line;
+  };
+
+  // The first client is the accept fault's victim: the server closes it
+  // immediately (EOF on read) and logs the containment.
+  const int victim = connect_local();
+  send_all(victim, "ping\n");
+  EXPECT_EQ(recv_line(victim), "");
+  ::close(victim);
+
+  // The listener survived; the next client is served normally.
+  const int survivor = connect_local();
+  send_all(survivor, "ping\n");
+  EXPECT_EQ(recv_line(survivor), "ok pong=1");
+  send_all(survivor, "shutdown\n");
+  EXPECT_EQ(recv_line(survivor), "ok bye=1");
+  loop.join();
+  ::close(survivor);
+  EXPECT_EQ(fault::fire_count(), 1u);
+  EXPECT_NE(log.str().find("serve.accept"), std::string::npos) << log.str();
 }
 
 TEST_F(FaultInjectionTest, BaselineSitesThrow) {

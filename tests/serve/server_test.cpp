@@ -5,11 +5,17 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -420,6 +426,141 @@ TEST_F(ServerTest, AutorecoveryRefusesAMismatchedGraph) {
   EXPECT_EQ(refused.code(), StatusCode::kInvalidArgument);
   // Refusal is not a crash: the server still serves fresh requests.
   EXPECT_EQ(ServerTest::ask(server, "ping"), "ok pong=1");
+}
+
+TEST_F(ServerTest, AutorecoveryRefusesDoubleCorruption) {
+  const std::string graph_path = write_graph(small_graph());
+  const std::string merges_path = (dir_ / "merges.txt").string();
+
+  // Seed real snapshots (interval 0 writes one per boundary, so both the
+  // primary and the rotated ".prev" exist), then leave a manifest behind.
+  core::LinkClusterer::Config config;
+  config.checkpoint.directory = dir_.string();
+  config.checkpoint.interval_ms = 0;
+  ASSERT_TRUE(core::LinkClusterer(config).run(small_graph()).ok());
+  const std::string snapshot = core::snapshot_path(dir_.string());
+  ASSERT_TRUE(fs::exists(snapshot));
+  ASSERT_TRUE(fs::exists(snapshot + ".prev"));
+
+  RunManifest manifest;
+  manifest.fingerprint = core::LinkClusterer::fingerprint(small_graph(), config);
+  manifest.graph_path = graph_path;
+  manifest.merges_path = merges_path;
+  ASSERT_TRUE(manifest.write(RunSupervisor::manifest_path(dir_.string())).ok());
+
+  // Flip one byte in BOTH files: no loadable state is left, and silently
+  // re-running from scratch would hide real storage rot.
+  for (const std::string& path : {snapshot, snapshot + ".prev"}) {
+    std::string bytes;
+    {
+      std::ifstream in(path, std::ios::binary);
+      bytes.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+    }
+    ASSERT_GT(bytes.size(), 0u);
+    bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0xFF);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  ServerOptions options;
+  options.checkpoint_dir = dir_.string();
+  Server server(options);
+  const Status refused = server.autorecover();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(status_error_class(refused.code()), ErrorClass::kResource);
+  EXPECT_TRUE(server.checkpoint_corrupt());
+
+  // Refusal is a health signal, not a crash: the server keeps serving and
+  // reports the corruption; the manifest survives for a later repair.
+  EXPECT_EQ(ask(server, "ping"), "ok pong=1");
+  const std::string health = ask(server, "health");
+  EXPECT_NE(health.find("checkpoint_corrupt=1"), std::string::npos) << health;
+  EXPECT_NE(health.find("recovered=0"), std::string::npos) << health;
+  EXPECT_TRUE(fs::exists(RunSupervisor::manifest_path(dir_.string())));
+}
+
+/// Blocking localhost connect to `port`; returns the socket fd.
+int connect_local(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << "connect: " << errno;
+  return fd;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + offset, data.size() - offset, 0);
+    ASSERT_GT(n, 0) << "send: " << errno;
+    offset += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads one '\n'-terminated response line (newline stripped).
+std::string recv_line(int fd) {
+  std::string line;
+  char byte = 0;
+  while (::recv(fd, &byte, 1, 0) == 1) {
+    if (byte == '\n') return line;
+    line.push_back(byte);
+  }
+  return line;  // peer closed
+}
+
+TEST(ServeTcpTest, OversizedLineGetsAnErrorAndTheConnectionSurvives) {
+  StatusOr<int> listener = listen_on(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().to_string();
+  const int port = listen_port(*listener);
+  ASSERT_GT(port, 0);
+
+  Server server({});
+  std::ostringstream log;
+  std::thread loop([&] { serve_fds(server, *listener, /*use_stdin=*/false, log); });
+
+  const int client = connect_local(port);
+  // 80 KiB of garbage in one request line: past the 64 KiB cap.
+  send_all(client, std::string(80 * 1024, 'a') + "\n");
+  const std::string rejected = recv_line(client);
+  EXPECT_EQ(rejected.rfind("err code=invalid_argument", 0), 0u) << rejected;
+  EXPECT_NE(rejected.find("exceeds"), std::string::npos) << rejected;
+  // Same connection, next request: the server only dropped the line.
+  send_all(client, "ping\n");
+  EXPECT_EQ(recv_line(client), "ok pong=1");
+  send_all(client, "shutdown\n");
+  EXPECT_EQ(recv_line(client), "ok bye=1");
+  loop.join();
+  ::close(client);
+}
+
+TEST(ServeTcpTest, ClientVanishingMidCommandDoesNotKillTheLoop) {
+  StatusOr<int> listener = listen_on(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().to_string();
+  const int port = listen_port(*listener);
+  ASSERT_GT(port, 0);
+
+  Server server({});
+  std::ostringstream log;
+  std::thread loop([&] { serve_fds(server, *listener, /*use_stdin=*/false, log); });
+
+  // First client dies mid-command: bytes sent, no newline, then gone.
+  const int rude = connect_local(port);
+  send_all(rude, "pin");
+  ::close(rude);
+
+  // The accept loop must still be alive for the next client.
+  const int polite = connect_local(port);
+  send_all(polite, "ping\n");
+  EXPECT_EQ(recv_line(polite), "ok pong=1");
+  send_all(polite, "shutdown\n");
+  EXPECT_EQ(recv_line(polite), "ok bye=1");
+  loop.join();
+  ::close(polite);
 }
 
 TEST_F(ServerTest, AutorecoveryDisabledLeavesTheManifestAlone) {

@@ -221,4 +221,17 @@ serve_chaos() {
 }
 serve_chaos
 
-echo "ci_check: all sanitizer suites, kill/resume, SIGTERM, and serve chaos smokes passed"
+# ---- Randomized chaos leg: the built-in torture harness (`lc chaos`) runs a
+# fixed block of seeded schedules — randomized fault plans against cluster and
+# serve children, including SIGKILL mid-run and snapshot corruption — with the
+# ASan binary, so every recovery path the schedules reach is sanitized. The
+# seed is pinned: a failure here replays exactly with
+#   linkcluster chaos --seed <N> --schedules 1 --keep
+chaos_leg() {
+  local bin="${prefix}-address/tools/linkcluster"
+  echo "== chaos: 12 seeded schedules (ASan binary) =="
+  "${bin}" chaos --seed 1000 --schedules 12
+}
+chaos_leg
+
+echo "ci_check: all sanitizer suites, kill/resume, SIGTERM, serve chaos, and seeded chaos schedules passed"

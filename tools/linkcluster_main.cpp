@@ -7,11 +7,11 @@
 #include "util/fault_inject.hpp"
 
 int main(int argc, char** argv) {
-#ifdef LC_FAULT_INJECT
-  // Fault builds only: the kill/resume smoke test parks a child run
-  // mid-sweep via the LC_FAULT_POINT environment variable.
+  // Arm any LC_FAULT_PLAN / LC_FAULT_POINT from the environment. This is
+  // unconditional: the runtime sites (memory.charge, the snapshot io.* seam)
+  // fire in every build; phase-site clauses additionally need a
+  // -DLC_FAULT_INJECT build to do anything.
   lc::fault::arm_from_env();
-#endif
   // Line-buffer stdout even when piped: `serve` clients read one response
   // line per request, and the chaos harness drives the server through a
   // fifo — a block-buffered reply would deadlock it.
